@@ -1,0 +1,155 @@
+// Command qosim runs a single simulation of the deadline-based QoS network
+// and prints per-class performance indices.
+//
+// Examples:
+//
+//	qosim -arch advanced -load 1.0 -topo paper -measure 50ms
+//	qosim -arch traditional -load 0.8 -topo small -track
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/cli"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/report"
+	"deadlineqos/internal/traffic"
+	"deadlineqos/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		archName = flag.String("arch", "advanced", "switch architecture: traditional|ideal|simple|advanced")
+		topoSpec = flag.String("topo", "paper", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
+		load     = flag.Float64("load", 1.0, "offered load per host as a fraction of link bandwidth")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		warmup   = flag.String("warmup", "5ms", "warm-up period excluded from measurement")
+		measure  = flag.String("measure", "50ms", "measurement window")
+		track    = flag.Bool("track", false, "enable the order-error measurement oracle (slower)")
+		skew     = flag.String("skew", "0", "max per-node clock skew (e.g. 5us)")
+		trace    = flag.String("videotrace", "", "MPEG frame-size trace file for video streams (see traffic.LoadFrameTrace)")
+		dump     = flag.String("dump", "", "write a per-packet event CSV (generated/injected/delivered) to this file")
+		jsonOut  = flag.String("json", "", "write a result snapshot (see cmd/qosreport) to this file")
+	)
+	flag.Parse()
+
+	a, err := arch.Parse(*archName)
+	if err != nil {
+		return err
+	}
+	topo, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		return err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Arch = a
+	cfg.Topology = topo
+	cfg.Load = *load
+	cfg.Seed = *seed
+	cfg.TrackOrderErrors = *track
+	if cfg.WarmUp, err = cli.ParseDuration(*warmup); err != nil {
+		return err
+	}
+	if cfg.Measure, err = cli.ParseDuration(*measure); err != nil {
+		return err
+	}
+	if cfg.ClockSkewMax, err = cli.ParseDuration(*skew); err != nil {
+		return err
+	}
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		frames, err := traffic.LoadFrameTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.VideoTraceFrames = frames
+	}
+	if topo.Hosts() < 32 {
+		// Small networks cannot spread flows over the default fan-out.
+		cfg.ControlDests = min(cfg.ControlDests, topo.Hosts()-1)
+		cfg.BEDests = min(cfg.BEDests, topo.Hosts()-1)
+	}
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		defer func() {
+			w.Flush()
+			f.Close()
+		}()
+		fmt.Fprintln(w, "event,time_ns,id,flow,class,src,dst,size,seq,deadline_ns,frame")
+		line := func(ev string, p *packet.Packet, at units.Time) {
+			fmt.Fprintf(w, "%s,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d\n",
+				ev, int64(at), p.ID, p.Flow, p.Class, p.Src, p.Dst,
+				int64(p.Size), p.Seq, int64(p.Deadline), p.FrameID)
+		}
+		cfg.Trace = network.Trace{
+			Generated: func(p *packet.Packet) { line("gen", p, p.CreatedAt) },
+			Injected:  func(p *packet.Packet, at units.Time) { line("inj", p, at) },
+			Delivered: func(p *packet.Packet, at units.Time) { line("dlv", p, at) },
+		}
+	}
+
+	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d window=[%v, %v]\n",
+		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure)
+	res, err := network.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("per-class results",
+		"class", "generated", "delivered", "throughput", "avg lat", "p99 lat", "max lat", "jitter", "frame lat")
+	for c := packet.Class(0); c < packet.NumClasses; c++ {
+		cs := &res.PerClass[c]
+		frame := "-"
+		if cs.FrameLatency.Count() > 0 {
+			frame = units.Time(cs.FrameLatency.Mean()).String()
+		}
+		t.Add(c.String(),
+			fmt.Sprintf("%d", cs.GeneratedPackets),
+			fmt.Sprintf("%d", cs.DeliveredPackets),
+			fmt.Sprintf("%.1f%%", 100*res.Throughput(c)),
+			units.Time(cs.PacketLatency.Mean()).String(),
+			cs.LatencyHist.Quantile(0.99).String(),
+			units.Time(cs.PacketLatency.Max()).String(),
+			units.Time(cs.Jitter.Mean()).String(),
+			frame)
+	}
+	fmt.Println(t)
+	fmt.Printf("events=%d xbar=%d sends=%d pending=%d videoStreams/host=%d\n",
+		res.SimEvents, res.XbarTransfers, res.LinkSends, res.PendingAtHorizon, res.VideoStreamsPerHost)
+	if *track {
+		fmt.Printf("orderErrors=%d takeOvers=%d\n", res.OrderErrors, res.TakeOvers)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		label := fmt.Sprintf("%s arch=%s load=%.2f seed=%d", topo.Name(), a.Flag(), cfg.Load, cfg.Seed)
+		if err := res.Snapshot(label).WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Clustermix: the paper's motivating scenario — one physical network
+// carrying the traffic that machines like MareNostrum split across three
+// separate networks (parallel-application, storage, and management
+// traffic), plus background bulk transfers.
+//
+// The program runs the Table 1 mix at full load on a folded-Clos cluster
+// network under all four switch architectures and prints the per-class
+// service each delivers, demonstrating that deadline-based QoS lets a
+// single network replace the over-provisioned trio.
+//
+//	go run ./examples/clustermix            # 64-host cluster
+//	go run ./examples/clustermix -hosts 128 # the paper's full MIN (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"deadlineqos"
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/report"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 64, "cluster size: 16, 64 or 128 endpoints")
+	load := flag.Float64("load", 1.0, "offered load per host")
+	flag.Parse()
+
+	var (
+		topo deadlineqos.Topology
+		err  error
+	)
+	switch *hosts {
+	case 16:
+		topo, err = deadlineqos.NewFoldedClos(4, 4, 4)
+	case 64:
+		topo, err = deadlineqos.NewFoldedClos(8, 8, 8)
+	case 128:
+		topo = deadlineqos.PaperMIN()
+	default:
+		log.Fatalf("unsupported cluster size %d (want 16, 64 or 128)", *hosts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("cluster of %d hosts at %.0f%% load: per-class service by architecture", *hosts, 100**load),
+		"architecture", "ctrl avg", "ctrl p99", "video frame avg", "BE thru", "BG thru")
+	for _, a := range arch.All() {
+		cfg := deadlineqos.DefaultConfig()
+		cfg.Topology = topo
+		cfg.Arch = a
+		cfg.Load = *load
+		cfg.WarmUp = 2 * deadlineqos.Millisecond
+		cfg.Measure = 25 * deadlineqos.Millisecond
+		res, err := deadlineqos.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl := &res.PerClass[deadlineqos.Control]
+		mm := &res.PerClass[deadlineqos.Multimedia]
+		t.Add(a.String(),
+			deadlineqos.Time(ctrl.PacketLatency.Mean()).String(),
+			ctrl.LatencyHist.Quantile(0.99).String(),
+			deadlineqos.Time(mm.FrameLatency.Mean()).String(),
+			fmt.Sprintf("%.1f%%", 100*res.Throughput(deadlineqos.BestEffort)),
+			fmt.Sprintf("%.1f%%", 100*res.Throughput(deadlineqos.Background)))
+	}
+	fmt.Println(t)
+	fmt.Println("Control stays fast and video frames stay on target under the EDF")
+	fmt.Println("architectures even while best-effort bulk traffic fills the links;")
+	fmt.Println("a single QoS-capable network does the work of three.")
+}

@@ -1,0 +1,77 @@
+// Collective: an MPI-style ring exchange (the parallel-application traffic
+// the paper's introduction motivates) sharing the network with video and
+// bulk best-effort traffic.
+//
+// Every host sends a chunk around the ring for N-1 rounds, each round
+// gated on receiving the previous one — so one slow message anywhere
+// stalls the whole application. The deadline-based architectures keep the
+// collective fast under full interference; the traditional switch lets
+// multimedia queued in the same VC stall it.
+//
+// This is also the reference example of driving custom workloads through
+// the library: registering extra flows, submitting from delivery
+// callbacks, and observing through Config.Trace.
+//
+//	go run ./examples/collective
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deadlineqos"
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/collective"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/report"
+)
+
+func main() {
+	t := report.NewTable("ring collective (16 hosts, 8KB chunks, 15 rounds) under full load",
+		"architecture", "completion", "vs idle")
+
+	// Idle-network baseline for reference.
+	idle := runOnce(deadlineqos.Advanced2VC, 0)
+	if !idle.Done() {
+		log.Fatal("baseline collective incomplete")
+	}
+
+	for _, a := range arch.All() {
+		r := runOnce(a, 1.0)
+		completion := "incomplete"
+		ratio := "-"
+		if r.Done() {
+			completion = r.CompletionTime().String()
+			ratio = fmt.Sprintf("%.1fx", float64(r.CompletionTime())/float64(idle.CompletionTime()))
+		}
+		t.Add(a.String(), completion, ratio)
+	}
+	fmt.Println(t)
+	fmt.Printf("idle-network baseline: %v\n\n", idle.CompletionTime())
+	fmt.Println("Deadline scheduling keeps the parallel application's critical path")
+	fmt.Println("near the idle-network floor while video and bulk transfers saturate")
+	fmt.Println("every link — the single-network cluster the paper argues for.")
+}
+
+// runOnce executes one collective under the given architecture and load.
+func runOnce(a deadlineqos.Arch, load float64) *collective.Runner {
+	cfg := deadlineqos.SmallConfig()
+	cfg.Arch = a
+	cfg.Load = load
+	cfg.ClassShare = [deadlineqos.NumClasses]float64{0, 0.25, 0.375, 0.375}
+	cfg.WarmUp = 0
+	cfg.Measure = 30 * deadlineqos.Millisecond
+	runner := collective.Attach(&cfg, collective.Config{
+		Chunk: 8 * deadlineqos.Kilobyte, Class: deadlineqos.Control,
+		StartAt: 2 * deadlineqos.Millisecond,
+	})
+	n, err := network.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := runner.Bind(n); err != nil {
+		log.Fatal(err)
+	}
+	n.Run()
+	return runner
+}

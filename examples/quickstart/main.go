@@ -1,0 +1,36 @@
+// Quickstart: run the paper's mixed workload (Table 1) on a small network
+// under two switch architectures and compare what QoS each class receives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deadlineqos"
+)
+
+func main() {
+	// A 16-host folded Clos with the paper's default parameters: 8 Gb/s
+	// links, 8 KB buffers per VC, the four-class 25%-each traffic mix.
+	cfg := deadlineqos.SmallConfig()
+	cfg.Load = 1.0 // saturate every host's injection link
+
+	for _, a := range []deadlineqos.Arch{deadlineqos.Traditional2VC, deadlineqos.Advanced2VC} {
+		cfg.Arch = a
+		res, err := deadlineqos.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", a)
+		fmt.Print(res.Summary())
+
+		ctrl := &res.PerClass[deadlineqos.Control]
+		fmt.Printf("Control p99 latency: %v over %d packets\n\n",
+			ctrl.LatencyHist.Quantile(0.99), ctrl.DeliveredPackets)
+	}
+	fmt.Println("The deadline-based architecture keeps Control latency near the")
+	fmt.Println("unloaded floor at full load; the traditional 2-VC switch cannot")
+	fmt.Println("distinguish Control from Multimedia inside the regulated VC.")
+}

@@ -1,0 +1,66 @@
+// Takeover: a micro-demonstration of the paper's two-queue buffer (§3.4).
+//
+// Two flows share a buffer. Flow A's packets carry far deadlines, flow B's
+// packets arrive later with near deadlines. A plain FIFO forces B to wait
+// behind A (order errors); the take-over queue lets B overtake while — per
+// the appendix theorems — never reordering the packets *within* either
+// flow.
+//
+//	go run ./examples/takeover
+package main
+
+import (
+	"fmt"
+
+	"deadlineqos"
+)
+
+// arrival describes one packet fed to both buffers.
+type arrival struct {
+	flow     uint32
+	seq      uint64
+	deadline deadlineqos.Time
+}
+
+func main() {
+	// Flow 1 first queues four packets with far deadlines (e.g. smoothed
+	// multimedia); flow 2 then bursts four packets with near deadlines
+	// (e.g. control). Within each flow deadlines increase, as the
+	// appendix's hypotheses require.
+	arrivals := []arrival{
+		{1, 0, 1000}, {1, 1, 1100}, {1, 2, 1200}, {1, 3, 1300},
+		{2, 0, 40}, {2, 1, 50}, {2, 2, 60}, {2, 3, 70},
+	}
+
+	run := func(name string, buf deadlineqos.Buffer) {
+		var id uint64
+		for _, a := range arrivals {
+			id++
+			buf.Push(&deadlineqos.Packet{
+				ID: id, Flow: deadlineqos.FlowID(a.flow), Seq: a.seq,
+				Deadline: a.deadline, Size: 64,
+			})
+		}
+		fmt.Printf("%-10s departure order:", name)
+		lastSeq := map[uint32]uint64{}
+		ordered := true
+		for buf.Len() > 0 {
+			p := buf.Pop()
+			fmt.Printf("  f%d#%d(d=%d)", p.Flow, p.Seq, p.Deadline)
+			if last, ok := lastSeq[uint32(p.Flow)]; ok && p.Seq < last {
+				ordered = false
+			}
+			lastSeq[uint32(p.Flow)] = p.Seq
+		}
+		fmt.Printf("\n%-10s order errors: %d, per-flow order preserved: %v\n\n",
+			name, buf.OrderErrors(), ordered)
+	}
+
+	run("FIFO", deadlineqos.NewFIFOQueue(deadlineqos.Kilobyte, true))
+	run("take-over", deadlineqos.NewTakeOverQueue(deadlineqos.Kilobyte, true))
+	run("heap", deadlineqos.NewHeapQueue(deadlineqos.Kilobyte, true))
+
+	fmt.Println("The take-over queue matches the heap's schedule here using only")
+	fmt.Println("two FIFOs — the hardware the paper argues a high-radix switch can")
+	fmt.Println("actually afford — and never reorders packets within a flow.")
+}

@@ -1,0 +1,47 @@
+// Videostream: demonstrate the paper's frame-latency deadline rule (§3.1).
+//
+// MPEG frames vary from 1 KB to 120 KB, yet with deadlines computed as
+// D(Pi) = max(D(Pi-1), Tnow) + target/Parts(F) every frame completes in
+// roughly the configured target latency — independent of its size — and
+// jitter nearly vanishes. This program sweeps the target and prints the
+// measured frame-latency distribution.
+//
+//	go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deadlineqos"
+)
+
+func main() {
+	for _, target := range []deadlineqos.Time{
+		5 * deadlineqos.Millisecond,
+		10 * deadlineqos.Millisecond, // the paper's configuration
+		20 * deadlineqos.Millisecond,
+	} {
+		cfg := deadlineqos.SmallConfig()
+		cfg.Arch = deadlineqos.Advanced2VC
+		cfg.Load = 0.6
+		// Multimedia-only workload to isolate the mechanism.
+		cfg.ClassShare = [deadlineqos.NumClasses]float64{0, 0.6, 0, 0}
+		cfg.VideoTarget = target
+		cfg.WarmUp = 2 * deadlineqos.Millisecond
+		cfg.Measure = 25*deadlineqos.Millisecond + 4*target
+
+		res, err := deadlineqos.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mm := &res.PerClass[deadlineqos.Multimedia]
+		fmt.Printf("target %-8v -> frames=%-5d mean=%-9v p99=%-9v within target+10%%: %.1f%%\n",
+			target, mm.FrameLatency.Count(),
+			deadlineqos.Time(mm.FrameLatency.Mean()),
+			mm.FrameHist.Quantile(0.99),
+			100*mm.FrameHist.FractionBelow(target+target/10))
+	}
+	fmt.Println("\nFrame latency tracks the configured target, not the frame size:")
+	fmt.Println("small and large frames alike finish within ~target, as in Figure 3.")
+}

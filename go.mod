@@ -1,0 +1,3 @@
+module deadlineqos
+
+go 1.22

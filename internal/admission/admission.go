@@ -1,0 +1,213 @@
+// Package admission implements the centralised connection admission
+// control of the paper's architecture (§3): bandwidth reservation happens
+// at a single point (the fabric manager, as in PCI AS or InfiniBand) and
+// no record is kept in the switches. Admission fixes each flow's route;
+// because reservation considers the load already placed on every link, it
+// balances flows across the equivalent minimal paths of the MIN — the
+// paper's answer to why fixed (not deterministic) routing still spreads
+// load.
+//
+// Best-effort traffic is not reserved but still uses fixed routes (to
+// avoid out-of-order delivery); its paths are spread deterministically by
+// hashing the flow identity.
+package admission
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/units"
+)
+
+// linkKey identifies a directed switch output link.
+type linkKey struct {
+	sw, port int
+}
+
+// Controller is the centralised admission control and route assignment
+// authority for one network.
+type Controller struct {
+	topo   topology.Topology
+	linkBW units.Bandwidth
+	// maxUtil caps reservations per link as a fraction of capacity; the
+	// paper's regulated traffic never oversubscribes links ("traffic is
+	// regulated (no over-subscription of the links)", §3.2).
+	maxUtil float64
+
+	reserved map[linkKey]units.Bandwidth
+	hostInj  []units.Bandwidth // reservation on each host's injection link
+	// capScale derates individual link capacities (degraded links); links
+	// absent from the map have full capacity.
+	capScale map[linkKey]float64
+	// flows records admitted reservations so they can be released.
+	flows  map[FlowHandle]reservation
+	nextFH FlowHandle
+}
+
+// FlowHandle identifies an admitted reservation for later release.
+type FlowHandle uint64
+
+// reservation remembers what Reserve charged, for Release.
+type reservation struct {
+	src  int
+	bw   units.Bandwidth
+	hops []topology.Hop
+}
+
+// New returns a Controller for the topology with the given link bandwidth.
+// maxUtil in (0,1] caps per-link reservation (1.0 = full link capacity).
+func New(topo topology.Topology, linkBW units.Bandwidth, maxUtil float64) (*Controller, error) {
+	if maxUtil <= 0 || maxUtil > 1 {
+		return nil, fmt.Errorf("admission: maxUtil %v out of (0,1]", maxUtil)
+	}
+	if linkBW <= 0 {
+		return nil, fmt.Errorf("admission: non-positive link bandwidth %v", linkBW)
+	}
+	return &Controller{
+		topo:     topo,
+		linkBW:   linkBW,
+		maxUtil:  maxUtil,
+		reserved: make(map[linkKey]units.Bandwidth),
+		hostInj:  make([]units.Bandwidth, topo.Hosts()),
+		capScale: make(map[linkKey]float64),
+		flows:    make(map[FlowHandle]reservation),
+	}, nil
+}
+
+// DerateLink tells the controller that switch sw's output port carries
+// only scale (0..1] of the nominal link bandwidth — a degraded cable, an
+// oversubscribed uplink, or an operator-imposed cap. Subsequent
+// reservations route around it when they can. It panics on scale outside
+// (0, 1], a configuration bug.
+func (c *Controller) DerateLink(sw, port int, scale float64) {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("admission: derate scale %v out of (0,1]", scale))
+	}
+	c.capScale[linkKey{sw, port}] = scale
+}
+
+// limitFor returns the reservable bandwidth of one link.
+func (c *Controller) limitFor(k linkKey) units.Bandwidth {
+	limit := units.Bandwidth(c.maxUtil) * c.linkBW
+	if s, ok := c.capScale[k]; ok {
+		limit = units.Bandwidth(float64(limit) * s)
+	}
+	return limit
+}
+
+// ports converts a hop path into the packet-header route (output port per
+// switch hop).
+func ports(hops []topology.Hop) []int {
+	route := make([]int, len(hops))
+	for i, h := range hops {
+		route[i] = h.OutPort
+	}
+	return route
+}
+
+// Reserve admits a flow of average bandwidth bw from src to dst, choosing
+// the minimal path whose most-utilised link is least utilised (greedy load
+// balancing, fractional against each link's possibly derated capacity).
+// It returns the fixed route and a handle for Release, or an error when
+// every path would oversubscribe some link.
+func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandle, error) {
+	if src == dst {
+		return nil, 0, fmt.Errorf("admission: flow to self (host %d)", src)
+	}
+	if bw <= 0 {
+		return nil, 0, fmt.Errorf("admission: non-positive bandwidth %v", bw)
+	}
+	injLimit := units.Bandwidth(c.maxUtil) * c.linkBW
+	if c.hostInj[src]+bw > injLimit {
+		return nil, 0, fmt.Errorf("admission: host %d injection link full (%v reserved, %v requested, %v limit)",
+			src, c.hostInj[src], bw, injLimit)
+	}
+	n := c.topo.PathCount(src, dst)
+	bestChoice := -1
+	bestWorst := 0.0
+	for choice := 0; choice < n; choice++ {
+		hops := c.topo.Path(src, dst, choice)
+		worst := 0.0
+		ok := true
+		for _, h := range hops {
+			k := linkKey{h.Switch, h.OutPort}
+			limit := c.limitFor(k)
+			r := c.reserved[k]
+			if r+bw > limit {
+				ok = false
+				break
+			}
+			if frac := float64(r+bw) / float64(limit); frac > worst {
+				worst = frac
+			}
+		}
+		if !ok {
+			continue
+		}
+		if bestChoice == -1 || worst < bestWorst {
+			bestChoice, bestWorst = choice, worst
+		}
+	}
+	if bestChoice == -1 {
+		return nil, 0, fmt.Errorf("admission: no path from %d to %d can carry %v more", src, dst, bw)
+	}
+	hops := c.topo.Path(src, dst, bestChoice)
+	for _, h := range hops {
+		c.reserved[linkKey{h.Switch, h.OutPort}] += bw
+	}
+	c.hostInj[src] += bw
+	c.nextFH++
+	c.flows[c.nextFH] = reservation{src: src, bw: bw, hops: hops}
+	return ports(hops), c.nextFH, nil
+}
+
+// Release returns a flow's reserved bandwidth to the network (connection
+// teardown). Releasing an unknown or already-released handle is an error.
+func (c *Controller) Release(h FlowHandle) error {
+	r, ok := c.flows[h]
+	if !ok {
+		return fmt.Errorf("admission: release of unknown flow handle %d", h)
+	}
+	delete(c.flows, h)
+	for _, hop := range r.hops {
+		c.reserved[linkKey{hop.Switch, hop.OutPort}] -= r.bw
+	}
+	c.hostInj[r.src] -= r.bw
+	return nil
+}
+
+// ActiveFlows returns the number of admitted, unreleased reservations.
+func (c *Controller) ActiveFlows() int { return len(c.flows) }
+
+// RouteBestEffort assigns a fixed route without reservation, spreading
+// flows across the minimal paths by hashing key (typically the flow id).
+func (c *Controller) RouteBestEffort(src, dst int, key uint64) []int {
+	n := c.topo.PathCount(src, dst)
+	// SplitMix-style scramble so consecutive keys spread well.
+	k := key
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	choice := int(k % uint64(n))
+	return ports(c.topo.Path(src, dst, choice))
+}
+
+// Reserved returns the bandwidth reserved on switch sw's output port.
+func (c *Controller) Reserved(sw, port int) units.Bandwidth {
+	return c.reserved[linkKey{sw, port}]
+}
+
+// HostReserved returns the bandwidth reserved on host h's injection link.
+func (c *Controller) HostReserved(h int) units.Bandwidth { return c.hostInj[h] }
+
+// MaxLinkUtilisation returns the highest reserved fraction across all
+// switch links (diagnostics for experiment configurations).
+func (c *Controller) MaxLinkUtilisation() float64 {
+	var worst units.Bandwidth
+	for _, r := range c.reserved {
+		if r > worst {
+			worst = r
+		}
+	}
+	return float64(worst) / float64(c.linkBW)
+}

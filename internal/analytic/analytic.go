@@ -1,0 +1,64 @@
+// Package analytic provides closed-form predictions for simple network
+// conditions. They serve as golden models: in regimes where queueing
+// vanishes the simulator must match them *exactly*, which anchors the
+// whole timing model (links, crossbars, propagation) against regressions
+// far more tightly than statistical assertions can.
+package analytic
+
+import (
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/units"
+)
+
+// UnloadedPacketLatency returns the exact end-to-end delivery latency of a
+// single packet of the given wire size crossing an otherwise idle network:
+//
+//	injection link:   tx + prop
+//	per switch:       crossbar transfer + output link tx + prop
+//
+// with store-and-forward at every stage (see internal/link). switchHops is
+// the number of switches traversed.
+func UnloadedPacketLatency(wire units.Size, switchHops int, linkBW, xbarBW units.Bandwidth, prop units.Time) units.Time {
+	if xbarBW == 0 {
+		xbarBW = linkBW
+	}
+	linkLeg := linkBW.TxTime(wire) + prop
+	return units.Time(switchHops+1)*linkLeg + units.Time(switchHops)*xbarBW.TxTime(wire)
+}
+
+// UnloadedFrameLatency returns the exact latency of an application frame
+// segmented into parts packets on an idle path: the pipeline fills for one
+// packet and then drains one injection-link serialisation per remaining
+// packet (the injection link is the bottleneck stage when all stages run
+// at the same rate; lastWire is the final, possibly shorter, packet).
+func UnloadedFrameLatency(fullWire, lastWire units.Size, parts, switchHops int,
+	linkBW, xbarBW units.Bandwidth, prop units.Time) units.Time {
+	if parts <= 1 {
+		return UnloadedPacketLatency(lastWire, switchHops, linkBW, xbarBW, prop)
+	}
+	// The last packet enters the injection link after parts-1 full
+	// serialisations and then crosses the idle network.
+	return units.Time(parts-1)*linkBW.TxTime(fullWire) +
+		UnloadedPacketLatency(lastWire, switchHops, linkBW, xbarBW, prop)
+}
+
+// SwitchHops returns the number of switches on the minimal path choice 0
+// between two hosts.
+func SwitchHops(topo topology.Topology, src, dst int) int {
+	return len(topo.Path(src, dst, 0))
+}
+
+// BisectionBound returns an upper bound on the aggregate throughput (as a
+// fraction of total host injection bandwidth) that uniformly distributed
+// traffic can achieve on a folded Clos: min(1, spine capacity / demand
+// crossing the leaves). With full bisection the bound is 1.
+func BisectionBound(c *topology.FoldedClos) float64 {
+	// Fraction of uniform traffic leaving its source leaf:
+	crossing := 1.0 - float64(c.Down-1)/float64(c.Hosts()-1)
+	uplinkCapacity := float64(c.Leaves * c.Up)
+	demand := float64(c.Hosts()) * crossing
+	if demand <= uplinkCapacity {
+		return 1.0
+	}
+	return uplinkCapacity / demand
+}

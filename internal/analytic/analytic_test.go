@@ -1,0 +1,63 @@
+package analytic
+
+import (
+	"testing"
+
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/units"
+)
+
+func TestUnloadedPacketLatencyFormula(t *testing.T) {
+	// Matches the worked example verified against the switch model in
+	// switchsim's TestDeliveryLatencyComponents: 256-byte packet, one
+	// switch, 5-cycle propagation => 778 cycles.
+	got := UnloadedPacketLatency(256, 1, 1, 0, 5)
+	if got != 778 {
+		t.Fatalf("UnloadedPacketLatency = %v, want 778", got)
+	}
+	// Three-hop Clos path at 20ns prop: 4 link legs + 3 crossbars.
+	got = UnloadedPacketLatency(2048, 3, 1, 0, 20)
+	want := units.Time(4*(2048+20) + 3*2048)
+	if got != want {
+		t.Fatalf("3-hop latency = %v, want %v", got, want)
+	}
+}
+
+func TestUnloadedFrameLatency(t *testing.T) {
+	// Single packet: identical to the packet formula.
+	if UnloadedFrameLatency(2048, 500, 1, 2, 1, 0, 10) != UnloadedPacketLatency(500, 2, 1, 0, 10) {
+		t.Fatal("1-part frame mismatch")
+	}
+	// Multi-part: pipeline drain dominates by (parts-1) serialisations.
+	got := UnloadedFrameLatency(2048, 2048, 10, 1, 1, 0, 5)
+	want := units.Time(9*2048) + UnloadedPacketLatency(2048, 1, 1, 0, 5)
+	if got != want {
+		t.Fatalf("10-part frame = %v, want %v", got, want)
+	}
+}
+
+func TestSwitchHops(t *testing.T) {
+	clos := topology.PaperMIN()
+	if h := SwitchHops(clos, 0, 1); h != 1 {
+		t.Fatalf("same-leaf hops = %d, want 1", h)
+	}
+	if h := SwitchHops(clos, 0, 127); h != 3 {
+		t.Fatalf("cross-leaf hops = %d, want 3", h)
+	}
+}
+
+func TestBisectionBound(t *testing.T) {
+	// The paper MIN has full bisection.
+	if b := BisectionBound(topology.PaperMIN()); b != 1.0 {
+		t.Fatalf("paper MIN bound = %v, want 1", b)
+	}
+	// A 2:1 oversubscribed Clos: 4 leaves x 4 down, only 2 up.
+	over, err := topology.NewFoldedClos(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BisectionBound(over)
+	if b >= 1.0 || b <= 0.4 {
+		t.Fatalf("oversubscribed bound = %v, want in (0.4, 1)", b)
+	}
+}

@@ -1,0 +1,137 @@
+// Package arbiter implements the selection policies used by switch output
+// ports and crossbars:
+//
+//   - RoundRobin: classic rotating-priority selection among request sources,
+//     the intra-VC policy of the Traditional architecture.
+//   - EDF: earliest-deadline-first among the offered head packets, with a
+//     rotating tie-break. This is the only deadline-aware logic a switch
+//     needs in the paper's proposal — it looks exclusively at packet
+//     headers, never at per-flow state (§3).
+//   - VCTable: PCI-AS-style weighted table arbitration between virtual
+//     channels, the inter-VC policy of the Traditional architecture. The
+//     EDF architectures do not need it: their regulated VC has absolute
+//     priority (§3.2).
+//
+// Policies are deliberately tiny pure state machines so that the switch
+// model composes them per port without allocation on the hot path.
+package arbiter
+
+import (
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// Candidate is one request offered to a policy: the head packet of some
+// source queue (an input port's VOQ, or a VC buffer).
+type Candidate struct {
+	Pkt    *packet.Packet
+	Source int // source identifier, unique within one Select call
+}
+
+// RoundRobin grants sources in rotating order starting after the most
+// recent grantee, guaranteeing per-source fairness.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n sources.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
+
+// Select returns the index into cands of the granted candidate, or -1 when
+// cands is empty. Sources must be in [0, n).
+func (r *RoundRobin) Select(cands []Candidate) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	best, bestRank := -1, r.n
+	for i, c := range cands {
+		rank := (c.Source - r.next + r.n) % r.n
+		if rank < bestRank {
+			best, bestRank = i, rank
+		}
+	}
+	r.next = (cands[best].Source + 1) % r.n
+	return best
+}
+
+// EDF grants the candidate with the smallest deadline. Ties rotate among
+// sources so that equal-deadline flows share the port fairly.
+type EDF struct {
+	n    int
+	next int
+}
+
+// NewEDF returns an EDF arbiter over n sources.
+func NewEDF(n int) *EDF { return &EDF{n: n} }
+
+// Select returns the index into cands of the earliest-deadline candidate,
+// or -1 when cands is empty.
+func (e *EDF) Select(cands []Candidate) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	best, bestDl, bestRank := -1, units.Infinity, e.n+1
+	for i, c := range cands {
+		rank := (c.Source - e.next + e.n) % e.n
+		if c.Pkt.Deadline < bestDl || (c.Pkt.Deadline == bestDl && rank < bestRank) {
+			best, bestDl, bestRank = i, c.Pkt.Deadline, rank
+		}
+	}
+	e.next = (cands[best].Source + 1) % e.n
+	return best
+}
+
+// VCTable is a circular weighted arbitration table over virtual channels,
+// modelled on the PCI AS / InfiniBand output arbitration tables. Each table
+// entry names a VC; the arbiter scans from its pointer for the first entry
+// whose VC currently has a request, grants it, and advances. The relative
+// entry counts define the bandwidth weights.
+type VCTable struct {
+	entries []packet.VC
+	ptr     int
+}
+
+// NewVCTable returns a table arbiter with the given entry sequence. It
+// panics on an empty table.
+func NewVCTable(entries []packet.VC) *VCTable {
+	if len(entries) == 0 {
+		panic("arbiter: empty VC table")
+	}
+	t := &VCTable{entries: make([]packet.VC, len(entries))}
+	copy(t.entries, entries)
+	return t
+}
+
+// DefaultVCTable is the Traditional-architecture configuration used in the
+// evaluation: the QoS VC (VC0) receives three table slots for every slot of
+// the best-effort VC, giving it a 3:1 bandwidth weight — a typical setting
+// when half the offered traffic is QoS-sensitive.
+func DefaultVCTable() *VCTable {
+	return NewVCTable([]packet.VC{
+		packet.VCRegulated, packet.VCRegulated, packet.VCRegulated, packet.VCBestEffort,
+	})
+}
+
+// Default4VCTable is the Traditional-4-VCs configuration: one VC per
+// traffic class with weights reflecting their sensitivity — Control 4,
+// Multimedia 3, Best-effort 2, Background 1 slots. This is the "many more
+// VCs" alternative the paper's conclusion discusses.
+func Default4VCTable() *VCTable {
+	return NewVCTable([]packet.VC{
+		0, 1, 2, 0, 1, 3, 0, 2, 1, 0,
+	})
+}
+
+// Next returns the VC granted given which VCs currently have requests.
+// It reports false when no offered VC has a request.
+func (t *VCTable) Next(avail [packet.NumVCs]bool) (packet.VC, bool) {
+	for i := 0; i < len(t.entries); i++ {
+		e := t.entries[(t.ptr+i)%len(t.entries)]
+		if avail[e] {
+			t.ptr = (t.ptr + i + 1) % len(t.entries)
+			return e, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,170 @@
+package arbiter
+
+import (
+	"testing"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+func cand(src int, dl units.Time) Candidate {
+	return Candidate{Pkt: &packet.Packet{Deadline: dl}, Source: src}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	if got := NewRoundRobin(4).Select(nil); got != -1 {
+		t.Fatalf("Select(nil) = %d, want -1", got)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	r := NewRoundRobin(4)
+	all := []Candidate{cand(0, 0), cand(1, 0), cand(2, 0), cand(3, 0)}
+	var order []int
+	for i := 0; i < 8; i++ {
+		g := r.Select(all)
+		order = append(order, all[g].Source)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsIdleSources(t *testing.T) {
+	r := NewRoundRobin(4)
+	// Only sources 1 and 3 request.
+	c := []Candidate{cand(1, 0), cand(3, 0)}
+	var order []int
+	for i := 0; i < 4; i++ {
+		order = append(order, c[r.Select(c)].Source)
+	}
+	want := []int{1, 3, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinFairnessAfterPartialRequests(t *testing.T) {
+	r := NewRoundRobin(3)
+	// Source 0 granted; next grant must prefer 1 over 0.
+	if g := r.Select([]Candidate{cand(0, 0)}); g != 0 {
+		t.Fatal("single candidate not granted")
+	}
+	c := []Candidate{cand(0, 0), cand(1, 0)}
+	if got := c[r.Select(c)].Source; got != 1 {
+		t.Fatalf("granted %d after 0, want 1", got)
+	}
+}
+
+func TestEDFPicksMinDeadline(t *testing.T) {
+	e := NewEDF(4)
+	c := []Candidate{cand(0, 300), cand(1, 100), cand(2, 200)}
+	if got := c[e.Select(c)].Source; got != 1 {
+		t.Fatalf("EDF granted source %d, want 1", got)
+	}
+}
+
+func TestEDFEmpty(t *testing.T) {
+	if got := NewEDF(4).Select(nil); got != -1 {
+		t.Fatalf("Select(nil) = %d, want -1", got)
+	}
+}
+
+func TestEDFTieRotates(t *testing.T) {
+	e := NewEDF(3)
+	c := []Candidate{cand(0, 50), cand(1, 50), cand(2, 50)}
+	counts := map[int]int{}
+	for i := 0; i < 9; i++ {
+		counts[c[e.Select(c)].Source]++
+	}
+	for s := 0; s < 3; s++ {
+		if counts[s] != 3 {
+			t.Fatalf("tie rotation unfair: %v", counts)
+		}
+	}
+}
+
+func TestEDFDeadlineBeatsRotation(t *testing.T) {
+	e := NewEDF(2)
+	c := []Candidate{cand(0, 10), cand(1, 20)}
+	// Source 0 wins repeatedly despite the rotating pointer.
+	for i := 0; i < 5; i++ {
+		if got := c[e.Select(c)].Source; got != 0 {
+			t.Fatalf("round %d: granted %d, want 0", i, got)
+		}
+	}
+}
+
+func TestVCTableWeights(t *testing.T) {
+	tab := DefaultVCTable()
+	both := [packet.NumVCs]bool{true, true}
+	counts := map[packet.VC]int{}
+	for i := 0; i < 40; i++ {
+		vc, ok := tab.Next(both)
+		if !ok {
+			t.Fatal("Next returned no grant with both VCs requesting")
+		}
+		counts[vc]++
+	}
+	if counts[packet.VCRegulated] != 30 || counts[packet.VCBestEffort] != 10 {
+		t.Fatalf("table weights = %v, want 3:1 (30/10)", counts)
+	}
+}
+
+func TestVCTableSkipsIdleVC(t *testing.T) {
+	tab := DefaultVCTable()
+	onlyBE := [packet.NumVCs]bool{false, true}
+	for i := 0; i < 5; i++ {
+		vc, ok := tab.Next(onlyBE)
+		if !ok || vc != packet.VCBestEffort {
+			t.Fatalf("grant = %v/%v, want best-effort", vc, ok)
+		}
+	}
+}
+
+func TestVCTableNoRequests(t *testing.T) {
+	if _, ok := DefaultVCTable().Next([packet.NumVCs]bool{}); ok {
+		t.Fatal("Next granted with no requests")
+	}
+}
+
+func TestVCTableEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty table did not panic")
+		}
+	}()
+	NewVCTable(nil)
+}
+
+func TestVCTableCopiesEntries(t *testing.T) {
+	entries := []packet.VC{packet.VCRegulated, packet.VCBestEffort}
+	tab := NewVCTable(entries)
+	entries[0] = packet.VCBestEffort // must not affect the table
+	vc, _ := tab.Next([packet.NumVCs]bool{true, false})
+	if vc != packet.VCRegulated {
+		t.Fatal("table aliases caller slice")
+	}
+}
+
+func TestDefault4VCTableWeights(t *testing.T) {
+	tab := Default4VCTable()
+	all := [packet.NumVCs]bool{true, true, true, true}
+	counts := map[packet.VC]int{}
+	for i := 0; i < 100; i++ {
+		vc, ok := tab.Next(all)
+		if !ok {
+			t.Fatal("no grant with all VCs requesting")
+		}
+		counts[vc]++
+	}
+	// 10-entry table: 4/3/2/1 slots.
+	if counts[0] != 40 || counts[1] != 30 || counts[2] != 20 || counts[3] != 10 {
+		t.Fatalf("4-VC table weights = %v, want 40/30/20/10", counts)
+	}
+}

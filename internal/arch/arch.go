@@ -1,0 +1,137 @@
+// Package arch enumerates the four switch architectures the paper
+// evaluates (§4.1) and maps each to the buffer disciplines and scheduling
+// behaviour that realise it.
+package arch
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/pqueue"
+)
+
+// Arch is one of the four evaluated switch architectures.
+type Arch uint8
+
+// The four architectures of §4.1.
+const (
+	// Traditional2VC is a PCI-AS-style switch: two VCs distinguishing two
+	// broad traffic categories, FIFO buffers, weighted-table arbitration
+	// between VCs, round-robin within a VC. No deadline awareness.
+	Traditional2VC Arch = iota
+	// Ideal implements EDF with fully ordered (heap) buffers on both VCs.
+	// Order errors cannot happen; the hardware cost makes it infeasible,
+	// so it serves as the upper bound.
+	Ideal
+	// Simple2VC is the paper's first proposal: plain FIFO buffers, but the
+	// arbiter compares the deadlines of the FIFO heads (merge-sort
+	// argument, §3.2). Order errors degrade latency ~25%.
+	Simple2VC
+	// Advanced2VC adds the take-over queue (§3.4): the regulated VC is
+	// split into an ordered queue and a take-over queue, cutting the
+	// order-error penalty to ~5%.
+	Advanced2VC
+	// Traditional4VC is the "many more VCs" alternative the paper's
+	// conclusion discusses: one VC per traffic class with weighted-table
+	// arbitration, still without deadline awareness. It quantifies how
+	// much of the EDF architectures' QoS could be bought with silicon
+	// (more VCs) instead of scheduling.
+	Traditional4VC
+	NumArchs = 5
+)
+
+var names = [NumArchs]string{"Traditional 2 VCs", "Ideal", "Simple 2 VCs", "Advanced 2 VCs", "Traditional 4 VCs"}
+
+// String returns the architecture name as used in the paper's figures.
+func (a Arch) String() string {
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("Arch(%d)", uint8(a))
+}
+
+// All lists the paper's four architectures in its presentation order
+// (Traditional4VC is an extension, listed by AllExtended).
+func All() []Arch { return []Arch{Traditional2VC, Ideal, Simple2VC, Advanced2VC} }
+
+// AllExtended lists every implemented architecture, including the 4-VC
+// Traditional extension.
+func AllExtended() []Arch { return append(All(), Traditional4VC) }
+
+// Parse converts a command-line name ("traditional", "ideal", "simple",
+// "advanced", "traditional4") into an Arch.
+func Parse(s string) (Arch, error) {
+	switch s {
+	case "traditional", "trad":
+		return Traditional2VC, nil
+	case "traditional4", "trad4":
+		return Traditional4VC, nil
+	case "ideal":
+		return Ideal, nil
+	case "simple":
+		return Simple2VC, nil
+	case "advanced", "adv":
+		return Advanced2VC, nil
+	}
+	return 0, fmt.Errorf("arch: unknown architecture %q (want traditional|traditional4|ideal|simple|advanced)", s)
+}
+
+// Flag returns the short command-line name of a.
+func (a Arch) Flag() string {
+	switch a {
+	case Traditional2VC:
+		return "traditional"
+	case Traditional4VC:
+		return "traditional4"
+	case Ideal:
+		return "ideal"
+	case Simple2VC:
+		return "simple"
+	default:
+		return "advanced"
+	}
+}
+
+// Discipline returns the buffer discipline architecture a uses for vc.
+// Only the Ideal architecture orders the best-effort VC too; Advanced2VC
+// applies the take-over structure to the regulated VC only (§3.4) and
+// keeps best-effort in plain FIFOs.
+func (a Arch) Discipline(vc packet.VC) pqueue.Discipline {
+	switch a {
+	case Ideal:
+		return pqueue.Heap
+	case Advanced2VC:
+		if vc == packet.VCRegulated {
+			return pqueue.TakeOver
+		}
+		return pqueue.FIFO
+	default:
+		return pqueue.FIFO
+	}
+}
+
+// DeadlineAware reports whether switches of this architecture schedule by
+// packet deadlines. The Traditional architectures ignore deadlines
+// entirely.
+func (a Arch) DeadlineAware() bool { return a != Traditional2VC && a != Traditional4VC }
+
+// VCs returns how many virtual channels the architecture uses. Packets
+// only ever carry VCs below this count.
+func (a Arch) VCs() int {
+	if a == Traditional4VC {
+		return 4
+	}
+	return 2
+}
+
+// VCFor maps a traffic class to the virtual channel it travels in under
+// this architecture. The paper's proposals and Traditional 2 VCs share the
+// regulated/best-effort split; Traditional 4 VCs gives every class its own
+// VC (Control=0 .. Background=3, so lower VC index still means more
+// latency-sensitive).
+func (a Arch) VCFor(c packet.Class) packet.VC {
+	if a == Traditional4VC {
+		return packet.VC(c)
+	}
+	return packet.VCOf(c)
+}

@@ -1,0 +1,126 @@
+package arch
+
+import (
+	"testing"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/pqueue"
+)
+
+func TestNamesMatchPaperFigures(t *testing.T) {
+	want := map[Arch]string{
+		Traditional2VC: "Traditional 2 VCs",
+		Ideal:          "Ideal",
+		Simple2VC:      "Simple 2 VCs",
+		Advanced2VC:    "Advanced 2 VCs",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if Arch(17).String() == "" {
+		t.Error("unknown arch must still render")
+	}
+}
+
+func TestDisciplines(t *testing.T) {
+	cases := []struct {
+		a    Arch
+		vc   packet.VC
+		want pqueue.Discipline
+	}{
+		{Traditional2VC, packet.VCRegulated, pqueue.FIFO},
+		{Traditional2VC, packet.VCBestEffort, pqueue.FIFO},
+		{Ideal, packet.VCRegulated, pqueue.Heap},
+		{Ideal, packet.VCBestEffort, pqueue.Heap},
+		{Simple2VC, packet.VCRegulated, pqueue.FIFO},
+		{Simple2VC, packet.VCBestEffort, pqueue.FIFO},
+		{Advanced2VC, packet.VCRegulated, pqueue.TakeOver},
+		{Advanced2VC, packet.VCBestEffort, pqueue.FIFO},
+	}
+	for _, c := range cases {
+		if got := c.a.Discipline(c.vc); got != c.want {
+			t.Errorf("%v.Discipline(%v) = %v, want %v", c.a, c.vc, got, c.want)
+		}
+	}
+}
+
+func TestDeadlineAware(t *testing.T) {
+	if Traditional2VC.DeadlineAware() {
+		t.Error("Traditional must not be deadline-aware")
+	}
+	for _, a := range []Arch{Ideal, Simple2VC, Advanced2VC} {
+		if !a.DeadlineAware() {
+			t.Errorf("%v must be deadline-aware", a)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, a := range All() {
+		got, err := Parse(a.Flag())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", a.Flag(), err)
+		}
+		if got != a {
+			t.Errorf("Parse(Flag(%v)) = %v", a, got)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse accepted bogus name")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() has %d entries, want the paper's 4", len(all))
+	}
+	if len(AllExtended()) != NumArchs {
+		t.Fatalf("AllExtended() has %d entries, want %d", len(AllExtended()), NumArchs)
+	}
+	if all[0] != Traditional2VC || all[1] != Ideal {
+		t.Error("All() order does not match the paper's presentation")
+	}
+}
+
+func TestTraditional4VCMapping(t *testing.T) {
+	a := Traditional4VC
+	if a.DeadlineAware() {
+		t.Error("Traditional4VC must not be deadline-aware")
+	}
+	if a.VCs() != 4 {
+		t.Errorf("VCs() = %d, want 4", a.VCs())
+	}
+	for c := packet.Class(0); c < packet.NumClasses; c++ {
+		if got := a.VCFor(c); got != packet.VC(c) {
+			t.Errorf("VCFor(%v) = %v, want VC%d", c, got, c)
+		}
+		if got := a.Discipline(packet.VC(c)); got != pqueue.FIFO {
+			t.Errorf("Discipline(VC%d) = %v, want fifo", c, got)
+		}
+	}
+}
+
+func TestTwoVCMappingsUnchanged(t *testing.T) {
+	for _, a := range All() {
+		if a.VCs() != 2 {
+			t.Errorf("%v VCs() = %d, want 2", a, a.VCs())
+		}
+		for c := packet.Class(0); c < packet.NumClasses; c++ {
+			if got := a.VCFor(c); got != packet.VCOf(c) {
+				t.Errorf("%v VCFor(%v) = %v, want %v", a, c, got, packet.VCOf(c))
+			}
+		}
+	}
+}
+
+func TestParseExtendedRoundTrip(t *testing.T) {
+	for _, a := range AllExtended() {
+		got, err := Parse(a.Flag())
+		if err != nil || got != a {
+			t.Errorf("Parse(Flag(%v)) = %v, %v", a, got, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package collective implements an MPI-style ring collective (the
+// communication pattern of the parallel applications the paper's
+// introduction motivates: "low-latency and contention-free interconnection
+// networks are demanded for the execution of parallel applications").
+//
+// The collective is a ring exchange à la ring-allreduce: in round r every
+// host h sends one chunk to host (h+1) mod N and may send round r+1 only
+// after receiving round r from (h-1) mod N. Completion time of the whole
+// collective is therefore gated by the *slowest* message of every round —
+// exactly the tail-latency metric deadline-based QoS protects when bulk
+// best-effort traffic shares the network.
+//
+// The driver runs on top of a built network.Network using its extension
+// surface: per-host flows registered through hostif, submissions issued
+// from delivery callbacks (all inside the single-threaded engine), and the
+// Trace hook for observation. It doubles as the reference example of
+// custom workload driving.
+package collective
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// FlowBase is the flow-id range used by collective flows; it is far above
+// anything the network's own provisioning allocates.
+const FlowBase packet.FlowID = 1 << 30
+
+// Config parameterises one ring collective.
+type Config struct {
+	// Chunk is the payload each host sends per round.
+	Chunk units.Size
+	// Rounds is the number of ring steps (0 selects N-1, a full
+	// reduce-scatter).
+	Rounds int
+	// Class is the traffic class collective messages travel as; Control
+	// (latency-critical, deadline = link rate) is the natural choice.
+	Class packet.Class
+	// StartAt is the oracle time round 0 is submitted.
+	StartAt units.Time
+}
+
+// Runner drives one collective over a network.
+type Runner struct {
+	cfg   Config
+	hosts int
+	parts int // packets per chunk
+	netw  *network.Network
+
+	recvd  []int // per host: rounds fully received
+	doneAt units.Time
+	done   bool
+}
+
+// Attach prepares a runner and hooks its delivery observer into the
+// network configuration (chaining any existing Trace callback). Call
+// before network.New, then Bind on the built network before Run.
+func Attach(cfg *network.Config, c Config) *Runner {
+	r := &Runner{cfg: c}
+	prev := cfg.Trace.Delivered
+	cfg.Trace.Delivered = func(p *packet.Packet, now units.Time) {
+		if prev != nil {
+			prev(p, now)
+		}
+		r.onDelivered(p, now)
+	}
+	return r
+}
+
+// Bind registers the collective's flows on the built network and schedules
+// round 0. Call exactly once, before Network.Run.
+func (r *Runner) Bind(n *network.Network) error {
+	if r.netw != nil {
+		return fmt.Errorf("collective: Bind called twice")
+	}
+	r.netw = n
+	r.hosts = n.Hosts()
+	if r.hosts < 2 {
+		return fmt.Errorf("collective: need at least 2 hosts")
+	}
+	if r.cfg.Chunk <= 0 {
+		return fmt.Errorf("collective: chunk size must be positive")
+	}
+	if r.cfg.Rounds <= 0 {
+		r.cfg.Rounds = r.hosts - 1
+	}
+	ncfg := n.ConfigValue()
+	maxPayload := ncfg.MTU - packet.HeaderSize
+	r.parts = int((r.cfg.Chunk + maxPayload - 1) / maxPayload)
+	r.recvd = make([]int, r.hosts)
+
+	for h := 0; h < r.hosts; h++ {
+		dst := (h + 1) % r.hosts
+		n.Host(h).AddFlow(&hostif.Flow{
+			ID: FlowBase + packet.FlowID(h), Class: r.cfg.Class, Src: h, Dst: dst,
+			Route: n.Admission().RouteBestEffort(h, dst, uint64(FlowBase)+uint64(h)),
+			Mode:  hostif.ByBandwidth, BW: ncfg.LinkBW,
+		})
+	}
+	n.Engine().At(r.cfg.StartAt, func() {
+		for h := 0; h < r.hosts; h++ {
+			n.Host(h).SubmitMessage(FlowBase+packet.FlowID(h), r.cfg.Chunk)
+		}
+	})
+	return nil
+}
+
+// onDelivered advances the ring: when host d has fully received round r it
+// may submit its round r+1 chunk.
+func (r *Runner) onDelivered(p *packet.Packet, now units.Time) {
+	if r.netw == nil || p.Flow < FlowBase || p.Flow >= FlowBase+packet.FlowID(r.hosts) {
+		return
+	}
+	if int(p.Seq)%r.parts != r.parts-1 {
+		return // not the chunk's last packet
+	}
+	round := int(p.Seq) / r.parts
+	d := p.Dst
+	r.recvd[d] = round + 1
+	if round+1 < r.cfg.Rounds {
+		r.netw.Host(d).SubmitMessage(FlowBase+packet.FlowID(d), r.cfg.Chunk)
+	}
+	if !r.done {
+		for _, got := range r.recvd {
+			if got < r.cfg.Rounds {
+				return
+			}
+		}
+		r.done = true
+		r.doneAt = now
+	}
+}
+
+// Done reports whether every host completed all rounds.
+func (r *Runner) Done() bool { return r.done }
+
+// CompletionTime returns the collective's duration (start to the last
+// delivery of the last round). Valid only when Done.
+func (r *Runner) CompletionTime() units.Time { return r.doneAt - r.cfg.StartAt }
+
+// MinRound returns the slowest host's completed round count (progress
+// diagnostics for collectives that did not finish in the window).
+func (r *Runner) MinRound() int {
+	if len(r.recvd) == 0 {
+		return 0
+	}
+	minv := r.recvd[0]
+	for _, v := range r.recvd[1:] {
+		if v < minv {
+			minv = v
+		}
+	}
+	return minv
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"testing"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+func sweepBase() network.Config {
+	cfg := network.SmallConfig()
+	cfg.WarmUp = 200 * units.Microsecond
+	cfg.Measure = 2 * units.Millisecond
+	return cfg
+}
+
+func TestSweepOrderAndCompleteness(t *testing.T) {
+	archs := []arch.Arch{arch.Ideal, arch.Advanced2VC}
+	loads := []float64{0.2, 0.5}
+	points := Sweep(sweepBase(), archs, loads, 4)
+	if len(points) != 4 {
+		t.Fatalf("sweep returned %d points, want 4", len(points))
+	}
+	// Deterministic order: arch-major, load-minor.
+	want := []struct {
+		a arch.Arch
+		l float64
+	}{{arch.Ideal, 0.2}, {arch.Ideal, 0.5}, {arch.Advanced2VC, 0.2}, {arch.Advanced2VC, 0.5}}
+	for i, p := range points {
+		if p.Err != nil {
+			t.Fatalf("point %d error: %v", i, p.Err)
+		}
+		if p.Arch != want[i].a || p.Load != want[i].l {
+			t.Fatalf("point %d = (%v, %v), want (%v, %v)", i, p.Arch, p.Load, want[i].a, want[i].l)
+		}
+		if p.Res == nil {
+			t.Fatalf("point %d has no results", i)
+		}
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	archs := []arch.Arch{arch.Advanced2VC}
+	loads := []float64{0.4, 0.8}
+	serial := Sweep(sweepBase(), archs, loads, 1)
+	parallel := Sweep(sweepBase(), archs, loads, 4)
+	for i := range serial {
+		a := serial[i].Res.PerClass[packet.Control].PacketLatency.Mean()
+		b := parallel[i].Res.PerClass[packet.Control].PacketLatency.Mean()
+		if a != b {
+			t.Fatalf("point %d differs between serial and parallel: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestByArch(t *testing.T) {
+	points := Sweep(sweepBase(), []arch.Arch{arch.Ideal, arch.Simple2VC}, []float64{0.2, 0.5}, 0)
+	m := ByArch(points)
+	if len(m) != 2 {
+		t.Fatalf("ByArch groups = %d, want 2", len(m))
+	}
+	for a, ps := range m {
+		if len(ps) != 2 {
+			t.Fatalf("%v has %d points, want 2", a, len(ps))
+		}
+		if ps[0].Load != 0.2 || ps[1].Load != 0.5 {
+			t.Fatalf("%v loads out of order", a)
+		}
+	}
+}
+
+func TestFirstErr(t *testing.T) {
+	bad := sweepBase()
+	bad.ControlDests = 0 // invalid: every run errors
+	points := Sweep(bad, []arch.Arch{arch.Ideal}, []float64{0.5}, 1)
+	if FirstErr(points) == nil {
+		t.Fatal("FirstErr missed the configuration error")
+	}
+	good := Sweep(sweepBase(), []arch.Arch{arch.Ideal}, []float64{0.5}, 1)
+	if err := FirstErr(good); err != nil {
+		t.Fatalf("FirstErr on clean sweep: %v", err)
+	}
+}
+
+func TestReplicateGroupsSeeds(t *testing.T) {
+	pts := Replicate(sweepBase(), []arch.Arch{arch.Advanced2VC}, []float64{0.3, 0.6},
+		[]uint64{1, 2, 3}, 2)
+	if len(pts) != 2 {
+		t.Fatalf("cells = %d, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatal(p.Err)
+		}
+		if len(p.Runs) != 3 {
+			t.Fatalf("runs = %d, want 3", len(p.Runs))
+		}
+		mean, std := p.MeanStd(func(r *network.Results) float64 {
+			return r.PerClass[packet.Control].PacketLatency.Mean()
+		})
+		if mean <= 0 {
+			t.Fatalf("mean latency = %v", mean)
+		}
+		if std < 0 {
+			t.Fatalf("negative std")
+		}
+		// Distinct seeds must actually vary the runs.
+		if p.Runs[0].SimEvents == p.Runs[1].SimEvents && p.Runs[1].SimEvents == p.Runs[2].SimEvents {
+			t.Fatal("all seeds produced identical event counts")
+		}
+	}
+}
+
+func TestReplicateDefaultsToBaseSeed(t *testing.T) {
+	pts := Replicate(sweepBase(), []arch.Arch{arch.Ideal}, []float64{0.4}, nil, 1)
+	if len(pts) != 1 || len(pts[0].Runs) != 1 {
+		t.Fatalf("unexpected shape: %d cells", len(pts))
+	}
+	if pts[0].Err != nil {
+		t.Fatal(pts[0].Err)
+	}
+}
+
+func TestReplicateRecordsErrors(t *testing.T) {
+	bad := sweepBase()
+	bad.ControlDests = 0
+	pts := Replicate(bad, []arch.Arch{arch.Ideal}, []float64{0.4}, []uint64{1}, 1)
+	if pts[0].Err == nil {
+		t.Fatal("configuration error not recorded")
+	}
+}

@@ -1,0 +1,428 @@
+// Package hostif models the end-host network interface, where all the
+// per-flow intelligence of the paper's architecture lives (§3, §3.1):
+//
+//   - Per-flow records hold the parameters needed to stamp deadlines; the
+//     switches never see them.
+//   - Deadline calculus: for most flows D(Pi) = max(D(Pi-1), Tnow) +
+//     L(Pi)/BWavg (a Virtual Clock). Control flows use the link bandwidth
+//     as BWavg (maximum priority); multimedia flows spread a configured
+//     target frame latency over the frame's packets: D(Pi) =
+//     max(D(Pi-1), Tnow) + target/Parts(F).
+//   - Eligible time: optionally a packet may not enter the network before
+//     deadline − lead (20 µs in the paper), smoothing multimedia bursts.
+//   - Injection queues (§3.2): in the regulated VC an eligible-time queue
+//     feeds a deadline-ordered ready queue; the best-effort VC is also
+//     deadline-ordered. Best-effort injects only when the regulated VC has
+//     nothing ready. Under the Traditional architectures the NIC instead
+//     keeps one FIFO per VC and injects packets as soon as possible.
+//
+// The receive side models a NIC that drains at line rate: packets are
+// delivered to the application immediately and credits return to the
+// upstream switch at once.
+package hostif
+
+import (
+	"fmt"
+	"math"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/link"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/pqueue"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+)
+
+// DeadlineMode selects how a flow computes packet deadlines (§3.1).
+type DeadlineMode uint8
+
+// Deadline computation modes.
+const (
+	// ByBandwidth: D += L/BWavg, the Virtual Clock rule. Control flows
+	// use the link bandwidth as BWavg.
+	ByBandwidth DeadlineMode = iota
+	// FrameLatency: D += targetLatency/Parts(F), giving every application
+	// frame the same latency budget regardless of its size.
+	FrameLatency
+)
+
+// Flow is a per-flow record kept at the sending host.
+type Flow struct {
+	ID       packet.FlowID
+	Class    packet.Class
+	Src, Dst int
+	Route    []int // fixed route: output port per switch hop
+
+	Mode   DeadlineMode
+	BW     units.Bandwidth // ByBandwidth: the reserved average bandwidth
+	Target units.Time      // FrameLatency: desired per-frame latency
+	// UseEligible delays injection until deadline − the host's lead time.
+	UseEligible bool
+
+	lastDeadline units.Time
+	seq          uint64
+}
+
+// IDSource hands out simulation-unique packet and frame identifiers. One
+// instance is shared by all hosts of a run (the engine is single-threaded).
+type IDSource struct {
+	pkt, frame uint64
+}
+
+// NextPacket returns a fresh packet id.
+func (s *IDSource) NextPacket() uint64 { s.pkt++; return s.pkt }
+
+// NextFrame returns a fresh frame id.
+func (s *IDSource) NextFrame() uint64 { s.frame++; return s.frame }
+
+// Hooks are the instrumentation callbacks a Host reports to (wired to the
+// stats collector). Any may be nil.
+type Hooks struct {
+	Generated func(p *packet.Packet)
+	Injected  func(p *packet.Packet, now units.Time)
+	Delivered func(p *packet.Packet, now units.Time)
+}
+
+// Config parameterises one host NIC.
+type Config struct {
+	Eng   *sim.Engine
+	Clock packet.Clock
+	ID    int
+	Arch  arch.Arch
+	// MTU is the maximum wire size of one packet, header included
+	// (2 KB in the paper's multimedia example).
+	MTU units.Size
+	// EligibleLead is the deadline-minus-eligible-time gap (20 µs in the
+	// paper). Zero disables eligible-time shaping globally.
+	EligibleLead units.Time
+	IDs          *IDSource
+	Hooks        Hooks
+}
+
+// hostQueueCap is the injection queue capacity: host memory, effectively
+// unbounded compared to switch buffers.
+const hostQueueCap = units.Size(math.MaxInt64 / 4)
+
+// Host is one end host: traffic sources submit application messages to it,
+// and it injects deadline-stamped packets into the network.
+type Host struct {
+	cfg Config
+	out *link.Link // toward the leaf switch
+
+	flows map[packet.FlowID]*Flow
+
+	// Regulated-VC staging: packets waiting for their eligible time,
+	// ordered by eligible time.
+	elig eligHeap
+	// Ready queues, one per VC: deadline-ordered for EDF architectures,
+	// FIFO for Traditional.
+	ready [packet.NumVCs]pqueue.Buffer
+
+	wake   sim.Handle // pending eligibility wake-up
+	wakeAt units.Time // oracle time the pending wake-up fires
+
+	upstream *link.Link // link feeding the receive side, for credit return
+
+	received uint64
+}
+
+// New returns a host NIC. Connect it with ConnectOut before submitting.
+func New(cfg Config) *Host {
+	h := &Host{cfg: cfg, flows: make(map[packet.FlowID]*Flow)}
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		if cfg.Arch.DeadlineAware() {
+			h.ready[vc] = pqueue.NewHeap(hostQueueCap, false)
+		} else {
+			h.ready[vc] = pqueue.NewFIFO(hostQueueCap, false)
+		}
+	}
+	return h
+}
+
+// ID returns the host index.
+func (h *Host) ID() int { return h.cfg.ID }
+
+// ConnectOut wires the injection link and hooks its readiness callback.
+func (h *Host) ConnectOut(l *link.Link) {
+	h.out = l
+	l.OnReady = func() { h.tryInject() }
+}
+
+// AddFlow registers a flow record. It panics on duplicate ids or a flow
+// not originating here, which indicate setup bugs.
+func (h *Host) AddFlow(f *Flow) {
+	if f.Src != h.cfg.ID {
+		panic(fmt.Sprintf("hostif: flow %d src %d registered at host %d", f.ID, f.Src, h.cfg.ID))
+	}
+	if _, dup := h.flows[f.ID]; dup {
+		panic(fmt.Sprintf("hostif: duplicate flow id %d", f.ID))
+	}
+	h.flows[f.ID] = f
+}
+
+// Flow returns the registered flow record for id, or nil.
+func (h *Host) Flow(id packet.FlowID) *Flow { return h.flows[id] }
+
+// SubmitMessage is called by a traffic source when the application emits a
+// message (a control message, a video frame, a best-effort burst unit) of
+// the given payload size on the given flow. The NIC segments it into MTU
+// packets, stamps deadlines and eligible times, and stages them for
+// injection.
+func (h *Host) SubmitMessage(flowID packet.FlowID, payload units.Size) {
+	f := h.flows[flowID]
+	if f == nil {
+		panic(fmt.Sprintf("hostif: submit on unknown flow %d", flowID))
+	}
+	if payload <= 0 {
+		panic(fmt.Sprintf("hostif: non-positive message size %v", payload))
+	}
+	now := h.cfg.Clock.Now()
+	oracleNow := h.cfg.Eng.Now()
+
+	maxPayload := h.cfg.MTU - packet.HeaderSize
+	parts := int((payload + maxPayload - 1) / maxPayload)
+	frameID := h.cfg.IDs.NextFrame()
+
+	remaining := payload
+	for i := 0; i < parts; i++ {
+		chunk := maxPayload
+		if remaining < chunk {
+			chunk = remaining
+		}
+		remaining -= chunk
+		p := &packet.Packet{
+			ID:         h.cfg.IDs.NextPacket(),
+			Flow:       f.ID,
+			Class:      f.Class,
+			VC:         h.cfg.Arch.VCFor(f.Class),
+			Src:        f.Src,
+			Dst:        f.Dst,
+			Size:       chunk + packet.HeaderSize,
+			Seq:        f.seq,
+			Route:      f.Route,
+			CreatedAt:  oracleNow,
+			FrameID:    frameID,
+			FrameParts: parts,
+		}
+		f.seq++
+
+		// Deadline calculus (§3.1).
+		base := f.lastDeadline
+		if now > base {
+			base = now
+		}
+		switch f.Mode {
+		case ByBandwidth:
+			p.Deadline = base + f.BW.TxTime(p.Size)
+		case FrameLatency:
+			p.Deadline = base + f.Target/units.Time(parts)
+		default:
+			panic("hostif: unknown deadline mode")
+		}
+		f.lastDeadline = p.Deadline
+
+		if f.UseEligible && h.cfg.EligibleLead > 0 {
+			p.Eligible = p.Deadline - h.cfg.EligibleLead
+		}
+
+		if h.cfg.Hooks.Generated != nil {
+			h.cfg.Hooks.Generated(p)
+		}
+		h.stage(p, now)
+	}
+	h.tryInject()
+}
+
+// stage places a freshly stamped packet into the eligibility or ready
+// queue. The Traditional architecture ignores eligible times (they are
+// part of the paper's proposal, not of PCI AS).
+func (h *Host) stage(p *packet.Packet, localNow units.Time) {
+	if h.cfg.Arch.DeadlineAware() && p.Eligible > localNow {
+		h.elig.push(p)
+		h.armWake()
+		return
+	}
+	h.ready[p.VC].Push(p)
+}
+
+// armWake schedules the next eligibility promotion event, replacing any
+// later pending wake-up when a newly staged packet becomes eligible first.
+func (h *Host) armWake() {
+	next := h.elig.minEligible()
+	if next == units.Infinity {
+		return
+	}
+	// Translate the local eligible time to the oracle clock the engine
+	// runs on.
+	at := next - h.cfg.Clock.Skew
+	if at < h.cfg.Eng.Now() {
+		at = h.cfg.Eng.Now()
+	}
+	if h.wake.Pending() {
+		if h.wakeAt <= at {
+			return
+		}
+		h.cfg.Eng.Cancel(h.wake)
+	}
+	h.wakeAt = at
+	h.wake = h.cfg.Eng.At(at, func() { h.tryInject() })
+}
+
+// promoteEligible moves packets whose eligible time has come into their
+// ready queue.
+func (h *Host) promoteEligible() {
+	now := h.cfg.Clock.Now()
+	for {
+		p := h.elig.peek()
+		if p == nil || p.Eligible > now {
+			break
+		}
+		h.elig.pop()
+		h.ready[p.VC].Push(p)
+	}
+	if h.elig.len() > 0 && !h.wake.Pending() {
+		h.armWake()
+	}
+}
+
+// tryInject transmits the next packet if the link permits (§3.2): the
+// regulated ready queue first; best-effort only when the regulated VC has
+// no transmittable packet (packets still waiting for eligibility do not
+// block best-effort). Under Traditional, the FIFO heads of both VCs are
+// offered in VC order (regulated classes first, matching a typical AS host
+// adapter configuration).
+func (h *Host) tryInject() {
+	if h.out == nil {
+		return
+	}
+	h.promoteEligible()
+	for h.out.Idle() {
+		sent := false
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			p := h.ready[vc].Head()
+			if p == nil || !h.out.CanSend(p) {
+				continue
+			}
+			h.ready[vc].Pop()
+			p.InjectedAt = h.cfg.Eng.Now()
+			if h.cfg.Hooks.Injected != nil {
+				h.cfg.Hooks.Injected(p, p.InjectedAt)
+			}
+			// TTD is stamped as of the moment the last byte leaves the
+			// NIC (see link.TxTime), keeping reconstructed deadlines free
+			// of size-dependent inflation.
+			p.PackTTD(h.cfg.Clock.Now() + h.out.TxTime(p))
+			h.out.Send(p)
+			sent = true
+			break
+		}
+		if !sent {
+			return
+		}
+	}
+}
+
+// Receive implements link.Receiver for the host's downlink: the NIC drains
+// at line rate, so the packet is delivered and credits return immediately.
+// The upstream link is identified per call via SetUpstream.
+func (h *Host) Receive(p *packet.Packet) {
+	p.UnpackTTD(h.cfg.Clock.Now())
+	h.received++
+	if h.upstream != nil {
+		h.upstream.ReturnCredits(p.VC, p.Size)
+	}
+	if h.cfg.Hooks.Delivered != nil {
+		h.cfg.Hooks.Delivered(p, h.cfg.Eng.Now())
+	}
+}
+
+// SetUpstream registers the link feeding the host's receive side so that
+// credits can be returned.
+func (h *Host) SetUpstream(l *link.Link) { h.upstream = l }
+
+// Pending returns the number of packets staged in the NIC (both queues),
+// for drain checks and diagnostics.
+func (h *Host) Pending() int {
+	n := h.elig.len()
+	for _, q := range h.ready {
+		n += q.Len()
+	}
+	return n
+}
+
+// Received returns the number of packets delivered to this host.
+func (h *Host) Received() uint64 { return h.received }
+
+// --- eligibility heap ----------------------------------------------------
+
+// eligHeap orders staged packets by eligible time (ties by packet id, for
+// determinism).
+type eligHeap struct {
+	items []*packet.Packet
+}
+
+func (e *eligHeap) len() int { return len(e.items) }
+
+func (e *eligHeap) less(i, j int) bool {
+	a, b := e.items[i], e.items[j]
+	if a.Eligible != b.Eligible {
+		return a.Eligible < b.Eligible
+	}
+	return a.ID < b.ID
+}
+
+func (e *eligHeap) push(p *packet.Packet) {
+	e.items = append(e.items, p)
+	i := len(e.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.items[i], e.items[parent] = e.items[parent], e.items[i]
+		i = parent
+	}
+}
+
+func (e *eligHeap) peek() *packet.Packet {
+	if len(e.items) == 0 {
+		return nil
+	}
+	return e.items[0]
+}
+
+func (e *eligHeap) minEligible() units.Time {
+	if len(e.items) == 0 {
+		return units.Infinity
+	}
+	return e.items[0].Eligible
+}
+
+func (e *eligHeap) pop() *packet.Packet {
+	n := len(e.items)
+	if n == 0 {
+		return nil
+	}
+	top := e.items[0]
+	e.items[0] = e.items[n-1]
+	e.items[n-1] = nil
+	e.items = e.items[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.less(l, small) {
+			small = l
+		}
+		if r < n && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.items[i], e.items[small] = e.items[small], e.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,119 @@
+// Package link models the point-to-point network links: serialisation at
+// the link bandwidth, propagation delay, and credit-based flow control.
+//
+// High-performance interconnects never drop packets: a sender may only
+// transmit when the downstream input buffer has guaranteed space, tracked
+// through per-VC credits (§2.2). A Link is directed; a bidirectional cable
+// is modelled as two Links. Credits are returned by the downstream element
+// as its input buffer drains and travel back with the same propagation
+// delay as data.
+//
+// Transfers are store-and-forward at packet granularity: the receiving
+// element sees the packet once its last byte has arrived. This adds one
+// serialisation delay per hop compared to the virtual cut-through some
+// hardware implements, a constant offset that does not change any of the
+// paper's comparisons (all four architectures pay it equally).
+package link
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+)
+
+// Receiver consumes packets at the downstream end of a link.
+type Receiver interface {
+	// Receive is called when the last byte of p has arrived.
+	Receive(p *packet.Packet)
+}
+
+// Link is a directed link with credit-based flow control. The upstream
+// element calls CanSend/Send; the downstream element calls ReturnCredits
+// as its input buffers drain.
+type Link struct {
+	eng  *sim.Engine
+	bw   units.Bandwidth
+	prop units.Time
+	dst  Receiver
+
+	busyUntil units.Time
+	credits   [packet.NumVCs]units.Size
+
+	// OnReady is invoked (possibly repeatedly) whenever transmission
+	// capacity appears: the link went idle or credits were returned.
+	// The upstream scheduler re-arbitrates in response.
+	OnReady func()
+
+	sent     uint64
+	sentSize units.Size
+}
+
+// New returns a link into dst with the given bandwidth, propagation delay,
+// and per-VC initial credits (the downstream input buffer capacity).
+func New(eng *sim.Engine, bw units.Bandwidth, prop units.Time, creditsPerVC units.Size, dst Receiver) *Link {
+	l := &Link{eng: eng, bw: bw, prop: prop, dst: dst}
+	for v := range l.credits {
+		l.credits[v] = creditsPerVC
+	}
+	return l
+}
+
+// Idle reports whether the link can start a new serialisation now.
+func (l *Link) Idle() bool { return l.eng.Now() >= l.busyUntil }
+
+// TxTime returns how long serialising p on this link takes. Senders use it
+// to stamp the TTD header field as of the moment the last byte leaves (see
+// packet.PackTTD): stamping at transmission start would inflate every
+// reconstructed deadline by the size-dependent serialisation time, which
+// breaks the within-flow deadline monotonicity the appendix's theorems
+// (and hence in-order delivery) rest on.
+func (l *Link) TxTime(p *packet.Packet) units.Time { return l.bw.TxTime(p.Size) }
+
+// Credits returns the available credit bytes for vc.
+func (l *Link) Credits(vc packet.VC) units.Size { return l.credits[vc] }
+
+// CanSend reports whether p can be transmitted right now: the link is idle
+// and the downstream buffer for p's VC has room. Per the paper's appendix,
+// callers must only ever test the single packet their dequeue discipline
+// designates — never "some other packet that happens to fit".
+func (l *Link) CanSend(p *packet.Packet) bool {
+	return l.Idle() && l.credits[p.VC] >= p.Size
+}
+
+// Send transmits p. It panics if CanSend is false: the caller's
+// arbitration logic must have checked.
+func (l *Link) Send(p *packet.Packet) {
+	if !l.CanSend(p) {
+		panic(fmt.Sprintf("link: Send without CanSend (idle=%v credits=%v pkt=%v)",
+			l.Idle(), l.credits[p.VC], p))
+	}
+	l.credits[p.VC] -= p.Size
+	tx := l.bw.TxTime(p.Size)
+	l.busyUntil = l.eng.Now() + tx
+	l.sent++
+	l.sentSize += p.Size
+	// The link frees after serialisation; the packet lands prop later.
+	l.eng.After(tx, func() {
+		if l.OnReady != nil {
+			l.OnReady()
+		}
+	})
+	l.eng.After(tx+l.prop, func() { l.dst.Receive(p) })
+}
+
+// ReturnCredits is called by the downstream element when size bytes of its
+// vc input buffer drain. The credit update reaches the sender after the
+// reverse propagation delay.
+func (l *Link) ReturnCredits(vc packet.VC, size units.Size) {
+	l.eng.After(l.prop, func() {
+		l.credits[vc] += size
+		if l.OnReady != nil {
+			l.OnReady()
+		}
+	})
+}
+
+// Sent returns the packet and byte counts transmitted so far.
+func (l *Link) Sent() (packets uint64, bytes units.Size) { return l.sent, l.sentSize }

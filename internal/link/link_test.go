@@ -1,0 +1,199 @@
+package link
+
+import (
+	"testing"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+)
+
+type sink struct {
+	got   []*packet.Packet
+	times []units.Time
+	eng   *sim.Engine
+}
+
+func (s *sink) Receive(p *packet.Packet) {
+	s.got = append(s.got, p)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func pkt(id uint64, cl packet.Class, size units.Size) *packet.Packet {
+	return &packet.Packet{ID: id, Class: cl, VC: packet.VCOf(cl), Size: size}
+}
+
+func TestSendTiming(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 20, 8*units.Kilobyte, s) // 1 B/cycle, 20-cycle prop
+	eng.At(100, func() { l.Send(pkt(1, packet.Control, 256)) })
+	eng.Drain()
+	if len(s.got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.got))
+	}
+	// 100 (start) + 256 (serialisation) + 20 (propagation) = 376.
+	if s.times[0] != 376 {
+		t.Fatalf("delivery at %v, want 376", s.times[0])
+	}
+}
+
+func TestLinkBusyDuringSerialisation(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 0, 8*units.Kilobyte, s)
+	eng.At(0, func() {
+		l.Send(pkt(1, packet.Control, 100))
+		if l.Idle() {
+			t.Error("link idle immediately after Send")
+		}
+	})
+	eng.At(99, func() {
+		if l.Idle() {
+			t.Error("link idle one cycle before serialisation ends")
+		}
+	})
+	eng.At(100, func() {
+		if !l.Idle() {
+			t.Error("link not idle after serialisation")
+		}
+	})
+	eng.Drain()
+}
+
+func TestCreditsDecrementAndBlock(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 0, 300, s) // tiny buffer: 300 bytes per VC
+	eng.At(0, func() {
+		p := pkt(1, packet.Control, 200)
+		if !l.CanSend(p) {
+			t.Error("CanSend false with full credits")
+		}
+		l.Send(p)
+		if l.Credits(packet.VCRegulated) != 100 {
+			t.Errorf("credits = %v, want 100", l.Credits(packet.VCRegulated))
+		}
+	})
+	eng.At(500, func() {
+		// Link is idle but only 100 credits remain: a 200-byte packet
+		// must be blocked, a 100-byte one may pass.
+		if l.CanSend(pkt(2, packet.Control, 200)) {
+			t.Error("CanSend true beyond credits")
+		}
+		if !l.CanSend(pkt(3, packet.Control, 100)) {
+			t.Error("CanSend false within credits")
+		}
+	})
+	eng.Drain()
+}
+
+func TestCreditsArePerVC(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 0, 300, s)
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 300)) })
+	eng.At(400, func() {
+		// Regulated VC exhausted; best-effort VC must be unaffected.
+		if l.CanSend(pkt(2, packet.Multimedia, 100)) {
+			t.Error("regulated VC credits not exhausted")
+		}
+		if !l.CanSend(pkt(3, packet.BestEffort, 100)) {
+			t.Error("best-effort VC wrongly blocked")
+		}
+	})
+	eng.Drain()
+}
+
+func TestReturnCreditsDelayed(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 50, 300, s)
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 300)) })
+	eng.At(1000, func() { l.ReturnCredits(packet.VCRegulated, 300) })
+	eng.At(1049, func() {
+		if l.Credits(packet.VCRegulated) != 0 {
+			t.Error("credits returned before reverse propagation delay")
+		}
+	})
+	eng.At(1051, func() {
+		if l.Credits(packet.VCRegulated) != 300 {
+			t.Errorf("credits = %v after return, want 300", l.Credits(packet.VCRegulated))
+		}
+	})
+	eng.Drain()
+}
+
+func TestOnReadyFiresOnIdleAndCredits(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 10, units.Kilobyte, s)
+	ready := 0
+	l.OnReady = func() { ready++ }
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 100)) })
+	eng.At(500, func() { l.ReturnCredits(packet.VCRegulated, 100) })
+	eng.Drain()
+	if ready != 2 {
+		t.Fatalf("OnReady fired %d times, want 2 (idle + credit return)", ready)
+	}
+}
+
+func TestSendWithoutCreditsPanics(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 0, 50, s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send beyond credits did not panic")
+		}
+	}()
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 100)) })
+	eng.Drain()
+}
+
+func TestHalfRateLink(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 0.5, 0, units.Kilobyte, s) // 4 Gb/s
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 100)) })
+	eng.Drain()
+	if s.times[0] != 200 {
+		t.Fatalf("half-rate delivery at %v, want 200", s.times[0])
+	}
+}
+
+func TestSentCounters(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 0, units.Kilobyte, s)
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 100)) })
+	eng.At(200, func() { l.Send(pkt(2, packet.BestEffort, 50)) })
+	eng.Drain()
+	n, b := l.Sent()
+	if n != 2 || b != 150 {
+		t.Fatalf("Sent() = %d,%v; want 2,150", n, b)
+	}
+}
+
+func TestBackToBackPackets(t *testing.T) {
+	// Two packets sent as soon as the link frees must arrive exactly one
+	// serialisation apart.
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 30, units.Kilobyte, s)
+	second := pkt(2, packet.Control, 100)
+	l.OnReady = func() {
+		if l.CanSend(second) && second.Hop == 0 {
+			second.Hop = -1 // mark sent (abuse of field local to this test)
+			l.Send(second)
+		}
+	}
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 100)) })
+	eng.Drain()
+	if len(s.got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.got))
+	}
+	if s.times[1]-s.times[0] != 100 {
+		t.Fatalf("inter-arrival %v, want 100 (one serialisation)", s.times[1]-s.times[0])
+	}
+}

@@ -1,0 +1,229 @@
+// Package network assembles complete simulations: it builds the topology,
+// switches, host NICs, links and traffic sources from a Config, runs the
+// discrete-event engine through a warm-up and a measurement window, and
+// returns the collected per-class metrics.
+//
+// This is the public entry point of the library: examples, command-line
+// tools and the benchmark harness all call network.Run.
+package network
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/traffic"
+	"deadlineqos/internal/units"
+)
+
+// Config describes one simulation run. The zero value is not runnable; use
+// DefaultConfig (the paper's §4.1 parameters) and override what the
+// experiment varies.
+type Config struct {
+	// Topology of the network. DefaultConfig uses the paper's 128-endpoint
+	// folded perfect-shuffle MIN built from 16-port switches.
+	Topology topology.Topology
+	// Arch selects the switch architecture under test.
+	Arch arch.Arch
+
+	// LinkBW is the link bandwidth in bytes per cycle (1.0 = 8 Gb/s).
+	LinkBW units.Bandwidth
+	// PropDelay is the per-link propagation delay.
+	PropDelay units.Time
+	// BufPerVC is the switch buffer capacity per (port, VC).
+	BufPerVC units.Size
+	// MTU is the maximum packet wire size, header included.
+	MTU units.Size
+	// XbarBW is the per-port crossbar bandwidth (0 = link rate).
+	XbarBW units.Bandwidth
+
+	// Seed drives every random stream of the run.
+	Seed uint64
+	// Load is the total offered load per host as a fraction of its link.
+	Load float64
+	// ClassShare splits Load across the four classes (Table 1: 25% each).
+	ClassShare [packet.NumClasses]float64
+
+	// WarmUp and Measure delimit the measurement window.
+	WarmUp, Measure units.Time
+
+	// EligibleLead is deadline − eligible time (20 µs in §3.1); zero
+	// disables eligible-time shaping.
+	EligibleLead units.Time
+	// VideoTarget is the desired per-frame latency (10 ms in §3.1).
+	VideoTarget units.Time
+	// VideoPeriod is the frame cadence (40 ms).
+	VideoPeriod units.Time
+	// GoP is the MPEG frame-size model.
+	GoP traffic.GoP
+	// VideoTraceFrames, when non-empty, makes every video stream replay
+	// this recorded frame-size trace (see traffic.LoadFrameTrace) instead
+	// of sampling the GoP model — the paper transmits actual MPEG-4
+	// traces.
+	VideoTraceFrames []units.Size
+
+	// ControlDests / BEDests set how many destinations each host spreads
+	// its control and best-effort flows over.
+	ControlDests, BEDests int
+
+	// BEWeight and BGWeight scale the deadline-bandwidth of the two
+	// best-effort classes' aggregated flows: the knob §5 uses to
+	// differentiate classes within the best-effort VC (Figure 4).
+	BEWeight, BGWeight float64
+
+	// TrackOrderErrors enables the order-error oracle in all buffers.
+	TrackOrderErrors bool
+	// ClockSkewMax draws each node's clock skew uniformly from
+	// [-ClockSkewMax, +ClockSkewMax] (0 = perfectly synchronised).
+	ClockSkewMax units.Time
+
+	// DegradedLinks derates individual switch output links: the data
+	// plane runs them at Scale x LinkBW and the admission controller
+	// routes regulated flows around them. Models failing cables or
+	// operator-imposed caps.
+	DegradedLinks []DegradedLink
+
+	// Trace, when set, receives every packet event in addition to the
+	// statistics collector: generation (deadline freshly stamped),
+	// injection (first byte on the wire) and delivery (arrival at the
+	// destination NIC). Packet pointers are live simulator objects —
+	// copy what you keep.
+	Trace Trace
+
+	// HotspotFraction, when positive, skews the best-effort workload so
+	// that roughly this fraction of every host's best-effort bursts heads
+	// to HotspotHost — the classic hotspot stress pattern. Regulated
+	// traffic is unaffected by construction; the experiment is whether
+	// the architecture keeps it unaffected in the network too.
+	HotspotFraction float64
+	// HotspotHost is the hotspot destination (used when HotspotFraction > 0).
+	HotspotHost int
+
+	// VCArbitrationTable overrides the Traditional architecture's
+	// weighted table (nil = 3 regulated slots : 1 best-effort slot).
+	// Entry counts define the bandwidth weights, as in the PCI AS and
+	// InfiniBand arbitration tables. Deadline-aware architectures ignore
+	// it.
+	VCArbitrationTable []packet.VC
+}
+
+// Trace is a set of optional packet-event callbacks.
+type Trace struct {
+	Generated func(p *packet.Packet)
+	Injected  func(p *packet.Packet, now units.Time)
+	Delivered func(p *packet.Packet, now units.Time)
+}
+
+// DegradedLink identifies one derated switch output link.
+type DegradedLink struct {
+	Switch, Port int
+	Scale        float64 // (0, 1]: fraction of nominal bandwidth remaining
+}
+
+// DefaultConfig returns the paper's evaluation parameters (§4.1, §4.2) on
+// the 128-endpoint MIN.
+func DefaultConfig() Config {
+	return Config{
+		Topology:     topology.PaperMIN(),
+		Arch:         arch.Advanced2VC,
+		LinkBW:       units.GbpsToBandwidth(8),
+		PropDelay:    20 * units.Nanosecond,
+		BufPerVC:     8 * units.Kilobyte,
+		MTU:          2 * units.Kilobyte,
+		Seed:         1,
+		Load:         1.0,
+		ClassShare:   [packet.NumClasses]float64{0.25, 0.25, 0.25, 0.25},
+		WarmUp:       5 * units.Millisecond,
+		Measure:      50 * units.Millisecond,
+		EligibleLead: 20 * units.Microsecond,
+		VideoTarget:  10 * units.Millisecond,
+		VideoPeriod:  40 * units.Millisecond,
+		GoP:          traffic.DefaultGoP(),
+		ControlDests: 8,
+		BEDests:      8,
+		BEWeight:     2.0,
+		BGWeight:     0.5,
+	}
+}
+
+// SmallConfig returns a scaled-down configuration (16 endpoints on a
+// single-stage... rather a 2-level folded Clos of 4-port switches) for
+// fast unit tests and the Go benchmark harness, keeping all qualitative
+// behaviours of the full network.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	clos, err := topology.NewFoldedClos(4, 4, 4) // 16 hosts, 8-port switches
+	if err != nil {
+		panic(err)
+	}
+	cfg.Topology = clos
+	cfg.WarmUp = 2 * units.Millisecond
+	cfg.Measure = 20 * units.Millisecond
+	cfg.ControlDests = 4
+	cfg.BEDests = 4
+	return cfg
+}
+
+// validate fills defaults and rejects inconsistent configurations.
+func (cfg *Config) validate() error {
+	if cfg.Topology == nil {
+		return fmt.Errorf("network: no topology configured")
+	}
+	if cfg.Topology.Hosts() < 2 {
+		return fmt.Errorf("network: topology needs at least 2 hosts")
+	}
+	if cfg.LinkBW <= 0 {
+		return fmt.Errorf("network: link bandwidth %v must be positive", cfg.LinkBW)
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return fmt.Errorf("network: load %v out of [0, 1]", cfg.Load)
+	}
+	var share float64
+	for _, s := range cfg.ClassShare {
+		if s < 0 {
+			return fmt.Errorf("network: negative class share")
+		}
+		share += s
+	}
+	if share > 1+1e-9 {
+		return fmt.Errorf("network: class shares sum to %v > 1", share)
+	}
+	if cfg.MTU <= packet.HeaderSize {
+		return fmt.Errorf("network: MTU %v not larger than header %v", cfg.MTU, packet.HeaderSize)
+	}
+	if cfg.BufPerVC < cfg.MTU {
+		return fmt.Errorf("network: buffer per VC %v smaller than MTU %v", cfg.BufPerVC, cfg.MTU)
+	}
+	if cfg.Measure <= 0 {
+		return fmt.Errorf("network: measurement window %v must be positive", cfg.Measure)
+	}
+	if cfg.ControlDests <= 0 || cfg.BEDests <= 0 {
+		return fmt.Errorf("network: destination fan-outs must be positive")
+	}
+	if cfg.ControlDests >= cfg.Topology.Hosts() || cfg.BEDests >= cfg.Topology.Hosts() {
+		return fmt.Errorf("network: destination fan-out exceeds host count")
+	}
+	if cfg.BEWeight <= 0 || cfg.BGWeight <= 0 {
+		return fmt.Errorf("network: best-effort weights must be positive")
+	}
+	if cfg.VideoPeriod <= 0 || cfg.VideoTarget <= 0 {
+		return fmt.Errorf("network: video period and target must be positive")
+	}
+	if cfg.HotspotFraction < 0 || cfg.HotspotFraction >= 1 {
+		return fmt.Errorf("network: hotspot fraction %v out of [0, 1)", cfg.HotspotFraction)
+	}
+	if cfg.HotspotFraction > 0 && (cfg.HotspotHost < 0 || cfg.HotspotHost >= cfg.Topology.Hosts()) {
+		return fmt.Errorf("network: hotspot host %d not in topology", cfg.HotspotHost)
+	}
+	for _, d := range cfg.DegradedLinks {
+		if d.Scale <= 0 || d.Scale > 1 {
+			return fmt.Errorf("network: degraded link scale %v out of (0,1]", d.Scale)
+		}
+		if d.Switch < 0 || d.Switch >= cfg.Topology.Switches() ||
+			d.Port < 0 || d.Port >= cfg.Topology.Radix(d.Switch) {
+			return fmt.Errorf("network: degraded link (%d,%d) not in topology", d.Switch, d.Port)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package network
+
+// Simulation fuzzing: randomised full-stack runs over every architecture
+// and a range of topologies, checking the global invariants no single-run
+// test can promise: packet conservation, per-flow in-order delivery, and
+// the flow-control guarantee that nothing ever overflows (overflow panics
+// inside the switch model would fail these runs).
+
+import (
+	"fmt"
+	"testing"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/units"
+)
+
+// fuzzTopologies builds the small networks the fuzz matrix runs on.
+func fuzzTopologies(t *testing.T) map[string]topology.Topology {
+	t.Helper()
+	clos, err := topology.NewFoldedClos(4, 4, 2) // 16 hosts, oversubscribed 2:1
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := topology.NewKAryNTree(2, 3) // 8 hosts, 3 stages
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := topology.NewMesh2D(3, 3, 2) // 18 hosts, direct network
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]topology.Topology{
+		"clos-oversub": clos,
+		"tree-3stage":  tree,
+		"mesh-3x3":     mesh,
+	}
+}
+
+func TestFuzzMatrixInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz matrix is slow")
+	}
+	for name, topo := range fuzzTopologies(t) {
+		for _, a := range arch.All() {
+			for seed := uint64(1); seed <= 2; seed++ {
+				label := fmt.Sprintf("%s/%s/seed%d", name, a.Flag(), seed)
+				cfg := DefaultConfig()
+				cfg.Topology = topo
+				cfg.Arch = a
+				cfg.Seed = seed
+				cfg.Load = 0.9
+				cfg.WarmUp = 200 * units.Microsecond
+				cfg.Measure = 2 * units.Millisecond
+				cfg.ControlDests = 3
+				cfg.BEDests = 3
+
+				var delivered, generated int
+				lastSeq := map[packet.FlowID]int64{}
+				reorders := 0
+				cfg.Trace.Generated = func(*packet.Packet) { generated++ }
+				cfg.Trace.Delivered = func(p *packet.Packet, _ units.Time) {
+					delivered++
+					if last, ok := lastSeq[p.Flow]; ok && int64(p.Seq) <= last {
+						reorders++
+					}
+					lastSeq[p.Flow] = int64(p.Seq)
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					// The oversubscribed Clos may reject the video
+					// reservations at high load: a correct admission
+					// outcome, not a failure — rerun at lower load.
+					cfg.Load = 0.4
+					res, err = Run(cfg)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+				if reorders > 0 {
+					t.Errorf("%s: %d out-of-order deliveries", label, reorders)
+				}
+				if delivered == 0 || generated == 0 {
+					t.Errorf("%s: no traffic (gen=%d dlvr=%d)", label, generated, delivered)
+				}
+				if delivered > generated {
+					t.Errorf("%s: delivered %d > generated %d", label, delivered, generated)
+				}
+				// Throughput can never exceed the physical aggregate.
+				var thru float64
+				for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
+					thru += res.Throughput(cl)
+				}
+				if thru > 1.0 {
+					t.Errorf("%s: aggregate throughput %.2f > 1", label, thru)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package network
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/admission"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/link"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/stats"
+	"deadlineqos/internal/switchsim"
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/traffic"
+	"deadlineqos/internal/units"
+	"deadlineqos/internal/xrand"
+)
+
+// Results carries everything measured during one run.
+type Results struct {
+	Config Config
+	*stats.Collector
+
+	// Aggregate switch instrumentation.
+	OrderErrors   uint64
+	TakeOvers     uint64
+	XbarTransfers uint64
+	LinkSends     uint64
+
+	// SimEvents is the number of engine events executed (cost metric).
+	SimEvents uint64
+	// PendingAtHorizon counts packets still queued anywhere when the
+	// measurement window closed (a saturation indicator).
+	PendingAtHorizon int
+	// VideoStreamsPerHost records the provisioned multimedia fan-out.
+	VideoStreamsPerHost int
+}
+
+// Network is a fully wired simulation. Build one with New, then call Run,
+// or use the package-level Run convenience for the whole lifecycle.
+type Network struct {
+	cfg          Config
+	eng          *sim.Engine
+	topo         topology.Topology
+	hosts        []*hostif.Host
+	switches     []*switchsim.Switch
+	sources      []traffic.Source
+	collect      *stats.Collector
+	adm          *admission.Controller
+	videoPerHost int
+}
+
+// New builds and wires a network from cfg without starting it.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, eng: sim.New(), topo: cfg.Topology}
+	n.collect = stats.NewCollector(n.topo.Hosts(), cfg.LinkBW, cfg.WarmUp, cfg.WarmUp+cfg.Measure)
+
+	rng := xrand.New(cfg.Seed)
+	skewRng := rng.Split(0xc10c)
+	skew := func() units.Time {
+		if cfg.ClockSkewMax <= 0 {
+			return 0
+		}
+		return units.Time(skewRng.UniformInt(-int64(cfg.ClockSkewMax), int64(cfg.ClockSkewMax)))
+	}
+
+	// Switches.
+	for sw := 0; sw < n.topo.Switches(); sw++ {
+		n.switches = append(n.switches, switchsim.New(switchsim.Config{
+			Eng:              n.eng,
+			Clock:            packet.Clock{Base: n.eng.Now, Skew: skew()},
+			ID:               sw,
+			Radix:            n.topo.Radix(sw),
+			Arch:             cfg.Arch,
+			BufPerVC:         cfg.BufPerVC,
+			XbarBW:           cfg.XbarBW,
+			TrackOrderErrors: cfg.TrackOrderErrors,
+			VCTable:          cfg.VCArbitrationTable,
+		}))
+	}
+
+	// Hosts, reporting into the collector.
+	ids := &hostif.IDSource{}
+	hooks := hostif.Hooks{
+		Generated: n.collect.PacketGenerated,
+		Injected:  n.collect.PacketInjected,
+		Delivered: n.collect.PacketDelivered,
+	}
+	if t := cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
+		base := hooks
+		hooks = hostif.Hooks{
+			Generated: func(p *packet.Packet) {
+				base.Generated(p)
+				if t.Generated != nil {
+					t.Generated(p)
+				}
+			},
+			Injected: func(p *packet.Packet, now units.Time) {
+				base.Injected(p, now)
+				if t.Injected != nil {
+					t.Injected(p, now)
+				}
+			},
+			Delivered: func(p *packet.Packet, now units.Time) {
+				base.Delivered(p, now)
+				if t.Delivered != nil {
+					t.Delivered(p, now)
+				}
+			},
+		}
+	}
+	for h := 0; h < n.topo.Hosts(); h++ {
+		n.hosts = append(n.hosts, hostif.New(hostif.Config{
+			Eng:          n.eng,
+			Clock:        packet.Clock{Base: n.eng.Now, Skew: skew()},
+			ID:           h,
+			Arch:         cfg.Arch,
+			MTU:          cfg.MTU,
+			EligibleLead: cfg.EligibleLead,
+			IDs:          ids,
+			Hooks:        hooks,
+		}))
+	}
+
+	n.wire()
+
+	adm, err := admission.New(n.topo, cfg.LinkBW, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range cfg.DegradedLinks {
+		adm.DerateLink(d.Switch, d.Port, d.Scale)
+	}
+	n.adm = adm
+	if err := n.provisionFlows(rng); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// wire creates every link of the topology: host<->leaf in both directions
+// and switch<->switch (each wired once, from the lower (switch, port)).
+func (n *Network) wire() {
+	cfg := n.cfg
+	degraded := make(map[[2]int]float64, len(cfg.DegradedLinks))
+	for _, d := range cfg.DegradedLinks {
+		degraded[[2]int{d.Switch, d.Port}] = d.Scale
+	}
+	outBW := func(sw, port int) units.Bandwidth {
+		if s, ok := degraded[[2]int{sw, port}]; ok {
+			return units.Bandwidth(float64(cfg.LinkBW) * s)
+		}
+		return cfg.LinkBW
+	}
+	for sw := 0; sw < n.topo.Switches(); sw++ {
+		s := n.switches[sw]
+		for p := 0; p < n.topo.Radix(sw); p++ {
+			peer := n.topo.Peer(sw, p)
+			if peer.ID == -1 {
+				continue // unwired port
+			}
+			if peer.IsHost {
+				h := n.hosts[peer.ID]
+				// Switch -> host (ejection).
+				down := link.New(n.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, h)
+				s.ConnectDownstream(p, down)
+				h.SetUpstream(down)
+				// Host -> switch (injection).
+				up := link.New(n.eng, cfg.LinkBW, cfg.PropDelay, cfg.BufPerVC, s.InputReceiver(p))
+				h.ConnectOut(up)
+				s.ConnectUpstream(p, up)
+				continue
+			}
+			// Switch-to-switch: create the sw->peer direction from this
+			// side; the peer->sw direction is created when iterating the
+			// peer. Each direction is thus created exactly once.
+			other := n.switches[peer.ID]
+			l := link.New(n.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, other.InputReceiver(peer.Port))
+			s.ConnectDownstream(p, l)
+			other.ConnectUpstream(peer.Port, l)
+		}
+	}
+}
+
+// destinations returns count destinations for host h, spread
+// deterministically around the network (never h itself).
+func destinations(h, hosts, count int, rng *xrand.Rand) []int {
+	dsts := make([]int, 0, count)
+	stride := hosts / count
+	if stride == 0 {
+		stride = 1
+	}
+	start := rng.Intn(hosts)
+	for i := 0; len(dsts) < count && i < hosts; i++ {
+		d := (start + i*stride + i) % hosts
+		if d == h {
+			continue
+		}
+		dup := false
+		for _, e := range dsts {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dsts = append(dsts, d)
+		}
+	}
+	// Fall back to linear fill if the strided walk collided too much.
+	for d := 0; len(dsts) < count; d = (d + 1) % hosts {
+		if d == h {
+			continue
+		}
+		dup := false
+		for _, e := range dsts {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dsts = append(dsts, d)
+		}
+	}
+	return dsts
+}
+
+// provisionFlows creates all flow records, reserves regulated bandwidth
+// through admission control, and instantiates the traffic sources.
+func (n *Network) provisionFlows(rng *xrand.Rand) error {
+	cfg := n.cfg
+	hosts := n.topo.Hosts()
+	var nextFlow packet.FlowID
+
+	classRate := func(cl packet.Class) units.Bandwidth {
+		return units.Bandwidth(cfg.Load * cfg.ClassShare[cl] * float64(cfg.LinkBW))
+	}
+
+	// Multimedia provisioning: each stream carries the model's mean rate;
+	// the stream count fills the class share.
+	streamRate := cfg.GoP.MeanRate(cfg.VideoPeriod)
+	if len(cfg.VideoTraceFrames) > 0 {
+		var sum units.Size
+		for _, f := range cfg.VideoTraceFrames {
+			sum += f
+		}
+		streamRate = units.Bandwidth(float64(sum) / float64(len(cfg.VideoTraceFrames)) / float64(cfg.VideoPeriod))
+	}
+	videoPerHost := 0
+	if vr := classRate(packet.Multimedia); vr > 0 {
+		videoPerHost = int(float64(vr)/float64(streamRate) + 0.5)
+		if videoPerHost == 0 {
+			videoPerHost = 1
+		}
+	}
+	n.videoPerHost = videoPerHost
+
+	for h := 0; h < hosts; h++ {
+		host := n.hosts[h]
+		hostRng := rng.Split(uint64(h) + 1)
+
+		// Control flows: no admission (BWavg = link bandwidth gives them
+		// maximum priority), fixed hash-balanced routes.
+		if classRate(packet.Control) > 0 {
+			var ctl []packet.FlowID
+			for _, d := range destinations(h, hosts, cfg.ControlDests, hostRng) {
+				nextFlow++
+				host.AddFlow(&hostif.Flow{
+					ID: nextFlow, Class: packet.Control, Src: h, Dst: d,
+					Route: n.adm.RouteBestEffort(h, d, uint64(nextFlow)),
+					Mode:  hostif.ByBandwidth, BW: cfg.LinkBW,
+				})
+				ctl = append(ctl, nextFlow)
+			}
+			n.sources = append(n.sources, traffic.NewControl(traffic.ControlConfig{
+				Eng: n.eng, Host: host, Rng: hostRng.Split(1), Flows: ctl,
+				Rate: classRate(packet.Control), MinMsg: 128, MaxMsg: 2 * units.Kilobyte,
+			}))
+		}
+
+		// Multimedia streams: reserved through admission control, shaped
+		// by eligible time, frame-latency deadlines.
+		for v := 0; v < videoPerHost; v++ {
+			d := destinations(h, hosts, 1, hostRng)[0]
+			route, _, err := n.adm.Reserve(h, d, streamRate)
+			if err != nil {
+				return fmt.Errorf("network: video stream %d of host %d: %w", v, h, err)
+			}
+			nextFlow++
+			host.AddFlow(&hostif.Flow{
+				ID: nextFlow, Class: packet.Multimedia, Src: h, Dst: d,
+				Route: route, Mode: hostif.FrameLatency, Target: cfg.VideoTarget,
+				UseEligible: true,
+			})
+			if len(cfg.VideoTraceFrames) > 0 {
+				n.sources = append(n.sources, traffic.NewVideoTrace(traffic.VideoTraceConfig{
+					Eng: n.eng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
+					Flow: nextFlow, Period: cfg.VideoPeriod, Frames: cfg.VideoTraceFrames,
+				}))
+			} else {
+				n.sources = append(n.sources, traffic.NewVideo(traffic.VideoConfig{
+					Eng: n.eng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
+					Flow: nextFlow, Period: cfg.VideoPeriod, GoP: cfg.GoP,
+				}))
+			}
+		}
+
+		// Best-effort and background: aggregated flows per destination
+		// with weighted deadline bandwidths (Figure 4's differentiation
+		// knob), no reservation.
+		for _, cl := range []packet.Class{packet.BestEffort, packet.Background} {
+			rate := classRate(cl)
+			if rate <= 0 {
+				continue
+			}
+			weight := cfg.BEWeight
+			if cl == packet.Background {
+				weight = cfg.BGWeight
+			}
+			dsts := destinations(h, hosts, cfg.BEDests, hostRng)
+			if cfg.HotspotFraction > 0 && cfg.HotspotHost != h {
+				// Make sure the hotspot destination is among the flows.
+				present := false
+				for _, d := range dsts {
+					if d == cfg.HotspotHost {
+						present = true
+						break
+					}
+				}
+				if !present {
+					dsts[0] = cfg.HotspotHost
+				}
+			}
+			var flows []packet.FlowID
+			var hotFlow packet.FlowID
+			for _, d := range dsts {
+				nextFlow++
+				host.AddFlow(&hostif.Flow{
+					ID: nextFlow, Class: cl, Src: h, Dst: d,
+					Route: n.adm.RouteBestEffort(h, d, uint64(nextFlow)),
+					Mode:  hostif.ByBandwidth,
+					BW:    units.Bandwidth(weight * float64(rate) / float64(cfg.BEDests)),
+				})
+				flows = append(flows, nextFlow)
+				if d == cfg.HotspotHost {
+					hotFlow = nextFlow
+				}
+			}
+			if f := cfg.HotspotFraction; f > 0 && hotFlow != 0 {
+				// The source picks bursts uniformly over the flow slice.
+				// The hotspot flow already holds 1 of n slots; k extra
+				// copies give it weight (1+k)/(n+k) = f, i.e.
+				// k = (f*n - 1)/(1 - f).
+				k := int((f*float64(len(flows))-1)/(1-f) + 0.5)
+				for i := 0; i < k; i++ {
+					flows = append(flows, hotFlow)
+				}
+			}
+			n.sources = append(n.sources, traffic.NewSelfSimilar(traffic.SelfSimilarConfig{
+				Eng: n.eng, Host: host, Rng: hostRng.Split(uint64(200 + int(cl))),
+				Flows: flows, Rate: rate,
+				MinFrame: 128, MaxFrame: 100 * units.Kilobyte,
+				SizeAlpha: 1.3, BurstAlpha: 1.5,
+			}))
+		}
+	}
+	return nil
+}
+
+// Engine exposes the simulation engine (examples drive custom scenarios
+// through it).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Hosts returns the number of endpoints.
+func (n *Network) Hosts() int { return n.topo.Hosts() }
+
+// ConfigValue returns a copy of the configuration the network was built
+// from (custom drivers need the MTU, link bandwidth, and window).
+func (n *Network) ConfigValue() Config { return n.cfg }
+
+// Host returns host h's NIC.
+func (n *Network) Host(h int) *hostif.Host { return n.hosts[h] }
+
+// Admission returns the admission controller.
+func (n *Network) Admission() *admission.Controller { return n.adm }
+
+// Collector returns the live statistics collector.
+func (n *Network) Collector() *stats.Collector { return n.collect }
+
+// Run starts all traffic sources, executes the simulation through warm-up
+// plus measurement, and returns the results.
+func (n *Network) Run() *Results {
+	for _, src := range n.sources {
+		src.Start()
+	}
+	horizon := n.cfg.WarmUp + n.cfg.Measure
+	n.eng.Run(horizon)
+
+	res := &Results{
+		Config:              n.cfg,
+		Collector:           n.collect,
+		SimEvents:           n.eng.Fired(),
+		VideoStreamsPerHost: n.videoPerHost,
+	}
+	for _, sw := range n.switches {
+		st := sw.Stats()
+		res.OrderErrors += st.OrderErrors
+		res.TakeOvers += st.TakeOvers
+		res.XbarTransfers += st.XbarTransfers
+		res.LinkSends += st.LinkSends
+		res.PendingAtHorizon += sw.Queued()
+	}
+	for _, h := range n.hosts {
+		res.PendingAtHorizon += h.Pending()
+	}
+	return res
+}
+
+// Run builds and executes one simulation.
+func Run(cfg Config) (*Results, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run(), nil
+}

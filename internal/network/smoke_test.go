@@ -1,0 +1,32 @@
+package network
+
+import (
+	"testing"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+func TestSmokeSmallRun(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Arch = arch.Advanced2VC
+	cfg.Load = 0.5
+	cfg.WarmUp = 1 * units.Millisecond
+	cfg.Measure = 10 * units.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("events=%d pending=%d videoPerHost=%d", res.SimEvents, res.PendingAtHorizon, res.VideoStreamsPerHost)
+	t.Logf("\n%s", res.Summary())
+	for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
+		cs := &res.PerClass[cl]
+		if cs.GeneratedPackets == 0 {
+			t.Errorf("%v: no packets generated", cl)
+		}
+		if cs.DeliveredPackets == 0 {
+			t.Errorf("%v: no packets delivered", cl)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII plots, so the command-line tools and the benchmark harness can
+// print the same rows and series the paper's tables and figures report.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row. Rows shorter than the header are padded; longer rows
+// panic (a harness bug).
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("report: row of %d cells exceeds %d columns", len(cells), len(t.Header)))
+	}
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddF appends a row of formatted values: each value is rendered with %v,
+// floats with 4 significant digits.
+func (t *Table) AddF(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = formatFloat(x)
+		case float32:
+			cells[i] = formatFloat(float64(x))
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Add(cells...)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 1:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes around cells
+// containing commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of an XY plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders named series as a fixed-size ASCII chart, one glyph per
+// series. It is a quick visual check, not a publication figure; CSV output
+// feeds real plotting tools.
+type Plot struct {
+	Title, XLabel, YLabel string
+	Width, Height         int
+	Series                []Series
+}
+
+// NewPlot returns an empty plot with a default 72x20 canvas.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// AddSeries appends a line to the plot. X and Y must have equal length.
+func (p *Plot) AddSeries(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic("report: series length mismatch")
+	}
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y})
+}
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range p.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return p.Title + " (no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, s := range p.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(p.Width-1))
+			r := p.Height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(p.Height-1))
+			grid[r][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	fmt.Fprintf(&b, "%s: %.4g .. %.4g\n", p.YLabel, ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", p.Width) + "\n")
+	fmt.Fprintf(&b, "%s: %.4g .. %.4g\n", p.XLabel, xmin, xmax)
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

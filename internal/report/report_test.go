@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "arch", "latency")
+	tb.Add("Ideal", "3.2us")
+	tb.Add("Traditional 2 VCs", "81us")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "latency" starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "latency")
+	for _, l := range lines[3:] {
+		if len(l) < idx {
+			t.Fatalf("row shorter than header: %q", l)
+		}
+	}
+	if !strings.Contains(out, "-----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("short row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	tb := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row did not panic")
+		}
+	}()
+	tb.Add("x", "y")
+}
+
+func TestAddFFormats(t *testing.T) {
+	tb := NewTable("", "v1", "v2", "v3", "v4")
+	tb.AddF(3.14159, 12345.6, 0.00123, "text")
+	row := tb.Rows[0]
+	if row[0] != "3.142" {
+		t.Errorf("float format %q", row[0])
+	}
+	if row[1] != "12346" {
+		t.Errorf("big float format %q", row[1])
+	}
+	if row[2] != "0.0012" {
+		t.Errorf("small float format %q", row[2])
+	}
+	if row[3] != "text" {
+		t.Errorf("string format %q", row[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.Add(`plain`, `with,comma`)
+	tb.Add(`with"quote`, `ok`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("CSV has %d lines, want 3", lines)
+	}
+}
+
+func TestPlotRenders(t *testing.T) {
+	p := NewPlot("latency vs load", "load", "latency")
+	p.AddSeries("ideal", []float64{0.1, 0.5, 1.0}, []float64{3, 3.5, 4})
+	p.AddSeries("traditional", []float64{0.1, 0.5, 1.0}, []float64{3, 20, 90})
+	out := p.String()
+	if !strings.Contains(out, "latency vs load") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series glyphs not plotted")
+	}
+	if !strings.Contains(out, "ideal") || !strings.Contains(out, "traditional") {
+		t.Error("legend missing")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty", "x", "y")
+	if !strings.Contains(p.String(), "no data") {
+		t.Error("empty plot must say so")
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := NewPlot("flat", "x", "y")
+	p.AddSeries("s", []float64{1, 1, 1}, []float64{5, 5, 5})
+	out := p.String() // must not panic or divide by zero
+	if !strings.Contains(out, "flat") {
+		t.Error("flat plot failed to render")
+	}
+}
+
+func TestPlotLengthMismatchPanics(t *testing.T) {
+	p := NewPlot("t", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	p.AddSeries("s", []float64{1, 2}, []float64{1})
+}

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"deadlineqos/internal/units"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []units.Time
+	for _, at := range []units.Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Drain()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := New()
+	var at50, at70 units.Time
+	e.At(50, func() { at50 = e.Now() })
+	e.After(70, func() { at70 = e.Now() })
+	e.Drain()
+	if at50 != 50 || at70 != 70 {
+		t.Fatalf("Now inside events = %v, %v; want 50, 70", at50, at70)
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	e := New()
+	var fired units.Time
+	e.At(100, func() {
+		e.After(25, func() { fired = e.Now() })
+	})
+	e.Drain()
+	if fired != 125 {
+		t.Fatalf("After(25) from t=100 fired at %v, want 125", fired)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.Run(20)
+	if fired != 2 {
+		t.Fatalf("Run(20) fired %d events, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock at %v after Run(20), want 20", e.Now())
+	}
+	e.Run(100)
+	if fired != 3 {
+		t.Fatalf("resumed run fired %d total, want 3", fired)
+	}
+}
+
+func TestRunAdvancesClockWhenQueueDrains(t *testing.T) {
+	e := New()
+	e.At(5, func() {})
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock = %v after draining Run(1000), want 1000", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.At(10, func() { fired = true })
+	if !h.Pending() {
+		t.Fatal("handle not pending after scheduling")
+	}
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if h.Pending() {
+		t.Fatal("handle still pending after cancel")
+	}
+	if e.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Drain()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	var hs []Handle
+	for i := 0; i < 20; i++ {
+		i := i
+		hs = append(hs, e.At(units.Time(i*10), func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		e.Cancel(hs[i])
+	}
+	e.Drain()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Fatalf("fired %d events, want 13", len(got))
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(10, func() { fired++; e.Stop() })
+	e.At(20, func() { fired++ })
+	e.Run(1000)
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the run: fired = %d", fired)
+	}
+	// A subsequent Run resumes.
+	e.Run(1000)
+	if fired != 2 {
+		t.Fatalf("run after Stop fired %d total, want 2", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Drain()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(units.Time(i), func() {})
+	}
+	e.Drain()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// Events scheduled by events must fire; model a chain of packet hops.
+	e := New()
+	depth := 0
+	var hop func()
+	hop = func() {
+		depth++
+		if depth < 100 {
+			e.After(3, hop)
+		}
+	}
+	e.At(0, hop)
+	e.Drain()
+	if depth != 100 {
+		t.Fatalf("cascade depth = %d, want 100", depth)
+	}
+	if e.Now() != 297 {
+		t.Fatalf("clock = %v, want 297", e.Now())
+	}
+}
+
+func TestOrderPropertyRandomSchedules(t *testing.T) {
+	// Property: for any batch of scheduled times, execution order is a
+	// stable sort of the schedule by time.
+	prop := func(times []uint16) bool {
+		e := New()
+		type rec struct {
+			at  units.Time
+			seq int
+		}
+		var got []rec
+		for i, raw := range times {
+			at := units.Time(raw)
+			i := i
+			e.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Drain()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false // FIFO tie-break violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleInvalidAfterFire(t *testing.T) {
+	// Events are recycled through a free list; a handle to a fired event
+	// must not report Pending even after its Event struct is reused.
+	e := New()
+	h1 := e.At(10, func() {})
+	e.Run(20)
+	if h1.Pending() {
+		t.Fatal("handle pending after event fired")
+	}
+	// Reuse the freed Event for a new schedule; the old handle must stay
+	// invalid and must not cancel the new event.
+	h2 := e.At(30, func() {})
+	if h1.Pending() {
+		t.Fatal("stale handle revived by recycling")
+	}
+	if e.Cancel(h1) {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if !h2.Pending() {
+		t.Fatal("new handle not pending")
+	}
+}
+
+func TestFreeListRecyclingKeepsOrder(t *testing.T) {
+	// Hammer schedule/fire cycles through the free list and verify order
+	// never degrades.
+	e := New()
+	fired := 0
+	var last units.Time = -1
+	var step func()
+	step = func() {
+		now := e.Now()
+		if now < last {
+			t.Fatalf("time went backwards: %v after %v", now, last)
+		}
+		last = now
+		fired++
+		if fired < 5000 {
+			e.After(units.Time(1+fired%7), step)
+		}
+	}
+	e.At(0, func() { step() })
+	e.Drain()
+	if fired != 5000 {
+		t.Fatalf("fired %d, want 5000", fired)
+	}
+}
+
+func TestManyPendingEventsOrdered(t *testing.T) {
+	// A large 4-ary heap with random times must still fire in order.
+	e := New()
+	r := uint64(12345)
+	next := func() uint64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return r
+	}
+	var prev units.Time = -1
+	for i := 0; i < 20000; i++ {
+		at := units.Time(next() % 1_000_000)
+		e.At(at, func() {
+			if e.Now() < prev {
+				t.Fatalf("out of order: %v after %v", e.Now(), prev)
+			}
+			prev = e.Now()
+		})
+	}
+	e.Drain()
+}
+
+func TestCancelStressRandom(t *testing.T) {
+	// Randomly cancel half the events; the remainder must all fire in
+	// order and none of the cancelled may fire.
+	e := New()
+	r := uint64(99)
+	next := func() uint64 { r ^= r << 13; r ^= r >> 7; r ^= r << 17; return r }
+	firedSet := make(map[int]bool)
+	var handles []Handle
+	var cancelled []bool
+	for i := 0; i < 5000; i++ {
+		i := i
+		h := e.At(units.Time(next()%100000), func() { firedSet[i] = true })
+		handles = append(handles, h)
+		cancelled = append(cancelled, false)
+	}
+	for i := range handles {
+		if next()%2 == 0 {
+			if e.Cancel(handles[i]) {
+				cancelled[i] = true
+			}
+		}
+	}
+	e.Drain()
+	for i := range handles {
+		if cancelled[i] && firedSet[i] {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+		if !cancelled[i] && !firedSet[i] {
+			t.Fatalf("live event %d never fired", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+func filledCollector() *Collector {
+	c := NewCollector(2, 1, 0, 1000)
+	for i := 0; i < 10; i++ {
+		p := mkpkt(packet.Control, 10, 100)
+		c.PacketGenerated(p)
+		c.PacketDelivered(p, 10+units.Time(100+i*10))
+	}
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := filledCollector()
+	snap := c.Snapshot("advanced/load=1.0")
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != snap.Label {
+		t.Fatalf("label lost: %q", back.Label)
+	}
+	a, b := snap.Classes["Control"], back.Classes["Control"]
+	if a != b {
+		t.Fatalf("Control metrics changed in round trip:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"label":"x"}`)); err == nil {
+		t.Error("classless snapshot accepted")
+	}
+}
+
+func TestCompareFindsRegressions(t *testing.T) {
+	c := filledCollector()
+	before := c.Snapshot("before")
+	after := c.Snapshot("after")
+	// Identical snapshots: no deltas at any tolerance.
+	if ds := Compare(before, after, 0.01); len(ds) != 0 {
+		t.Fatalf("identical snapshots produced deltas: %v", ds)
+	}
+	// Inflate latency by 50%.
+	cs := after.Classes["Control"]
+	cs.LatencyMeanNs *= 1.5
+	after.Classes["Control"] = cs
+	ds := Compare(before, after, 0.10)
+	if len(ds) != 1 {
+		t.Fatalf("deltas = %v, want exactly the latency change", ds)
+	}
+	if ds[0].Metric != "latency_mean_ns" || ds[0].Rel < 0.49 || ds[0].Rel > 0.51 {
+		t.Fatalf("delta = %+v", ds[0])
+	}
+	if !strings.Contains(ds[0].String(), "latency_mean_ns") {
+		t.Fatal("delta String() missing metric name")
+	}
+	// Higher tolerance suppresses it.
+	if ds := Compare(before, after, 0.60); len(ds) != 0 {
+		t.Fatalf("tolerance not applied: %v", ds)
+	}
+}

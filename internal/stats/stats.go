@@ -1,0 +1,360 @@
+// Package stats collects the performance indices the paper evaluates:
+// throughput, latency and jitter per traffic class (§5), the cumulative
+// distribution function (CDF) of latency, and frame-level latency for
+// multimedia traffic (Figure 3 reports per-frame, not per-packet, latency).
+//
+// A Collector observes packet injections and deliveries during the
+// measurement window (after warm-up) and aggregates per-class metrics.
+// All observations use the simulator's oracle clock; nothing here feeds
+// back into scheduling.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// Series accumulates count/mean/variance/min/max of a stream of values
+// using Welford's online algorithm.
+type Series struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one value.
+func (s *Series) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// Count returns the number of recorded values.
+func (s *Series) Count() uint64 { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Series) Mean() float64 { return s.mean }
+
+// Min returns the smallest recorded value (0 when empty).
+func (s *Series) Min() float64 { return s.min }
+
+// Max returns the largest recorded value (0 when empty).
+func (s *Series) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 values).
+func (s *Series) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Merge folds other into s (parallel-run aggregation).
+func (s *Series) Merge(other *Series) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	mean := s.mean + d*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	minv := math.Min(s.min, other.min)
+	maxv := math.Max(s.max, other.max)
+	*s = Series{n: n, mean: mean, m2: m2, min: minv, max: maxv}
+}
+
+// Histogram is a logarithmically bucketed histogram of units.Time values,
+// built for latency CDFs spanning nanoseconds to seconds. Resolution is
+// bucketsPerOctave buckets per factor-of-two.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+const bucketsPerOctave = 8
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]uint64)} }
+
+// bucketOf maps a positive time to its bucket index.
+func bucketOf(v units.Time) int {
+	if v < 1 {
+		v = 1
+	}
+	return int(math.Floor(math.Log2(float64(v)) * bucketsPerOctave))
+}
+
+// bucketUpper returns the representative (upper bound) value of a bucket.
+func bucketUpper(b int) units.Time {
+	return units.Time(math.Ceil(math.Exp2(float64(b+1) / bucketsPerOctave)))
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v units.Time) {
+	h.counts[bucketOf(v)]++
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) of the
+// recorded values, or 0 when empty.
+func (h *Histogram) Quantile(q float64) units.Time {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	keys := h.sortedBuckets()
+	var cum uint64
+	for _, b := range keys {
+		cum += h.counts[b]
+		if cum >= target {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(keys[len(keys)-1])
+}
+
+// FractionBelow returns the fraction of observations <= v.
+func (h *Histogram) FractionBelow(v units.Time) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	vb := bucketOf(v)
+	var cum uint64
+	for b, c := range h.counts {
+		if b <= vb {
+			cum += c
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// CDFPoint is one (latency, cumulative probability) sample of a CDF.
+type CDFPoint struct {
+	Latency units.Time
+	Cum     float64
+}
+
+// CDF returns the cumulative distribution as bucket upper-bound points in
+// increasing latency order.
+func (h *Histogram) CDF() []CDFPoint {
+	keys := h.sortedBuckets()
+	pts := make([]CDFPoint, 0, len(keys))
+	var cum uint64
+	for _, b := range keys {
+		cum += h.counts[b]
+		pts = append(pts, CDFPoint{bucketUpper(b), float64(cum) / float64(h.total)})
+	}
+	return pts
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+}
+
+func (h *Histogram) sortedBuckets() []int {
+	keys := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// ClassStats aggregates all indices for one traffic class.
+type ClassStats struct {
+	GeneratedPackets uint64
+	GeneratedBytes   units.Size
+	InjectedPackets  uint64
+	InjectedBytes    units.Size
+	DeliveredPackets uint64
+	DeliveredBytes   units.Size
+
+	PacketLatency Series     // ns, creation to delivery
+	NetLatency    Series     // ns, injection to delivery (network-only share)
+	LatencyHist   *Histogram // packet latency CDF
+
+	FrameLatency Series     // ns, frame creation to last-packet delivery
+	FrameHist    *Histogram // frame latency CDF
+
+	Jitter Series // ns, |latency_i - latency_{i-1}| per flow (RFC3550-style)
+}
+
+// frameAcc assembles in-flight frames to measure frame-level latency.
+type frameAcc struct {
+	created   units.Time
+	remaining int
+	class     packet.Class
+}
+
+// Collector observes one simulation run.
+type Collector struct {
+	// WarmUp: packets created before this oracle time are ignored.
+	WarmUp units.Time
+	// Horizon: measurement window end; used for throughput normalisation.
+	Horizon units.Time
+
+	PerClass [packet.NumClasses]ClassStats
+
+	frames  map[uint64]*frameAcc
+	lastLat map[packet.FlowID]units.Time
+	hosts   int
+	linkBW  units.Bandwidth
+	// Switch-level order-error totals, filled in by the network at teardown.
+	OrderErrors     uint64
+	TakeOverPackets uint64
+	Dequeues        uint64
+}
+
+// NewCollector returns a collector for a run over hosts endpoints with the
+// given link bandwidth, measuring in the oracle window [warmUp, horizon].
+func NewCollector(hosts int, linkBW units.Bandwidth, warmUp, horizon units.Time) *Collector {
+	c := &Collector{
+		WarmUp:  warmUp,
+		Horizon: horizon,
+		frames:  make(map[uint64]*frameAcc),
+		lastLat: make(map[packet.FlowID]units.Time),
+		hosts:   hosts,
+		linkBW:  linkBW,
+	}
+	for i := range c.PerClass {
+		c.PerClass[i].LatencyHist = NewHistogram()
+		c.PerClass[i].FrameHist = NewHistogram()
+	}
+	return c
+}
+
+// measured reports whether a packet belongs to the measurement window.
+func (c *Collector) measured(p *packet.Packet) bool { return p.CreatedAt >= c.WarmUp }
+
+// PacketGenerated records that the application produced p at its CreatedAt.
+func (c *Collector) PacketGenerated(p *packet.Packet) {
+	if !c.measured(p) {
+		return
+	}
+	cs := &c.PerClass[p.Class]
+	cs.GeneratedPackets++
+	cs.GeneratedBytes += p.Size
+	if p.FrameID != 0 {
+		if _, ok := c.frames[p.FrameID]; !ok {
+			c.frames[p.FrameID] = &frameAcc{created: p.CreatedAt, remaining: p.FrameParts, class: p.Class}
+		}
+	}
+}
+
+// PacketInjected records that p's first byte entered the network at now.
+func (c *Collector) PacketInjected(p *packet.Packet, now units.Time) {
+	if !c.measured(p) {
+		return
+	}
+	cs := &c.PerClass[p.Class]
+	cs.InjectedPackets++
+	cs.InjectedBytes += p.Size
+}
+
+// PacketDelivered records p's arrival at its destination NIC at now.
+func (c *Collector) PacketDelivered(p *packet.Packet, now units.Time) {
+	if !c.measured(p) {
+		return
+	}
+	cs := &c.PerClass[p.Class]
+	cs.DeliveredPackets++
+	cs.DeliveredBytes += p.Size
+	lat := now - p.CreatedAt
+	cs.PacketLatency.Add(float64(lat))
+	cs.LatencyHist.Add(lat)
+	if p.InjectedAt > 0 {
+		cs.NetLatency.Add(float64(now - p.InjectedAt))
+	}
+	if last, ok := c.lastLat[p.Flow]; ok {
+		d := lat - last
+		if d < 0 {
+			d = -d
+		}
+		cs.Jitter.Add(float64(d))
+	}
+	c.lastLat[p.Flow] = lat
+
+	if p.FrameID != 0 {
+		if f, ok := c.frames[p.FrameID]; ok {
+			f.remaining--
+			if f.remaining == 0 {
+				flat := now - f.created
+				fcs := &c.PerClass[f.class]
+				fcs.FrameLatency.Add(float64(flat))
+				fcs.FrameHist.Add(flat)
+				delete(c.frames, p.FrameID)
+			}
+		}
+	}
+}
+
+// Window returns the measurement window length.
+func (c *Collector) Window() units.Time { return c.Horizon - c.WarmUp }
+
+// Throughput returns class cl's delivered bandwidth as a fraction of the
+// aggregate host link capacity (the paper's normalised throughput axis).
+func (c *Collector) Throughput(cl packet.Class) float64 {
+	w := c.Window()
+	if w <= 0 || c.hosts == 0 || c.linkBW <= 0 {
+		return 0
+	}
+	bytes := float64(c.PerClass[cl].DeliveredBytes)
+	capacity := float64(c.linkBW) * float64(w) * float64(c.hosts)
+	return bytes / capacity
+}
+
+// OfferedLoad returns class cl's generated bandwidth as a fraction of the
+// aggregate host link capacity.
+func (c *Collector) OfferedLoad(cl packet.Class) float64 {
+	w := c.Window()
+	if w <= 0 || c.hosts == 0 || c.linkBW <= 0 {
+		return 0
+	}
+	return float64(c.PerClass[cl].GeneratedBytes) / (float64(c.linkBW) * float64(w) * float64(c.hosts))
+}
+
+// IncompleteFrames returns frames still being assembled (diagnostics; a
+// large number at teardown indicates saturation).
+func (c *Collector) IncompleteFrames() int { return len(c.frames) }
+
+// Summary renders a one-line-per-class human-readable digest.
+func (c *Collector) Summary() string {
+	out := ""
+	for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
+		cs := &c.PerClass[cl]
+		out += fmt.Sprintf("%-12s gen=%-6d dlvr=%-6d thru=%5.1f%% lat(avg=%v max=%v p99=%v) jitter=%v\n",
+			cl.String(), cs.GeneratedPackets, cs.DeliveredPackets, 100*c.Throughput(cl),
+			units.Time(cs.PacketLatency.Mean()), units.Time(cs.PacketLatency.Max()),
+			cs.LatencyHist.Quantile(0.99), units.Time(cs.Jitter.Mean()))
+	}
+	return out
+}

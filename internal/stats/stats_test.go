@@ -1,0 +1,321 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 6, 8} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of {2,4,6,8} = sqrt(20/3).
+	want := math.Sqrt(20.0 / 3.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Count() != 0 {
+		t.Fatal("empty series must report zeros")
+	}
+}
+
+func TestSeriesMergeMatchesSequential(t *testing.T) {
+	// Clamp generated values into a latency-like range; unbounded float64
+	// inputs overflow any sum-of-squares accumulator and test nothing real.
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Remainder(v, 1e9)
+	}
+	prop := func(a, b []float64) bool {
+		var all, left, right Series
+		for _, v := range a {
+			all.Add(clamp(v))
+			left.Add(clamp(v))
+		}
+		for _, v := range b {
+			all.Add(clamp(v))
+			right.Add(clamp(v))
+		}
+		left.Merge(&right)
+		if left.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return math.Abs(left.Mean()-all.Mean()) < 1e-6*(1+math.Abs(all.Mean())) &&
+			math.Abs(left.StdDev()-all.StdDev()) < 1e-6*(1+all.StdDev())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(units.Time(i * 1000)) // 1us .. 1ms uniform
+	}
+	med := h.Quantile(0.5)
+	// Bucketing is coarse (8 per octave => <=9% upper-bound error).
+	if med < 450*units.Microsecond || med > 600*units.Microsecond {
+		t.Fatalf("median = %v, want ~500us", med)
+	}
+	p100 := h.Quantile(1.0)
+	if p100 < 1000*units.Microsecond || p100 > 1100*units.Microsecond {
+		t.Fatalf("p100 = %v, want ~1ms", p100)
+	}
+	if h.Quantile(0.0) == 0 {
+		t.Fatal("q=0 on non-empty histogram returned 0")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	if q := NewHistogram().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(units.Time(v) + 1)
+		}
+		pts := h.CDF()
+		prevLat, prevCum := units.Time(0), 0.0
+		for _, p := range pts {
+			if p.Latency <= prevLat && prevLat != 0 {
+				return false
+			}
+			if p.Cum < prevCum {
+				return false
+			}
+			prevLat, prevCum = p.Latency, p.Cum
+		}
+		if len(raw) > 0 {
+			last := pts[len(pts)-1]
+			if math.Abs(last.Cum-1.0) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Add(1 * units.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(100 * units.Millisecond)
+	}
+	if f := h.FractionBelow(1 * units.Millisecond); f != 0.9 {
+		t.Fatalf("FractionBelow(1ms) = %v, want 0.9", f)
+	}
+	if f := h.FractionBelow(1 * units.Second); f != 1.0 {
+		t.Fatalf("FractionBelow(1s) = %v, want 1", f)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Add(units.Microsecond)
+		b.Add(units.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if f := a.FractionBelow(10 * units.Microsecond); f != 0.5 {
+		t.Fatalf("merged FractionBelow = %v, want 0.5", f)
+	}
+}
+
+func mkpkt(cl packet.Class, created units.Time, size units.Size) *packet.Packet {
+	return &packet.Packet{Class: cl, CreatedAt: created, Size: size, Flow: 1}
+}
+
+func TestCollectorLatency(t *testing.T) {
+	c := NewCollector(1, 1, 0, 1000)
+	p := mkpkt(packet.Control, 100, 64)
+	c.PacketGenerated(p)
+	p.InjectedAt = 120
+	c.PacketInjected(p, 120)
+	c.PacketDelivered(p, 350)
+	cs := &c.PerClass[packet.Control]
+	if cs.PacketLatency.Mean() != 250 {
+		t.Fatalf("packet latency = %v, want 250", cs.PacketLatency.Mean())
+	}
+	if cs.NetLatency.Mean() != 230 {
+		t.Fatalf("network latency = %v, want 230", cs.NetLatency.Mean())
+	}
+	if cs.DeliveredPackets != 1 || cs.DeliveredBytes != 64 {
+		t.Fatal("delivery counters wrong")
+	}
+}
+
+func TestCollectorWarmUpExclusion(t *testing.T) {
+	c := NewCollector(1, 1, 500, 1000)
+	cold := mkpkt(packet.Control, 100, 64)
+	c.PacketGenerated(cold)
+	c.PacketDelivered(cold, 600)
+	warm := mkpkt(packet.Control, 700, 64)
+	c.PacketGenerated(warm)
+	c.PacketDelivered(warm, 800)
+	cs := &c.PerClass[packet.Control]
+	if cs.DeliveredPackets != 1 {
+		t.Fatalf("warm-up packet measured: delivered = %d, want 1", cs.DeliveredPackets)
+	}
+	if cs.PacketLatency.Mean() != 100 {
+		t.Fatalf("latency = %v, want 100", cs.PacketLatency.Mean())
+	}
+}
+
+func TestCollectorFrameAssembly(t *testing.T) {
+	c := NewCollector(1, 1, 0, units.Second)
+	// A 3-packet frame created at t=1000; last delivery at t=5000.
+	for i := 0; i < 3; i++ {
+		p := mkpkt(packet.Multimedia, 1000, 2048)
+		p.FrameID = 77
+		p.FrameParts = 3
+		c.PacketGenerated(p)
+		c.PacketDelivered(p, units.Time(2000+i*1500))
+	}
+	cs := &c.PerClass[packet.Multimedia]
+	if cs.FrameLatency.Count() != 1 {
+		t.Fatalf("frames measured = %d, want 1", cs.FrameLatency.Count())
+	}
+	if cs.FrameLatency.Mean() != 4000 {
+		t.Fatalf("frame latency = %v, want 4000 (last part at 5000 - created 1000)", cs.FrameLatency.Mean())
+	}
+	if c.IncompleteFrames() != 0 {
+		t.Fatal("frame not cleaned up after assembly")
+	}
+}
+
+func TestCollectorIncompleteFrames(t *testing.T) {
+	c := NewCollector(1, 1, 0, units.Second)
+	p := mkpkt(packet.Multimedia, 0, 2048)
+	p.FrameID = 5
+	p.FrameParts = 2
+	c.PacketGenerated(p)
+	c.PacketDelivered(p, 100)
+	if c.IncompleteFrames() != 1 {
+		t.Fatalf("IncompleteFrames = %d, want 1", c.IncompleteFrames())
+	}
+}
+
+func TestCollectorJitter(t *testing.T) {
+	c := NewCollector(1, 1, 0, units.Second)
+	// Same flow, latencies 100, 150, 120 -> jitter samples 50, 30.
+	for i, d := range []units.Time{100, 150, 120} {
+		p := mkpkt(packet.Control, units.Time(i*1000), 64)
+		c.PacketGenerated(p)
+		c.PacketDelivered(p, p.CreatedAt+d)
+	}
+	j := c.PerClass[packet.Control].Jitter
+	if j.Count() != 2 {
+		t.Fatalf("jitter samples = %d, want 2", j.Count())
+	}
+	if j.Mean() != 40 {
+		t.Fatalf("jitter mean = %v, want 40", j.Mean())
+	}
+}
+
+func TestCollectorThroughput(t *testing.T) {
+	// 2 hosts at 1 byte/cycle over a 1000-cycle window = 2000 bytes
+	// capacity. Delivering 500 bytes of Control = 25%.
+	c := NewCollector(2, 1, 0, 1000)
+	p := mkpkt(packet.Control, 10, 500)
+	c.PacketGenerated(p)
+	c.PacketDelivered(p, 900)
+	if th := c.Throughput(packet.Control); th != 0.25 {
+		t.Fatalf("Throughput = %v, want 0.25", th)
+	}
+	if ol := c.OfferedLoad(packet.Control); ol != 0.25 {
+		t.Fatalf("OfferedLoad = %v, want 0.25", ol)
+	}
+	if th := c.Throughput(packet.Background); th != 0 {
+		t.Fatalf("idle class throughput = %v, want 0", th)
+	}
+}
+
+func TestCollectorSummaryNonEmpty(t *testing.T) {
+	c := NewCollector(1, 1, 0, 1000)
+	if c.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5 * units.Microsecond)
+	if q := h.Quantile(0.5); q < 5*units.Microsecond || q > 6*units.Microsecond {
+		t.Fatalf("single-value quantile = %v", q)
+	}
+	pts := h.CDF()
+	if len(pts) != 1 || pts[0].Cum != 1.0 {
+		t.Fatalf("single-value CDF = %v", pts)
+	}
+}
+
+func TestHistogramSubNanosecondClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0) // clamped to 1 cycle
+	if h.Count() != 1 {
+		t.Fatal("zero-latency observation lost")
+	}
+	if f := h.FractionBelow(units.Microsecond); f != 1.0 {
+		t.Fatalf("FractionBelow = %v", f)
+	}
+}
+
+func TestCollectorUntrackedFrames(t *testing.T) {
+	// Packets without frame ids must not create frame records.
+	c := NewCollector(1, 1, 0, units.Second)
+	p := mkpkt(packet.Control, 0, 64)
+	c.PacketGenerated(p)
+	c.PacketDelivered(p, 100)
+	if c.IncompleteFrames() != 0 {
+		t.Fatal("frameless packet created a frame record")
+	}
+	if c.PerClass[packet.Control].FrameLatency.Count() != 0 {
+		t.Fatal("frameless packet recorded a frame latency")
+	}
+}
+
+func TestCollectorNetLatencyRequiresInjection(t *testing.T) {
+	c := NewCollector(1, 1, 0, units.Second)
+	p := mkpkt(packet.Control, 10, 64)
+	c.PacketGenerated(p)
+	c.PacketDelivered(p, 100) // InjectedAt left zero
+	if c.PerClass[packet.Control].NetLatency.Count() != 0 {
+		t.Fatal("network latency recorded without injection timestamp")
+	}
+}

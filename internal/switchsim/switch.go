@@ -1,0 +1,383 @@
+// Package switchsim models the interconnect switches: combined input and
+// output buffering (CIOQ), virtual output queuing at the inputs, a crossbar
+// connecting them, and per-architecture scheduling (§4.1).
+//
+// Data path of a packet through a switch:
+//
+//	upstream link ──► input port VOQ (per VC, per output) ──► crossbar
+//	              ──► output buffer (per VC) ──► downstream link
+//
+// The input VOQs remove head-of-line blocking across outputs; within one
+// (input, VC, output) queue the architecture's buffer discipline applies
+// (FIFO, heap, or the take-over structure — see internal/pqueue). Credits
+// for the upstream link are returned when a packet's crossbar transfer
+// completes, i.e. when its input buffer space is truly free.
+//
+// Scheduling, per architecture:
+//
+//   - Traditional 2 VCs / 4 VCs: a PCI-AS-style weighted table picks the VC
+//     at both the crossbar and the link; round-robin picks the input within
+//     a VC. The 4-VC variant gives every traffic class its own weighted VC.
+//   - EDF architectures (Ideal / Simple / Advanced): the regulated VC has
+//     absolute priority; within a VC the arbiter grants the input whose
+//     queue head carries the earliest deadline. This is the paper's core
+//     idea — the only thing a switch ever inspects is the deadline in each
+//     queue-head's header (§3.2).
+//
+// Per the appendix's flow-control rule, credit checks are made only against
+// the packet the dequeue discipline designates, never against another
+// stored packet that would happen to fit.
+package switchsim
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/arbiter"
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/link"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/pqueue"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+)
+
+// Config parameterises one switch.
+type Config struct {
+	Eng   *sim.Engine
+	Clock packet.Clock // node-local clock (may be skewed)
+	ID    int
+	Radix int
+	Arch  arch.Arch
+	// BufPerVC is the buffer capacity per (port, VC) pool, at inputs and
+	// outputs alike (8 KB in the paper).
+	BufPerVC units.Size
+	// XbarBW is the per-port crossbar bandwidth (defaults to link rate,
+	// i.e. speedup 1, when zero).
+	XbarBW units.Bandwidth
+	// TrackOrderErrors enables the measurement oracle in every buffer.
+	TrackOrderErrors bool
+	// VCTable overrides the Traditional architecture's weighted
+	// arbitration table (nil = arbiter.DefaultVCTable, 3:1 for the
+	// regulated VC). Ignored by the deadline-aware architectures, whose
+	// regulated VC has absolute priority.
+	VCTable []packet.VC
+}
+
+// Stats are the instrumentation counters of one switch.
+type Stats struct {
+	XbarTransfers uint64
+	LinkSends     uint64
+	OrderErrors   uint64 // dequeues that violated global deadline order
+	TakeOvers     uint64 // packets diverted to take-over queues
+}
+
+// Switch is one simulated switch.
+type Switch struct {
+	cfg Config
+	in  []*inputPort
+	out []*outputPort
+
+	xbarTransfers uint64
+	linkSends     uint64
+}
+
+type inputPort struct {
+	sw  *Switch
+	idx int
+	// voq[vc][output] holds packets for that output in the architecture's
+	// discipline. All queues of one VC share the port's per-VC pool.
+	voq      [packet.NumVCs][]pqueue.Buffer
+	pool     [packet.NumVCs]units.Size
+	busy     bool
+	upstream *link.Link
+}
+
+type outputPort struct {
+	sw   *Switch
+	idx  int
+	buf  [packet.NumVCs]pqueue.Buffer
+	busy bool
+	down *link.Link
+
+	edf       [packet.NumVCs]*arbiter.EDF
+	rr        [packet.NumVCs]*arbiter.RoundRobin
+	xbarTable *arbiter.VCTable
+	linkTable *arbiter.VCTable
+}
+
+// New builds a switch. Ports must then be wired with ConnectUpstream /
+// ConnectDownstream before traffic arrives.
+func New(cfg Config) *Switch {
+	if cfg.XbarBW == 0 {
+		cfg.XbarBW = 1 // reference link rate, speedup 1
+	}
+	s := &Switch{cfg: cfg}
+	for i := 0; i < cfg.Radix; i++ {
+		ip := &inputPort{sw: s, idx: i}
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			ip.voq[vc] = make([]pqueue.Buffer, cfg.Radix)
+			for o := 0; o < cfg.Radix; o++ {
+				// Each VOQ may transiently hold up to the whole pool;
+				// the pool accounting below enforces the shared limit.
+				ip.voq[vc][o] = pqueue.New(cfg.Arch.Discipline(packet.VC(vc)), cfg.BufPerVC, cfg.TrackOrderErrors)
+			}
+		}
+		s.in = append(s.in, ip)
+
+		op := &outputPort{sw: s, idx: i}
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			op.buf[vc] = pqueue.New(cfg.Arch.Discipline(packet.VC(vc)), cfg.BufPerVC, cfg.TrackOrderErrors)
+			op.edf[vc] = arbiter.NewEDF(cfg.Radix)
+			op.rr[vc] = arbiter.NewRoundRobin(cfg.Radix)
+		}
+		switch {
+		case cfg.VCTable != nil:
+			op.xbarTable = arbiter.NewVCTable(cfg.VCTable)
+			op.linkTable = arbiter.NewVCTable(cfg.VCTable)
+		case cfg.Arch == arch.Traditional4VC:
+			op.xbarTable = arbiter.Default4VCTable()
+			op.linkTable = arbiter.Default4VCTable()
+		default:
+			op.xbarTable = arbiter.DefaultVCTable()
+			op.linkTable = arbiter.DefaultVCTable()
+		}
+		s.out = append(s.out, op)
+	}
+	return s
+}
+
+// ID returns the switch's index in the topology.
+func (s *Switch) ID() int { return s.cfg.ID }
+
+// ConnectUpstream registers the link feeding input port p, used to return
+// credits as the input buffer drains.
+func (s *Switch) ConnectUpstream(p int, l *link.Link) { s.in[p].upstream = l }
+
+// ConnectDownstream registers the link leaving output port p and hooks its
+// readiness callback to this port's transmission scheduler.
+func (s *Switch) ConnectDownstream(p int, l *link.Link) {
+	s.out[p].down = l
+	l.OnReady = func() { s.tryLinkTx(p) }
+}
+
+// InputReceiver returns the link.Receiver for input port p.
+func (s *Switch) InputReceiver(p int) link.Receiver { return &portReceiver{s, p} }
+
+type portReceiver struct {
+	sw   *Switch
+	port int
+}
+
+// Receive accepts a packet arriving on the input port: the deadline is
+// reconstructed from the TTD header against this switch's local clock
+// (§3.3) and the packet joins the VOQ for its route's next output port.
+func (r *portReceiver) Receive(p *packet.Packet) { r.sw.receive(r.port, p) }
+
+func (s *Switch) receive(in int, p *packet.Packet) {
+	p.UnpackTTD(s.cfg.Clock.Now())
+	o := p.NextPort()
+	p.Advance()
+	if o < 0 || o >= s.cfg.Radix {
+		panic(fmt.Sprintf("switch %d: packet %d routed to invalid port %d", s.cfg.ID, p.ID, o))
+	}
+	vc := p.VC
+	ip := s.in[in]
+	if ip.pool[vc]+p.Size > s.cfg.BufPerVC {
+		panic(fmt.Sprintf("switch %d input %d: %v pool overflow (%v + %v > %v): upstream violated flow control",
+			s.cfg.ID, in, packet.VC(vc), ip.pool[vc], p.Size, s.cfg.BufPerVC))
+	}
+	ip.pool[vc] += p.Size
+	ip.voq[vc][o].Push(p)
+	s.tryXbar(o)
+}
+
+// tryXbar attempts to start one crossbar transfer toward output o.
+func (s *Switch) tryXbar(o int) {
+	op := s.out[o]
+	if op.busy {
+		return
+	}
+	// Gather per-VC candidates: head packets of non-busy inputs that fit
+	// in the output buffer.
+	var cands [packet.NumVCs][]arbiter.Candidate
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		free := op.buf[vc].Free()
+		for i, ip := range s.in {
+			if ip.busy {
+				continue
+			}
+			if h := ip.voq[vc][o].Head(); h != nil && h.Size <= free {
+				cands[vc] = append(cands[vc], arbiter.Candidate{Pkt: h, Source: i})
+			}
+		}
+	}
+	vc, sel := s.pickXbar(op, &cands)
+	if sel < 0 {
+		return
+	}
+	s.startTransfer(s.in[cands[vc][sel].Source], op, packet.VC(vc))
+}
+
+// pickXbar applies the architecture's two-level choice: VC first, then
+// input within the VC. It returns the VC and the index into cands[vc], or
+// (0, -1) when nothing can be granted.
+func (s *Switch) pickXbar(op *outputPort, cands *[packet.NumVCs][]arbiter.Candidate) (int, int) {
+	if s.cfg.Arch.DeadlineAware() {
+		// Regulated VC has absolute priority; EDF within the VC.
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			if len(cands[vc]) > 0 {
+				return vc, op.edf[vc].Select(cands[vc])
+			}
+		}
+		return 0, -1
+	}
+	var avail [packet.NumVCs]bool
+	for vc := range cands {
+		avail[vc] = len(cands[vc]) > 0
+	}
+	vc, ok := op.xbarTable.Next(avail)
+	if !ok {
+		return 0, -1
+	}
+	return int(vc), op.rr[vc].Select(cands[vc])
+}
+
+// startTransfer moves the head of ip's VOQ for op through the crossbar.
+func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
+	p := ip.voq[vc][op.idx].Pop()
+	ip.busy = true
+	op.busy = true
+	s.xbarTransfers++
+	tx := s.cfg.XbarBW.TxTime(p.Size)
+	s.cfg.Eng.After(tx, func() { s.finishTransfer(ip, op, vc, p) })
+}
+
+func (s *Switch) finishTransfer(ip *inputPort, op *outputPort, vc packet.VC, p *packet.Packet) {
+	ip.busy = false
+	op.busy = false
+	// The packet has fully left the input buffer: free the pool and give
+	// the credits back upstream.
+	ip.pool[vc] -= p.Size
+	if ip.upstream != nil {
+		ip.upstream.ReturnCredits(vc, p.Size)
+	}
+	op.buf[vc].Push(p)
+	s.tryLinkTx(op.idx)
+	s.tryXbar(op.idx)
+	s.retryInput(ip)
+}
+
+// retryInput re-arbitrates the outputs the freed input has traffic for.
+func (s *Switch) retryInput(ip *inputPort) {
+	for o := 0; o < s.cfg.Radix; o++ {
+		waiting := false
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			if ip.voq[vc][o].Len() > 0 {
+				waiting = true
+				break
+			}
+		}
+		if waiting && !s.out[o].busy {
+			s.tryXbar(o)
+		}
+	}
+}
+
+// tryLinkTx attempts to put one packet from output o's buffers on the wire.
+func (s *Switch) tryLinkTx(o int) {
+	op := s.out[o]
+	l := op.down
+	if l == nil || !l.Idle() {
+		return
+	}
+	vc := s.pickLinkVC(op, l)
+	if vc < 0 {
+		return
+	}
+	p := op.buf[vc].Pop()
+	// Stamp the TTD as of the moment the last byte leaves this switch, so
+	// the next hop's reconstructed deadline carries no size-dependent
+	// inflation (see link.TxTime).
+	p.PackTTD(s.cfg.Clock.Now() + l.TxTime(p))
+	s.linkSends++
+	l.Send(p)
+	// Output buffer space freed: the crossbar may now have room.
+	s.tryXbar(o)
+}
+
+// pickLinkVC chooses which VC transmits next on the output link, honouring
+// the appendix's rule: only the discipline-designated head of each VC is
+// credit-checked. Returns -1 when nothing can be sent.
+func (s *Switch) pickLinkVC(op *outputPort, l *link.Link) int {
+	if s.cfg.Arch.DeadlineAware() {
+		// Absolute priority for the regulated VC. If its head is blocked
+		// on credits the best-effort VC may use the idle link: the VCs
+		// have independent downstream buffers, so this is work-conserving
+		// without ever delaying a *transmittable* regulated packet.
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			if h := op.buf[vc].Head(); h != nil && l.CanSend(h) {
+				return vc
+			}
+		}
+		return -1
+	}
+	var avail [packet.NumVCs]bool
+	any := false
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		h := op.buf[vc].Head()
+		avail[vc] = h != nil && l.CanSend(h)
+		any = any || avail[vc]
+	}
+	if !any {
+		return -1
+	}
+	vc, ok := op.linkTable.Next(avail)
+	if !ok {
+		return -1
+	}
+	return int(vc)
+}
+
+// Stats returns the switch's instrumentation counters, aggregating the
+// order-error oracle across every buffer.
+func (s *Switch) Stats() Stats {
+	st := Stats{XbarTransfers: s.xbarTransfers, LinkSends: s.linkSends}
+	count := func(b pqueue.Buffer) {
+		st.OrderErrors += b.OrderErrors()
+		if tq, ok := b.(*pqueue.TakeOverQueue); ok {
+			st.TakeOvers += tq.TakeOvers()
+		}
+	}
+	for _, ip := range s.in {
+		for vc := range ip.voq {
+			for _, b := range ip.voq[vc] {
+				count(b)
+			}
+		}
+	}
+	for _, op := range s.out {
+		for _, b := range op.buf {
+			count(b)
+		}
+	}
+	return st
+}
+
+// Queued returns the total packets currently buffered in the switch
+// (diagnostics and drain checks).
+func (s *Switch) Queued() int {
+	n := 0
+	for _, ip := range s.in {
+		for vc := range ip.voq {
+			for _, b := range ip.voq[vc] {
+				n += b.Len()
+			}
+		}
+	}
+	for _, op := range s.out {
+		for _, b := range op.buf {
+			n += b.Len()
+		}
+	}
+	return n
+}

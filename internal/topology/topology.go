@@ -1,0 +1,473 @@
+// Package topology builds the interconnection networks the simulator runs
+// on and computes the fixed routes that the paper's architecture requires
+// (source routing chosen at admission time, §3).
+//
+// The paper evaluates a "butterfly multi-stage interconnection network with
+// 128 endpoints ... a folded (bidirectional) perfect-shuffle" built from
+// 16-port switches. We provide:
+//
+//   - FoldedClos: a two-level folded Clos (leaf/spine) network. With 16
+//     leaves of 8 down + 8 up ports and 8 spines of 16 down ports this
+//     realises the paper's 128-endpoint MIN with 16-port switches and
+//     perfect-shuffle inter-stage wiring.
+//   - KAryNTree: the general k-ary n-tree folded butterfly, for k^n
+//     endpoints with 2k-port switches, used for scaled-down benchmark
+//     configurations and topology-sensitivity experiments.
+//   - SingleSwitch: all hosts on one switch, for unit tests and the
+//     buffer-level examples.
+//
+// All topologies expose every minimal up/down path between two hosts; the
+// admission control picks one per flow (load balancing, §3), and the route
+// travels in the packet header as a list of output ports.
+package topology
+
+import "fmt"
+
+// NodeRef identifies one side of a link: either a host NIC (IsHost, ID is
+// the host index, Port 0) or a switch port.
+type NodeRef struct {
+	IsHost bool
+	ID     int // host index or switch index
+	Port   int // port on that node (hosts have a single port 0)
+}
+
+// Hop is one routing step: the switch being traversed and the output port
+// the packet must take there.
+type Hop struct {
+	Switch  int
+	OutPort int
+}
+
+// Topology describes a network: its hosts, switches, wiring and minimal
+// paths. Implementations must be deterministic pure values.
+type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
+	// Hosts returns the number of endpoints.
+	Hosts() int
+	// Switches returns the number of switches.
+	Switches() int
+	// Radix returns the number of ports of switch sw (ports are
+	// 0..Radix-1; not all need be wired).
+	Radix(sw int) int
+	// HostPort returns the switch and switch port that host h attaches to.
+	HostPort(h int) (sw, port int)
+	// Peer returns what is wired to switch sw's port p. The zero NodeRef
+	// with ID -1 marks an unwired port.
+	Peer(sw, port int) NodeRef
+	// PathCount returns the number of minimal paths from src to dst
+	// (both host indices, src != dst).
+	PathCount(src, dst int) int
+	// Path returns minimal path number choice (0 <= choice < PathCount)
+	// from src to dst as the sequence of switch hops. The final hop's
+	// output port attaches to dst's NIC.
+	Path(src, dst, choice int) []Hop
+}
+
+// Unwired is the NodeRef returned by Peer for unconnected ports.
+var Unwired = NodeRef{ID: -1}
+
+// --- FoldedClos -----------------------------------------------------------
+
+// FoldedClos is a two-level leaf/spine network: Leaves switches each attach
+// Down hosts (ports 0..Down-1) and have Up uplinks (ports Down..Down+Up-1),
+// one to each of Up spine switches; spine s's port i attaches leaf i. The
+// inter-stage wiring is a perfect shuffle: every leaf reaches every spine.
+type FoldedClos struct {
+	Leaves int // number of leaf switches
+	Down   int // hosts per leaf
+	Up     int // uplinks per leaf == number of spines
+}
+
+// NewFoldedClos returns the folded Clos with the given shape after
+// validating it.
+func NewFoldedClos(leaves, down, up int) (*FoldedClos, error) {
+	if leaves <= 0 || down <= 0 || up <= 0 {
+		return nil, fmt.Errorf("topology: non-positive folded-Clos shape %d/%d/%d", leaves, down, up)
+	}
+	return &FoldedClos{Leaves: leaves, Down: down, Up: up}, nil
+}
+
+// PaperMIN returns the evaluation network of the paper: 128 endpoints on
+// 16-port switches (16 leaves x (8 down + 8 up), 8 spines x 16 down).
+func PaperMIN() *FoldedClos { return &FoldedClos{Leaves: 16, Down: 8, Up: 8} }
+
+// Name identifies the topology.
+func (c *FoldedClos) Name() string {
+	return fmt.Sprintf("folded-clos-%dx%d+%d", c.Leaves, c.Down, c.Up)
+}
+
+// Hosts returns Leaves*Down.
+func (c *FoldedClos) Hosts() int { return c.Leaves * c.Down }
+
+// Switches returns leaves + spines.
+func (c *FoldedClos) Switches() int { return c.Leaves + c.Up }
+
+// spine returns the switch index of spine s.
+func (c *FoldedClos) spine(s int) int { return c.Leaves + s }
+
+// Radix returns the port count of switch sw.
+func (c *FoldedClos) Radix(sw int) int {
+	if sw < c.Leaves {
+		return c.Down + c.Up
+	}
+	return c.Leaves
+}
+
+// HostPort returns host h's attachment point.
+func (c *FoldedClos) HostPort(h int) (sw, port int) { return h / c.Down, h % c.Down }
+
+// Peer returns the far end of switch sw's port p.
+func (c *FoldedClos) Peer(sw, port int) NodeRef {
+	if sw < c.Leaves { // leaf
+		if port < c.Down {
+			return NodeRef{IsHost: true, ID: sw*c.Down + port}
+		}
+		if port < c.Down+c.Up {
+			return NodeRef{ID: c.spine(port - c.Down), Port: sw}
+		}
+		return Unwired
+	}
+	// Spine: port i leads to leaf i's uplink toward this spine.
+	s := sw - c.Leaves
+	if port < c.Leaves {
+		return NodeRef{ID: port, Port: c.Down + s}
+	}
+	return Unwired
+}
+
+// PathCount returns 1 for same-leaf pairs and the spine count otherwise.
+func (c *FoldedClos) PathCount(src, dst int) int {
+	if src/c.Down == dst/c.Down {
+		return 1
+	}
+	return c.Up
+}
+
+// Path returns the choice-th minimal path from src to dst.
+func (c *FoldedClos) Path(src, dst, choice int) []Hop {
+	if src == dst {
+		panic("topology: path to self")
+	}
+	ls, ld := src/c.Down, dst/c.Down
+	if ls == ld {
+		return []Hop{{Switch: ls, OutPort: dst % c.Down}}
+	}
+	if choice < 0 || choice >= c.Up {
+		panic(fmt.Sprintf("topology: path choice %d out of %d", choice, c.Up))
+	}
+	return []Hop{
+		{Switch: ls, OutPort: c.Down + choice},
+		{Switch: c.spine(choice), OutPort: ld},
+		{Switch: ld, OutPort: dst % c.Down},
+	}
+}
+
+// --- KAryNTree -------------------------------------------------------------
+
+// KAryNTree is the classic k-ary n-tree folded butterfly MIN: k^n hosts,
+// n levels of k^(n-1) switches built from 2k-port switches (k down ports
+// 0..k-1, k up ports k..2k-1; the top level leaves its up ports unwired).
+//
+// A level-l switch is identified by its position p, an (n-1)-digit base-k
+// number. The butterfly wiring connects switch (l, p)'s up port k+j to
+// switch (l+1, p with digit l replaced by j), whose down port digit-l(p)
+// leads back.
+type KAryNTree struct {
+	K, N      int
+	perLevel  int // k^(n-1) switches per level
+	hostCount int // k^n
+}
+
+// NewKAryNTree returns the k-ary n-tree after validating the shape.
+func NewKAryNTree(k, n int) (*KAryNTree, error) {
+	if k < 2 || n < 1 {
+		return nil, fmt.Errorf("topology: invalid k-ary n-tree shape k=%d n=%d", k, n)
+	}
+	per, hosts := 1, k
+	for i := 1; i < n; i++ {
+		per *= k
+		hosts *= k
+	}
+	return &KAryNTree{K: k, N: n, perLevel: per, hostCount: hosts}, nil
+}
+
+// Name identifies the topology.
+func (t *KAryNTree) Name() string { return fmt.Sprintf("%d-ary-%d-tree", t.K, t.N) }
+
+// Hosts returns k^n.
+func (t *KAryNTree) Hosts() int { return t.hostCount }
+
+// Switches returns n * k^(n-1).
+func (t *KAryNTree) Switches() int { return t.N * t.perLevel }
+
+// Radix returns 2k for every switch.
+func (t *KAryNTree) Radix(int) int { return 2 * t.K }
+
+// level and pos decompose a switch index; sw = level*perLevel + pos.
+func (t *KAryNTree) level(sw int) int { return sw / t.perLevel }
+func (t *KAryNTree) pos(sw int) int   { return sw % t.perLevel }
+func (t *KAryNTree) swIndex(level, pos int) int {
+	return level*t.perLevel + pos
+}
+
+// digit returns base-k digit i of p.
+func (t *KAryNTree) digit(p, i int) int {
+	for ; i > 0; i-- {
+		p /= t.K
+	}
+	return p % t.K
+}
+
+// setDigit returns p with base-k digit i replaced by v.
+func (t *KAryNTree) setDigit(p, i, v int) int {
+	pow := 1
+	for j := 0; j < i; j++ {
+		pow *= t.K
+	}
+	return p + (v-t.digit(p, i))*pow
+}
+
+// HostPort attaches host h to level-0 switch h/k, down port h%k.
+func (t *KAryNTree) HostPort(h int) (sw, port int) { return h / t.K, h % t.K }
+
+// Peer returns the far end of switch sw's port p.
+func (t *KAryNTree) Peer(sw, port int) NodeRef {
+	l, p := t.level(sw), t.pos(sw)
+	if port < t.K { // down port
+		if l == 0 {
+			return NodeRef{IsHost: true, ID: p*t.K + port}
+		}
+		// Down port m at level l leads to (l-1, p with digit l-1 := m),
+		// arriving on that switch's up port k + digit(l-1) of p.
+		q := t.setDigit(p, l-1, port)
+		return NodeRef{ID: t.swIndex(l-1, q), Port: t.K + t.digit(p, l-1)}
+	}
+	if port < 2*t.K { // up port
+		if l == t.N-1 {
+			return Unwired // top level has no up links
+		}
+		j := port - t.K
+		q := t.setDigit(p, l, j)
+		return NodeRef{ID: t.swIndex(l+1, q), Port: t.digit(p, l)}
+	}
+	return Unwired
+}
+
+// nca returns the level of the nearest common ancestor stage of the two
+// hosts' leaf switches: the smallest L such that the leaf positions agree
+// on all digits with index >= L. Same leaf gives 0.
+func (t *KAryNTree) nca(src, dst int) int {
+	p, q := src/t.K, dst/t.K
+	L := 0
+	for i := 0; i < t.N-1; i++ {
+		if t.digit(p, i) != t.digit(q, i) {
+			L = i + 1
+		}
+	}
+	return L
+}
+
+// PathCount returns k^L where L is the nearest-common-ancestor level.
+func (t *KAryNTree) PathCount(src, dst int) int {
+	n := 1
+	for i := 0; i < t.nca(src, dst); i++ {
+		n *= t.K
+	}
+	return n
+}
+
+// Path returns the choice-th minimal up/down path: up ports chosen by the
+// base-k digits of choice, then deterministic down routing to dst.
+func (t *KAryNTree) Path(src, dst, choice int) []Hop {
+	if src == dst {
+		panic("topology: path to self")
+	}
+	L := t.nca(src, dst)
+	if choice < 0 || choice >= t.PathCount(src, dst) {
+		panic(fmt.Sprintf("topology: path choice %d out of %d", choice, t.PathCount(src, dst)))
+	}
+	var hops []Hop
+	p := src / t.K
+	// Ascend L levels, picking up port digit l of choice at level l.
+	c := choice
+	for l := 0; l < L; l++ {
+		j := c % t.K
+		c /= t.K
+		hops = append(hops, Hop{Switch: t.swIndex(l, p), OutPort: t.K + j})
+		p = t.setDigit(p, l, j)
+	}
+	// Descend: at level l take down port digit(l-1) of the destination
+	// leaf position, which rewrites our digit l-1 to match dst's.
+	q := dst / t.K
+	for l := L; l >= 1; l-- {
+		m := t.digit(q, l-1)
+		hops = append(hops, Hop{Switch: t.swIndex(l, p), OutPort: m})
+		p = t.setDigit(p, l-1, m)
+	}
+	// Leaf delivery.
+	hops = append(hops, Hop{Switch: t.swIndex(0, p), OutPort: dst % t.K})
+	return hops
+}
+
+// --- SingleSwitch ------------------------------------------------------------
+
+// SingleSwitch attaches N hosts to one N-port switch. It isolates the
+// buffer and arbiter behaviour from topology effects and is the unit-test
+// network.
+type SingleSwitch struct{ N int }
+
+// Name identifies the topology.
+func (s *SingleSwitch) Name() string { return fmt.Sprintf("single-switch-%d", s.N) }
+
+// Hosts returns N.
+func (s *SingleSwitch) Hosts() int { return s.N }
+
+// Switches returns 1.
+func (s *SingleSwitch) Switches() int { return 1 }
+
+// Radix returns N.
+func (s *SingleSwitch) Radix(int) int { return s.N }
+
+// HostPort attaches host h to port h.
+func (s *SingleSwitch) HostPort(h int) (sw, port int) { return 0, h }
+
+// Peer returns host p for every port.
+func (s *SingleSwitch) Peer(sw, port int) NodeRef {
+	if port < s.N {
+		return NodeRef{IsHost: true, ID: port}
+	}
+	return Unwired
+}
+
+// PathCount returns 1.
+func (s *SingleSwitch) PathCount(src, dst int) int { return 1 }
+
+// Path returns the single direct hop.
+func (s *SingleSwitch) Path(src, dst, choice int) []Hop {
+	if src == dst {
+		panic("topology: path to self")
+	}
+	return []Hop{{Switch: 0, OutPort: dst}}
+}
+
+// --- Mesh2D --------------------------------------------------------------
+
+// Mesh2D is a direct network: a Cols x Rows mesh of switches with
+// HostsPerSwitch endpoints attached to every switch and dimension-order
+// (X-then-Y) routing, which is deadlock-free on a mesh without dedicated
+// escape channels — so it composes with the two QoS VCs untouched.
+//
+// Port layout per switch: 0..HostsPerSwitch-1 attach hosts, then +X, -X,
+// +Y, -Y neighbour ports (edge switches leave absent neighbours unwired).
+type Mesh2D struct {
+	Cols, Rows     int
+	HostsPerSwitch int
+}
+
+// NewMesh2D returns the mesh after validating its shape.
+func NewMesh2D(cols, rows, hostsPerSwitch int) (*Mesh2D, error) {
+	if cols <= 0 || rows <= 0 || hostsPerSwitch <= 0 {
+		return nil, fmt.Errorf("topology: non-positive mesh shape %dx%d/%d", cols, rows, hostsPerSwitch)
+	}
+	if cols*rows < 2 && hostsPerSwitch < 2 {
+		return nil, fmt.Errorf("topology: mesh too small")
+	}
+	return &Mesh2D{Cols: cols, Rows: rows, HostsPerSwitch: hostsPerSwitch}, nil
+}
+
+// Neighbour port indices, offset by HostsPerSwitch.
+const (
+	meshXPlus = iota
+	meshXMinus
+	meshYPlus
+	meshYMinus
+)
+
+// Name identifies the topology.
+func (m *Mesh2D) Name() string {
+	return fmt.Sprintf("mesh-%dx%dx%d", m.Cols, m.Rows, m.HostsPerSwitch)
+}
+
+// Hosts returns Cols*Rows*HostsPerSwitch.
+func (m *Mesh2D) Hosts() int { return m.Cols * m.Rows * m.HostsPerSwitch }
+
+// Switches returns Cols*Rows.
+func (m *Mesh2D) Switches() int { return m.Cols * m.Rows }
+
+// Radix returns HostsPerSwitch + 4 for every switch (edge switches simply
+// leave absent neighbour ports unwired).
+func (m *Mesh2D) Radix(int) int { return m.HostsPerSwitch + 4 }
+
+// coord converts a switch index to (x, y).
+func (m *Mesh2D) coord(sw int) (x, y int) { return sw % m.Cols, sw / m.Cols }
+
+// swAt converts (x, y) to a switch index.
+func (m *Mesh2D) swAt(x, y int) int { return y*m.Cols + x }
+
+// HostPort attaches host h to switch h/HostsPerSwitch.
+func (m *Mesh2D) HostPort(h int) (sw, port int) {
+	return h / m.HostsPerSwitch, h % m.HostsPerSwitch
+}
+
+// Peer returns the far end of switch sw's port p.
+func (m *Mesh2D) Peer(sw, port int) NodeRef {
+	if port < m.HostsPerSwitch {
+		return NodeRef{IsHost: true, ID: sw*m.HostsPerSwitch + port}
+	}
+	x, y := m.coord(sw)
+	switch port - m.HostsPerSwitch {
+	case meshXPlus:
+		if x+1 < m.Cols {
+			return NodeRef{ID: m.swAt(x+1, y), Port: m.HostsPerSwitch + meshXMinus}
+		}
+	case meshXMinus:
+		if x > 0 {
+			return NodeRef{ID: m.swAt(x-1, y), Port: m.HostsPerSwitch + meshXPlus}
+		}
+	case meshYPlus:
+		if y+1 < m.Rows {
+			return NodeRef{ID: m.swAt(x, y+1), Port: m.HostsPerSwitch + meshYMinus}
+		}
+	case meshYMinus:
+		if y > 0 {
+			return NodeRef{ID: m.swAt(x, y-1), Port: m.HostsPerSwitch + meshYPlus}
+		}
+	}
+	return Unwired
+}
+
+// PathCount returns 1: dimension-order routing is deterministic.
+func (m *Mesh2D) PathCount(src, dst int) int { return 1 }
+
+// Path returns the X-then-Y dimension-order route.
+func (m *Mesh2D) Path(src, dst, choice int) []Hop {
+	if src == dst {
+		panic("topology: path to self")
+	}
+	sw, _ := m.HostPort(src)
+	dsw, dport := m.HostPort(dst)
+	var hops []Hop
+	x, y := m.coord(sw)
+	dx, dy := m.coord(dsw)
+	for x != dx {
+		if x < dx {
+			hops = append(hops, Hop{Switch: m.swAt(x, y), OutPort: m.HostsPerSwitch + meshXPlus})
+			x++
+		} else {
+			hops = append(hops, Hop{Switch: m.swAt(x, y), OutPort: m.HostsPerSwitch + meshXMinus})
+			x--
+		}
+	}
+	for y != dy {
+		if y < dy {
+			hops = append(hops, Hop{Switch: m.swAt(x, y), OutPort: m.HostsPerSwitch + meshYPlus})
+			y++
+		} else {
+			hops = append(hops, Hop{Switch: m.swAt(x, y), OutPort: m.HostsPerSwitch + meshYMinus})
+			y--
+		}
+	}
+	hops = append(hops, Hop{Switch: m.swAt(x, y), OutPort: dport})
+	return hops
+}

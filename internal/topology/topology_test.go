@@ -1,0 +1,359 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// topologies under test, constructed fresh for each test.
+func testTopologies() map[string]Topology {
+	clos, err := NewFoldedClos(4, 4, 2)
+	if err != nil {
+		panic(err)
+	}
+	tree2, err := NewKAryNTree(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	tree3, err := NewKAryNTree(2, 3)
+	if err != nil {
+		panic(err)
+	}
+	return map[string]Topology{
+		"clos":   clos,
+		"tree2":  tree2,
+		"tree3":  tree3,
+		"single": &SingleSwitch{N: 8},
+		"paper":  PaperMIN(),
+	}
+}
+
+func TestShapes(t *testing.T) {
+	cases := []struct {
+		name            string
+		hosts, switches int
+	}{
+		{"clos", 16, 6},
+		{"tree2", 16, 8},
+		{"tree3", 8, 12},
+		{"single", 8, 1},
+		{"paper", 128, 24},
+	}
+	tops := testTopologies()
+	for _, c := range cases {
+		top := tops[c.name]
+		if top.Hosts() != c.hosts {
+			t.Errorf("%s: Hosts() = %d, want %d", c.name, top.Hosts(), c.hosts)
+		}
+		if top.Switches() != c.switches {
+			t.Errorf("%s: Switches() = %d, want %d", c.name, top.Switches(), c.switches)
+		}
+	}
+}
+
+func TestPaperMINUses16PortSwitches(t *testing.T) {
+	top := PaperMIN()
+	for sw := 0; sw < top.Switches(); sw++ {
+		if r := top.Radix(sw); r != 16 {
+			t.Fatalf("switch %d radix = %d, want 16 (paper §4.1)", sw, r)
+		}
+	}
+	if top.Hosts() != 128 {
+		t.Fatalf("paper MIN has %d hosts, want 128", top.Hosts())
+	}
+}
+
+// TestWiringIsInvolution checks that following any wired switch port to its
+// peer and back returns to the origin, and that host attachments agree with
+// HostPort. This validates the whole wiring of every topology.
+func TestWiringIsInvolution(t *testing.T) {
+	for name, top := range testTopologies() {
+		hostSeen := make(map[int]bool)
+		for sw := 0; sw < top.Switches(); sw++ {
+			for p := 0; p < top.Radix(sw); p++ {
+				ref := top.Peer(sw, p)
+				if ref.ID == -1 {
+					continue // unwired
+				}
+				if ref.IsHost {
+					hsw, hport := top.HostPort(ref.ID)
+					if hsw != sw || hport != p {
+						t.Errorf("%s: host %d attached at (%d,%d) but HostPort says (%d,%d)",
+							name, ref.ID, sw, p, hsw, hport)
+					}
+					if hostSeen[ref.ID] {
+						t.Errorf("%s: host %d attached twice", name, ref.ID)
+					}
+					hostSeen[ref.ID] = true
+					continue
+				}
+				back := top.Peer(ref.ID, ref.Port)
+				if back.IsHost || back.ID != sw || back.Port != p {
+					t.Errorf("%s: peer(%d,%d) = (%d,%d) but reverse = %+v",
+						name, sw, p, ref.ID, ref.Port, back)
+				}
+			}
+		}
+		if len(hostSeen) != top.Hosts() {
+			t.Errorf("%s: %d hosts wired, want %d", name, len(hostSeen), top.Hosts())
+		}
+	}
+}
+
+// TestPathsReachDestination walks every (src,dst,choice) path through the
+// wiring and checks it terminates at dst's NIC.
+func TestPathsReachDestination(t *testing.T) {
+	for name, top := range testTopologies() {
+		for src := 0; src < top.Hosts(); src++ {
+			for dst := 0; dst < top.Hosts(); dst++ {
+				if src == dst {
+					continue
+				}
+				for choice := 0; choice < top.PathCount(src, dst); choice++ {
+					hops := top.Path(src, dst, choice)
+					if len(hops) == 0 {
+						t.Fatalf("%s: empty path %d->%d", name, src, dst)
+					}
+					// First switch must be src's leaf.
+					sw, _ := top.HostPort(src)
+					if hops[0].Switch != sw {
+						t.Fatalf("%s: path %d->%d starts at switch %d, want %d",
+							name, src, dst, hops[0].Switch, sw)
+					}
+					// Walk the path through the wiring.
+					for i, h := range hops {
+						ref := top.Peer(h.Switch, h.OutPort)
+						if i == len(hops)-1 {
+							if !ref.IsHost || ref.ID != dst {
+								t.Fatalf("%s: path %d->%d choice %d ends at %+v",
+									name, src, dst, choice, ref)
+							}
+						} else {
+							if ref.IsHost || ref.ID != hops[i+1].Switch {
+								t.Fatalf("%s: path %d->%d choice %d hop %d leads to %+v, want switch %d",
+									name, src, dst, choice, i, ref, hops[i+1].Switch)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathsAreDistinct(t *testing.T) {
+	// Different choices must produce different paths (load balancing
+	// relies on this).
+	for name, top := range testTopologies() {
+		src, dst := 0, top.Hosts()-1
+		n := top.PathCount(src, dst)
+		seen := make(map[string]bool)
+		for c := 0; c < n; c++ {
+			key := ""
+			for _, h := range top.Path(src, dst, c) {
+				key += string(rune(h.Switch)) + ":" + string(rune(h.OutPort)) + ";"
+			}
+			if seen[key] {
+				t.Errorf("%s: duplicate path for different choices", name)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestClosSameLeafPathIsLocal(t *testing.T) {
+	clos := PaperMIN()
+	// Hosts 0 and 1 share leaf 0.
+	hops := clos.Path(0, 1, 0)
+	if len(hops) != 1 || hops[0].Switch != 0 || hops[0].OutPort != 1 {
+		t.Fatalf("same-leaf path = %v, want single local hop", hops)
+	}
+	if clos.PathCount(0, 1) != 1 {
+		t.Fatal("same-leaf pair must have exactly one path")
+	}
+}
+
+func TestClosCrossLeafPathCount(t *testing.T) {
+	clos := PaperMIN()
+	if n := clos.PathCount(0, 127); n != 8 {
+		t.Fatalf("cross-leaf PathCount = %d, want 8 (one per spine)", n)
+	}
+	for c := 0; c < 8; c++ {
+		hops := clos.Path(0, 127, c)
+		if len(hops) != 3 {
+			t.Fatalf("cross-leaf path length = %d, want 3", len(hops))
+		}
+		if hops[1].Switch != 16+c {
+			t.Fatalf("choice %d traverses spine switch %d, want %d", c, hops[1].Switch, 16+c)
+		}
+	}
+}
+
+func TestTreeNCA(t *testing.T) {
+	tr, _ := NewKAryNTree(2, 3) // 8 hosts, leaves of 2
+	// Hosts 0,1 share leaf 0 -> 1 path.
+	if n := tr.PathCount(0, 1); n != 1 {
+		t.Errorf("PathCount(0,1) = %d, want 1", n)
+	}
+	// Hosts 0,2: leaves 0 and 1 differ in digit 0 -> NCA level 1 -> 2 paths.
+	if n := tr.PathCount(0, 2); n != 2 {
+		t.Errorf("PathCount(0,2) = %d, want 2", n)
+	}
+	// Hosts 0,7: leaves 0 and 3 differ in digit 1 -> NCA level 2 -> 4 paths.
+	if n := tr.PathCount(0, 7); n != 4 {
+		t.Errorf("PathCount(0,7) = %d, want 4", n)
+	}
+}
+
+func TestInvalidShapes(t *testing.T) {
+	if _, err := NewFoldedClos(0, 8, 8); err == nil {
+		t.Error("NewFoldedClos(0,...) accepted")
+	}
+	if _, err := NewKAryNTree(1, 3); err == nil {
+		t.Error("NewKAryNTree(k=1) accepted")
+	}
+	if _, err := NewKAryNTree(4, 0); err == nil {
+		t.Error("NewKAryNTree(n=0) accepted")
+	}
+}
+
+func TestPathToSelfPanics(t *testing.T) {
+	for name, top := range testTopologies() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Path(0,0) did not panic", name)
+				}
+			}()
+			top.Path(0, 0, 0)
+		}()
+	}
+}
+
+func TestTreePathPropertyRandomPairs(t *testing.T) {
+	tr, _ := NewKAryNTree(4, 3) // 64 hosts
+	prop := func(a, b uint8, c uint16) bool {
+		src := int(a) % tr.Hosts()
+		dst := int(b) % tr.Hosts()
+		if src == dst {
+			return true
+		}
+		choice := int(c) % tr.PathCount(src, dst)
+		hops := tr.Path(src, dst, choice)
+		// Walk and verify arrival.
+		for i, h := range hops {
+			ref := tr.Peer(h.Switch, h.OutPort)
+			if i == len(hops)-1 {
+				return ref.IsHost && ref.ID == dst
+			}
+			if ref.IsHost || ref.ID != hops[i+1].Switch {
+				return false
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, top := range testTopologies() {
+		if top.Name() == "" {
+			t.Error("empty topology name")
+		}
+	}
+}
+
+func TestMesh2DShape(t *testing.T) {
+	m, err := NewMesh2D(4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hosts() != 128 || m.Switches() != 16 {
+		t.Fatalf("mesh 4x4x8: %d hosts / %d switches", m.Hosts(), m.Switches())
+	}
+	if m.Radix(0) != 12 {
+		t.Fatalf("mesh radix = %d, want 12", m.Radix(0))
+	}
+	if _, err := NewMesh2D(0, 4, 1); err == nil {
+		t.Error("invalid mesh accepted")
+	}
+}
+
+func TestMesh2DWiringAndPaths(t *testing.T) {
+	m, err := NewMesh2D(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the generic validations.
+	tops := map[string]Topology{"mesh": m}
+	for name, top := range tops {
+		hostSeen := make(map[int]bool)
+		for sw := 0; sw < top.Switches(); sw++ {
+			for p := 0; p < top.Radix(sw); p++ {
+				ref := top.Peer(sw, p)
+				if ref.ID == -1 {
+					continue
+				}
+				if ref.IsHost {
+					hostSeen[ref.ID] = true
+					continue
+				}
+				back := top.Peer(ref.ID, ref.Port)
+				if back.IsHost || back.ID != sw || back.Port != p {
+					t.Fatalf("%s: wiring not involutive at (%d,%d)", name, sw, p)
+				}
+			}
+		}
+		if len(hostSeen) != top.Hosts() {
+			t.Fatalf("%s: %d hosts wired, want %d", name, len(hostSeen), top.Hosts())
+		}
+		for src := 0; src < top.Hosts(); src++ {
+			for dst := 0; dst < top.Hosts(); dst++ {
+				if src == dst {
+					continue
+				}
+				hops := top.Path(src, dst, 0)
+				for i, h := range hops {
+					ref := top.Peer(h.Switch, h.OutPort)
+					if i == len(hops)-1 {
+						if !ref.IsHost || ref.ID != dst {
+							t.Fatalf("%s: path %d->%d ends at %+v", name, src, dst, ref)
+						}
+					} else if ref.IsHost || ref.ID != hops[i+1].Switch {
+						t.Fatalf("%s: path %d->%d broken at hop %d", name, src, dst, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMesh2DDimensionOrder(t *testing.T) {
+	m, _ := NewMesh2D(4, 4, 1)
+	// Host 0 at switch (0,0), host 15 at switch (3,3): route goes +X 3
+	// times, then +Y 3 times, then the host port.
+	hops := m.Path(0, 15, 0)
+	if len(hops) != 7 {
+		t.Fatalf("XY path length = %d, want 7", len(hops))
+	}
+	for i := 0; i < 3; i++ {
+		if hops[i].OutPort != 1+meshXPlus {
+			t.Fatalf("hop %d not +X", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if hops[i].OutPort != 1+meshYPlus {
+			t.Fatalf("hop %d not +Y", i)
+		}
+	}
+}
+
+func TestMesh2DSameSwitchPath(t *testing.T) {
+	m, _ := NewMesh2D(2, 2, 4)
+	hops := m.Path(0, 3, 0) // same switch, different host ports
+	if len(hops) != 1 || hops[0].OutPort != 3 {
+		t.Fatalf("intra-switch path = %v", hops)
+	}
+}

@@ -1,0 +1,108 @@
+package traffic
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+	"deadlineqos/internal/xrand"
+)
+
+func TestLoadFrameTraceFormats(t *testing.T) {
+	src := `# comment
+12000
+1 I 90000
+
+2 B 15000`
+	frames, err := LoadFrameTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []units.Size{12000, 90000, 15000}
+	if len(frames) != len(want) {
+		t.Fatalf("frames = %v", frames)
+	}
+	for i := range want {
+		if frames[i] != want[i] {
+			t.Fatalf("frame %d = %v, want %v", i, frames[i], want[i])
+		}
+	}
+}
+
+func TestLoadFrameTraceErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":    "# only comments\n",
+		"garbage":  "1 I notanumber\n",
+		"negative": "3 P -5\n",
+	} {
+		if _, err := LoadFrameTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("%s trace accepted", name)
+		}
+	}
+}
+
+func TestSampleTraceFile(t *testing.T) {
+	f, err := os.Open("testdata/mpeg4_sample.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frames, err := LoadFrameTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 600 {
+		t.Fatalf("sample trace has %d frames, want 600", len(frames))
+	}
+	for i, fr := range frames {
+		if fr < units.Kilobyte || fr > 120*units.Kilobyte {
+			t.Fatalf("frame %d size %v outside the paper's range", i, fr)
+		}
+	}
+}
+
+func TestVideoTraceReplay(t *testing.T) {
+	r := newGenRig(t)
+	r.host.AddFlow(&hostif.Flow{ID: 1, Class: packet.Multimedia, Src: 0, Dst: 1,
+		Route: []int{0}, Mode: hostif.FrameLatency, Target: 10 * units.Millisecond})
+	frames := []units.Size{10000, 20000, 30000}
+	v := NewVideoTrace(VideoTraceConfig{Eng: r.eng, Host: r.host, Rng: xrand.New(3),
+		Flow: 1, Period: 40 * units.Millisecond, Frames: frames})
+	v.Start()
+	r.eng.Run(400 * units.Millisecond)
+	if v.Frames() < 9 || v.Frames() > 10 {
+		t.Fatalf("replayed %d frames in 400ms, want ~10", v.Frames())
+	}
+	// Frame sizes must cycle through the trace.
+	sizes := map[uint64]units.Size{}
+	for _, p := range r.gen {
+		sizes[p.FrameID] += p.Size - packet.HeaderSize
+	}
+	counts := map[units.Size]int{}
+	for _, s := range sizes {
+		counts[s]++
+	}
+	for _, want := range frames {
+		if counts[want] < 2 {
+			t.Fatalf("trace frame size %v appeared %d times, want >=2 (cycling)", want, counts[want])
+		}
+	}
+	if got := v.MeanRate(); got != units.Bandwidth(20000.0/float64(40*units.Millisecond)) {
+		t.Fatalf("MeanRate = %v", got)
+	}
+}
+
+func TestVideoTraceValidation(t *testing.T) {
+	r := newGenRig(t)
+	mustPanic(t, "no frames", func() {
+		NewVideoTrace(VideoTraceConfig{Eng: r.eng, Host: r.host, Rng: xrand.New(1),
+			Period: units.Millisecond})
+	})
+	mustPanic(t, "zero period", func() {
+		NewVideoTrace(VideoTraceConfig{Eng: r.eng, Host: r.host, Rng: xrand.New(1),
+			Frames: []units.Size{100}})
+	})
+}

@@ -1,0 +1,136 @@
+// Package units defines the physical units used throughout the simulator
+// and conversions between them.
+//
+// The simulator clock counts Cycles. One cycle is the time needed to move
+// one byte across a link at the reference link bandwidth (8 Gb/s), which
+// conveniently equals one nanosecond:
+//
+//	8 Gb/s = 1 GB/s  =>  1 byte-time = 1 ns
+//
+// All latency figures reported by the simulator are therefore directly
+// interpretable as nanoseconds when the reference bandwidth is used. Links
+// with a different bandwidth express their speed as bytes per cycle.
+package units
+
+import "fmt"
+
+// Time is a point in simulated time or a duration, measured in cycles.
+// It is signed so that subtractions (e.g. time-to-deadline computations,
+// which the paper's TTD header field relies on) are well defined even when
+// a deadline has already passed.
+type Time int64
+
+// Common durations at the reference bandwidth (1 cycle = 1 ns).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Infinity is a time later than any event in a simulation. It is used as
+// the deadline of traffic that has none and as a sentinel for empty queues.
+const Infinity Time = 1<<63 - 1
+
+// Nanoseconds returns t as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) }
+
+// Microseconds returns t as a float64 microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t as a float64 millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit, for logs and reports.
+func (t Time) String() string {
+	switch {
+	case t == Infinity:
+		return "inf"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Size is a data size in bytes.
+type Size int64
+
+// Common sizes.
+const (
+	Byte     Size = 1
+	Kilobyte Size = 1024 * Byte
+	Megabyte Size = 1024 * Kilobyte
+	Gigabyte Size = 1024 * Megabyte
+)
+
+// Bytes returns s as an int64 byte count.
+func (s Size) Bytes() int64 { return int64(s) }
+
+// String renders the size with an adaptive unit.
+func (s Size) String() string {
+	switch {
+	case s < 0:
+		return "-" + (-s).String()
+	case s < Kilobyte:
+		return fmt.Sprintf("%dB", int64(s))
+	case s < Megabyte:
+		return fmt.Sprintf("%.1fKB", float64(s)/float64(Kilobyte))
+	case s < Gigabyte:
+		return fmt.Sprintf("%.1fMB", float64(s)/float64(Megabyte))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(s)/float64(Gigabyte))
+	}
+}
+
+// Bandwidth is a transmission rate in bytes per cycle. At the reference
+// bandwidth (8 Gb/s with 1 ns cycles) a full-speed link moves exactly one
+// byte per cycle, i.e. Bandwidth(1).
+type Bandwidth float64
+
+// GbpsToBandwidth converts a rate in gigabits per second into bytes per
+// cycle, assuming the reference 1 ns cycle.
+func GbpsToBandwidth(gbps float64) Bandwidth {
+	// gbps Gb/s = gbps/8 GB/s = gbps/8 bytes/ns.
+	return Bandwidth(gbps / 8.0)
+}
+
+// MBpsToBandwidth converts a rate in megabytes per second into bytes per
+// cycle (reference 1 ns cycle). Note: decimal megabytes, as used by the
+// paper for the 3 MB/s MPEG-4 streams.
+func MBpsToBandwidth(mbps float64) Bandwidth {
+	return Bandwidth(mbps * 1e6 / 1e9)
+}
+
+// Gbps reports the bandwidth in gigabits per second.
+func (b Bandwidth) Gbps() float64 { return float64(b) * 8.0 }
+
+// TxTime returns the number of cycles needed to serialise size bytes at
+// bandwidth b, rounded up to a whole cycle. A non-positive bandwidth
+// yields Infinity (a stalled link transmits nothing).
+func (b Bandwidth) TxTime(size Size) Time {
+	if b <= 0 {
+		return Infinity
+	}
+	cycles := float64(size) / float64(b)
+	t := Time(cycles)
+	if float64(t) < cycles {
+		t++
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// String renders the bandwidth in Gb/s.
+func (b Bandwidth) String() string { return fmt.Sprintf("%.2fGb/s", b.Gbps()) }

@@ -1,0 +1,117 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1.00us"},
+		{1500, "1.50us"},
+		{Millisecond, "1.00ms"},
+		{10 * Millisecond, "10.00ms"},
+		{Second, "1.000s"},
+		{-1500, "-1.50us"},
+		{Infinity, "inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := 2500 * Microsecond
+	if got := tm.Milliseconds(); got != 2.5 {
+		t.Errorf("Milliseconds() = %v, want 2.5", got)
+	}
+	if got := tm.Seconds(); got != 0.0025 {
+		t.Errorf("Seconds() = %v, want 0.0025", got)
+	}
+	if got := Time(1500).Microseconds(); got != 1.5 {
+		t.Errorf("Microseconds() = %v, want 1.5", got)
+	}
+}
+
+func TestSizeString(t *testing.T) {
+	cases := []struct {
+		in   Size
+		want string
+	}{
+		{128, "128B"},
+		{2 * Kilobyte, "2.0KB"},
+		{Megabyte + Megabyte/2, "1.5MB"},
+		{3 * Gigabyte, "3.00GB"},
+		{-128, "-128B"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Size(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestGbpsToBandwidth(t *testing.T) {
+	// 8 Gb/s must be exactly 1 byte/cycle: this equivalence anchors the
+	// whole unit system (see the package comment).
+	if b := GbpsToBandwidth(8); b != 1 {
+		t.Fatalf("GbpsToBandwidth(8) = %v, want 1", b)
+	}
+	if b := GbpsToBandwidth(4); b != 0.5 {
+		t.Fatalf("GbpsToBandwidth(4) = %v, want 0.5", b)
+	}
+	if g := GbpsToBandwidth(8).Gbps(); g != 8 {
+		t.Fatalf("round trip = %v, want 8", g)
+	}
+}
+
+func TestMBpsToBandwidth(t *testing.T) {
+	// 3 MB/s (the paper's MPEG-4 stream rate) = 0.003 bytes/ns.
+	if b := MBpsToBandwidth(3); b != 0.003 {
+		t.Fatalf("MBpsToBandwidth(3) = %v, want 0.003", b)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	full := GbpsToBandwidth(8)
+	if got := full.TxTime(2048); got != 2048 {
+		t.Errorf("full.TxTime(2048) = %v, want 2048", got)
+	}
+	half := GbpsToBandwidth(4)
+	if got := half.TxTime(100); got != 200 {
+		t.Errorf("half.TxTime(100) = %v, want 200", got)
+	}
+	// Rounds up to whole cycles.
+	if got := Bandwidth(3).TxTime(100); got != 34 {
+		t.Errorf("TxTime rounding = %v, want 34", got)
+	}
+	// Minimum one cycle even for tiny payloads.
+	if got := full.TxTime(0); got != 1 {
+		t.Errorf("TxTime(0) = %v, want 1", got)
+	}
+	// Stalled link never completes.
+	if got := Bandwidth(0).TxTime(100); got != Infinity {
+		t.Errorf("zero bandwidth TxTime = %v, want Infinity", got)
+	}
+}
+
+func TestTxTimeNeverUnderestimates(t *testing.T) {
+	// Property: serialising size bytes at bandwidth b must take at least
+	// size/b cycles (the link can never be faster than its rate).
+	prop := func(sz uint16, rate uint8) bool {
+		b := Bandwidth(float64(rate%64)/8 + 0.125) // 0.125 .. 8 bytes/cycle
+		size := Size(sz)
+		tt := b.TxTime(size)
+		return float64(tt)*float64(b) >= float64(size)-1e-6 && tt >= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package deadlineqos
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would; behavioural depth lives in the internal package tests.
+
+func TestPublicQuickRun(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Arch = Advanced2VC
+	cfg.Load = 0.5
+	cfg.WarmUp = 500 * Microsecond
+	cfg.Measure = 4 * Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerClass[Control].DeliveredPackets == 0 {
+		t.Fatal("no control packets delivered through the public API")
+	}
+	if res.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+	snap := res.Snapshot("public-api")
+	if snap.Classes["Control"].DeliveredPackets == 0 {
+		t.Fatal("snapshot missing control deliveries")
+	}
+}
+
+func TestPublicTopologyConstructors(t *testing.T) {
+	if PaperMIN().Hosts() != 128 {
+		t.Error("PaperMIN is not the 128-endpoint network")
+	}
+	clos, err := NewFoldedClos(4, 4, 4)
+	if err != nil || clos.Hosts() != 16 {
+		t.Errorf("NewFoldedClos: %v hosts, err %v", clos, err)
+	}
+	tree, err := NewKAryNTree(2, 3)
+	if err != nil || tree.Hosts() != 8 {
+		t.Errorf("NewKAryNTree: err %v", err)
+	}
+	if SingleSwitch(4).Hosts() != 4 {
+		t.Error("SingleSwitch wrong")
+	}
+}
+
+func TestPublicBufferTypes(t *testing.T) {
+	for name, buf := range map[string]Buffer{
+		"fifo":     NewFIFOQueue(Kilobyte, true),
+		"heap":     NewHeapQueue(Kilobyte, true),
+		"takeover": NewTakeOverQueue(Kilobyte, true),
+	} {
+		buf.Push(&Packet{ID: 1, Deadline: 50, Size: 64})
+		buf.Push(&Packet{ID: 2, Deadline: 10, Size: 64})
+		if buf.Len() != 2 {
+			t.Errorf("%s: Len = %d", name, buf.Len())
+		}
+		p := buf.Pop()
+		if name != "fifo" && p.Deadline != 10 {
+			t.Errorf("%s: popped deadline %v, want 10", name, p.Deadline)
+		}
+	}
+}
+
+func TestPublicNewAllowsCustomDriving(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Load = 0.2
+	cfg.WarmUp = 0
+	cfg.Measure = Millisecond
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Engine() == nil || n.Host(0) == nil || n.Admission() == nil || n.Collector() == nil {
+		t.Fatal("network accessors returned nil")
+	}
+	res := n.Run()
+	if res.SimEvents == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+func TestPublicExperimentOptions(t *testing.T) {
+	if QuickExperiments().Base.Topology.Hosts() != 16 {
+		t.Error("QuickExperiments wrong scale")
+	}
+	if PaperExperiments().Base.Topology.Hosts() != 128 {
+		t.Error("PaperExperiments wrong scale")
+	}
+}
+
+func TestPublicUnits(t *testing.T) {
+	if GbpsToBandwidth(8) != 1 {
+		t.Error("GbpsToBandwidth(8) != 1 byte/cycle")
+	}
+	if Millisecond != 1_000_000*Nanosecond {
+		t.Error("time constants inconsistent")
+	}
+	if Megabyte != 1024*Kilobyte {
+		t.Error("size constants inconsistent")
+	}
+}
+
+func TestPublicAnalyticFloor(t *testing.T) {
+	// 256-byte packet, one switch, 5-cycle propagation: the worked
+	// example from the switch model tests.
+	if got := UnloadedPacketLatency(256, 1, 1, 0, 5); got != 778 {
+		t.Fatalf("UnloadedPacketLatency = %v, want 778", got)
+	}
+}
