@@ -1,0 +1,158 @@
+// Command qoschaos runs a fault-injection (chaos) simulation: a random but
+// fully reproducible fault plan — link flaps, bandwidth derating, bit
+// errors — is injected into the network while the end-to-end reliability
+// layer recovers, and the run is audited against the packet-conservation
+// invariant. A violated invariant exits non-zero: the command doubles as a
+// robustness check in CI and scripting.
+//
+// Examples:
+//
+//	qoschaos -arch advanced -topo small -load 0.8
+//	qoschaos -flaps 8 -ber 1e-6 -faultseed 3 -trace
+//	qoschaos -arch traditional -noreliability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/cli"
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/report"
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qoschaos:", err)
+		os.Exit(1)
+	}
+}
+
+// linkIDs enumerates every wired switch output link of a topology.
+func linkIDs(topo topology.Topology) []faults.LinkID {
+	var ids []faults.LinkID
+	for sw := 0; sw < topo.Switches(); sw++ {
+		for p := 0; p < topo.Radix(sw); p++ {
+			if topo.Peer(sw, p).ID != -1 {
+				ids = append(ids, faults.LinkID{Switch: sw, Port: p})
+			}
+		}
+	}
+	return ids
+}
+
+func run() error {
+	var (
+		archName  = flag.String("arch", "advanced", "switch architecture: traditional|ideal|simple|advanced")
+		topoSpec  = flag.String("topo", "small", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
+		load      = flag.Float64("load", 0.8, "offered load per host as a fraction of link bandwidth")
+		seed      = flag.Uint64("seed", 1, "traffic random seed")
+		warmup    = flag.String("warmup", "2ms", "warm-up period excluded from measurement")
+		measure   = flag.String("measure", "20ms", "measurement window")
+		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (independent of the traffic seed)")
+		flaps     = flag.Int("flaps", 4, "number of link down/up flap pairs to schedule")
+		derates   = flag.Int("derates", 2, "number of bandwidth derate/restore pairs to schedule")
+		ber       = flag.Float64("ber", 1e-6, "bit-error rate applied to every link")
+		noRel     = flag.Bool("noreliability", false, "disable the end-to-end retransmission layer")
+		showTrace = flag.Bool("trace", false, "print the executed fault trace")
+	)
+	flag.Parse()
+
+	a, err := arch.Parse(*archName)
+	if err != nil {
+		return err
+	}
+	topo, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		return err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Arch = a
+	cfg.Topology = topo
+	cfg.Load = *load
+	cfg.Seed = *seed
+	if cfg.WarmUp, err = cli.ParseDuration(*warmup); err != nil {
+		return err
+	}
+	if cfg.Measure, err = cli.ParseDuration(*measure); err != nil {
+		return err
+	}
+	if topo.Hosts() < 32 {
+		cfg.ControlDests = min(cfg.ControlDests, topo.Hosts()-1)
+		cfg.BEDests = min(cfg.BEDests, topo.Hosts()-1)
+	}
+
+	horizon := cfg.WarmUp + cfg.Measure
+	plan := faults.RandomPlan(*faultSeed, linkIDs(topo), horizon, faults.RandomConfig{
+		Flaps:    *flaps,
+		MinDown:  horizon / 200,
+		MaxDown:  horizon / 25,
+		Derates:  *derates,
+		MinScale: 0.3,
+	})
+	plan.DefaultBER = *ber
+	cfg.Faults = plan
+	cfg.CheckInvariants = true
+	if !*noRel {
+		cfg.Reliability = hostif.Reliability{Enabled: true}
+	}
+
+	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d faultseed=%d window=[%v, %v]\n",
+		topo.Name(), a, 100*cfg.Load, cfg.Seed, *faultSeed, cfg.WarmUp, horizon)
+	fmt.Printf("plan: %d events, BER %.2g on all links, reliability=%v\n",
+		len(plan.Events), plan.DefaultBER, !*noRel)
+
+	res, err := network.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *showTrace {
+		fmt.Println("fault trace:")
+		for _, e := range res.FaultTrace {
+			fmt.Printf("  %v\n", e)
+		}
+	}
+
+	t := report.NewTable("per-class results under faults",
+		"class", "generated", "delivered", "corrupt", "lost", "retx", "demoted",
+		"avg lat", "p99 lat", "frame p99")
+	for c := packet.Class(0); c < packet.NumClasses; c++ {
+		cs := &res.PerClass[c]
+		frame := "-"
+		if cs.FrameLatency.Count() > 0 {
+			frame = cs.FrameHist.Quantile(0.99).String()
+		}
+		t.Add(c.String(),
+			fmt.Sprintf("%d", cs.GeneratedPackets),
+			fmt.Sprintf("%d", cs.DeliveredPackets),
+			fmt.Sprintf("%d", cs.CorruptedPackets),
+			fmt.Sprintf("%d", cs.LostPackets),
+			fmt.Sprintf("%d", cs.RetransmittedPackets),
+			fmt.Sprintf("%d", cs.DemotedPackets),
+			units.Time(cs.PacketLatency.Mean()).String(),
+			cs.LatencyHist.Quantile(0.99).String(),
+			frame)
+	}
+	fmt.Println(t)
+
+	rel := res.Reliability
+	fmt.Printf("faults: events=%d lost=%d corruptInFlight=%d\n",
+		res.FaultEvents, res.LostOnLink, res.CorruptedInFlight)
+	fmt.Printf("recovery: acked=%d timeouts=%d naks=%d retx=%d demoted=%d dups=%d outstandingAtStop=%d\n",
+		rel.Acked, rel.Timeouts, rel.Naks, rel.Retransmitted, rel.Demoted, rel.RxDup, res.OutstandingAtStop)
+	fmt.Printf("conservation: %v\n", res.Conservation)
+
+	if err := res.Conservation.Check(); err != nil {
+		return err
+	}
+	fmt.Println("conservation: OK")
+	return nil
+}

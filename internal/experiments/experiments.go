@@ -16,11 +16,14 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/collective"
+	"deadlineqos/internal/faults"
 	"deadlineqos/internal/harness"
+	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/stats"
+	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
 )
 
@@ -687,6 +690,84 @@ func CollectiveCompletion(opt Options) (*report.Table, error) {
 			completion = runner.CompletionTime().String()
 		}
 		t.Add(a.String(), completion, fmt.Sprintf("%d", runner.MinRound()))
+	}
+	return t, nil
+}
+
+// --- R1: chaos — graceful degradation under faults ----------------------------
+
+// chaosLinkIDs enumerates every wired switch output link of a topology.
+func chaosLinkIDs(topo topology.Topology) []faults.LinkID {
+	var ids []faults.LinkID
+	for sw := 0; sw < topo.Switches(); sw++ {
+		for p := 0; p < topo.Radix(sw); p++ {
+			if topo.Peer(sw, p).ID != -1 {
+				ids = append(ids, faults.LinkID{Switch: sw, Port: p})
+			}
+		}
+	}
+	return ids
+}
+
+// ChaosPlan returns the standard chaos-scenario fault plan for a run of
+// the given horizon: a handful of link flaps and derate epochs plus a
+// uniform 1e-6 bit-error rate on every link.
+func ChaosPlan(seed uint64, topo topology.Topology, horizon units.Time) *faults.Plan {
+	plan := faults.RandomPlan(seed, chaosLinkIDs(topo), horizon, faults.RandomConfig{
+		Flaps:    4,
+		MinDown:  horizon / 200,
+		MaxDown:  horizon / 25,
+		Derates:  2,
+		MinScale: 0.3,
+	})
+	plan.DefaultBER = 1e-6
+	return plan
+}
+
+// Chaos runs the robustness scenario: the Table 1 mix at 80% load with
+// the ChaosPlan fault schedule and the end-to-end reliability layer, per
+// architecture. It reports the regulated classes' service under faults
+// next to the healthy baseline, the recovery activity, and verifies the
+// conservation invariant — the table shows whether deadline scheduling
+// degrades gracefully when the fabric stops being lossless.
+func Chaos(opt Options) (*report.Table, error) {
+	t := report.NewTable(
+		"Robustness: fault injection at 80% load (flaps + derates + 1e-6 BER, end-to-end retransmission)",
+		"architecture", "faults", "control p99 (us)", "video frame p99 (ms)",
+		"frames <= target+50%", "lost", "corrupt", "retx", "demoted")
+	for _, a := range opt.Archs {
+		for _, chaos := range []bool{false, true} {
+			cfg := opt.Base
+			cfg.Arch = a
+			cfg.Load = 0.8
+			cfg.CheckInvariants = true
+			if chaos {
+				cfg.Faults = ChaosPlan(cfg.Seed+7, cfg.Topology, cfg.WarmUp+cfg.Measure)
+				cfg.Reliability = hostif.Reliability{Enabled: true}
+			}
+			res, err := network.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := res.Conservation.Check(); err != nil {
+				return nil, fmt.Errorf("experiments: %s chaos=%v: %w", a, chaos, err)
+			}
+			label := "off"
+			if chaos {
+				label = "on"
+			}
+			ctrl := &res.PerClass[packet.Control]
+			mm := &res.PerClass[packet.Multimedia]
+			target := cfg.VideoTarget
+			t.Add(a.String(), label,
+				fmt.Sprintf("%.2f", ctrl.LatencyHist.Quantile(0.99).Microseconds()),
+				fmt.Sprintf("%.2f", mm.FrameHist.Quantile(0.99).Milliseconds()),
+				fmt.Sprintf("%.1f%%", 100*mm.FrameHist.FractionBelow(target+target/2)),
+				fmt.Sprintf("%d", res.LostOnLink),
+				fmt.Sprintf("%d", res.Conservation.ArrivedCorrupt),
+				fmt.Sprintf("%d", res.Reliability.Retransmitted),
+				fmt.Sprintf("%d", res.Reliability.Demoted))
+		}
 	}
 	return t, nil
 }

@@ -259,3 +259,19 @@ func TestCollectiveCompletion(t *testing.T) {
 		}
 	}
 }
+
+func TestChaos(t *testing.T) {
+	opt := tinyOpt()
+	opt.Archs = []arch.Arch{arch.Advanced2VC}
+	tb, err := Chaos(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Advanced") {
+		t.Errorf("chaos table missing architecture:\n%s", out)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("chaos table has %d rows, want 2 (off/on)", len(tb.Rows))
+	}
+}

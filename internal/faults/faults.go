@@ -1,0 +1,394 @@
+// Package faults implements a deterministic, seed-driven fault-injection
+// subsystem for the simulated network.
+//
+// The paper's architectures assume a lossless, always-up fabric
+// (credit-based flow control, §2.2). Real interconnects flap links,
+// corrupt packets and lose capacity, so this package models three fault
+// processes, all replayable from (plan, seed):
+//
+//   - Link flaps: timed link-down/link-up events. A down link accepts no
+//     new transmissions and every packet in flight on it when it drops is
+//     lost. The credits those packets held are restored to the sender
+//     (the downstream buffer never sees them), so flow control survives
+//     the flap without leaking.
+//   - Time-varying derating: timed bandwidth changes, generalising the
+//     static Config.DegradedLinks to mid-run capacity loss and recovery.
+//   - Bit errors: a per-link bit-error rate corrupts packets in flight.
+//     Corruption is detected by the destination NIC's CRC check (see
+//     internal/hostif), which drops the packet and triggers the
+//     end-to-end recovery machinery.
+//
+// Fault events address switch output links by (switch, port), matching
+// Config.DegradedLinks. A Plan is installed into the simulation engine by
+// the network at build time; identical seeds and plans replay identical
+// fault traces, keeping chaos runs as reproducible as fault-free ones.
+//
+// The package also defines the Conservation record: the run-level packet
+// accounting that must balance exactly in every run — faulty or not — and
+// whose Check method is the simulator's end-to-end "no packet is ever
+// lost without being accounted" invariant.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deadlineqos/internal/link"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+	"deadlineqos/internal/xrand"
+)
+
+// LinkID identifies a switch output link, as Config.DegradedLinks does.
+// Host injection links are not individually addressable; the DefaultBER
+// of a plan covers them.
+type LinkID struct {
+	Switch, Port int
+}
+
+// String renders the link id.
+func (id LinkID) String() string { return fmt.Sprintf("sw%d:p%d", id.Switch, id.Port) }
+
+// Kind enumerates the fault event types.
+type Kind uint8
+
+// Fault event kinds.
+const (
+	// LinkDown drops the link: in-flight packets are lost (credits
+	// restored to the sender) and no new transmission starts until the
+	// matching LinkUp.
+	LinkDown Kind = iota
+	// LinkUp restores a downed link and re-fires the sender's
+	// re-arbitration callback.
+	LinkUp
+	// Derate sets the link bandwidth to Scale x nominal (Scale 1
+	// restores full capacity).
+	Derate
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "down"
+	case LinkUp:
+		return "up"
+	case Derate:
+		return "derate"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one timed fault of a plan.
+type Event struct {
+	At   units.Time
+	Link LinkID
+	Kind Kind
+	// Scale is the remaining capacity fraction for Derate events
+	// ((0, 1]; ignored by LinkDown/LinkUp).
+	Scale float64
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	if e.Kind == Derate {
+		return fmt.Sprintf("%v %s %s %.2f", e.At, e.Link, e.Kind, e.Scale)
+	}
+	return fmt.Sprintf("%v %s %s", e.At, e.Link, e.Kind)
+}
+
+// TraceEntry is one executed fault event. Applied is false when the event
+// had no effect (e.g. LinkDown on an already-down link), so two runs of
+// the same plan produce byte-identical traces including the skips.
+type TraceEntry struct {
+	Event
+	Applied bool
+}
+
+// String renders the trace entry.
+func (t TraceEntry) String() string {
+	if t.Applied {
+		return t.Event.String()
+	}
+	return t.Event.String() + " (no-op)"
+}
+
+// Plan is a deterministic fault schedule for one run.
+type Plan struct {
+	// Seed drives the per-link corruption streams. Independent of the
+	// run's traffic seed so the same fault pattern can be replayed
+	// against different workloads.
+	Seed uint64
+	// Events are the timed link faults, in any order; installation sorts
+	// them by time (stable, so same-cycle events keep plan order).
+	Events []Event
+	// BER assigns per-link bit-error rates (probability per bit).
+	BER map[LinkID]float64
+	// DefaultBER applies to every link of the network — including host
+	// injection links — that has no explicit BER entry.
+	DefaultBER float64
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Events) == 0 && len(p.BER) == 0 && p.DefaultBER == 0)
+}
+
+// Validate rejects malformed plans against a topology described by its
+// switch count and per-switch radix.
+func (p *Plan) Validate(switches int, radix func(sw int) int) error {
+	if p == nil {
+		return nil
+	}
+	checkLink := func(id LinkID) error {
+		if id.Switch < 0 || id.Switch >= switches || id.Port < 0 || id.Port >= radix(id.Switch) {
+			return fmt.Errorf("faults: link %v not in topology", id)
+		}
+		return nil
+	}
+	for _, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %q scheduled before time zero", e)
+		}
+		if err := checkLink(e.Link); err != nil {
+			return err
+		}
+		switch e.Kind {
+		case LinkDown, LinkUp:
+		case Derate:
+			if e.Scale <= 0 || e.Scale > 1 {
+				return fmt.Errorf("faults: derate scale %v of %q out of (0,1]", e.Scale, e)
+			}
+		default:
+			return fmt.Errorf("faults: unknown event kind %d", e.Kind)
+		}
+	}
+	if p.DefaultBER < 0 || p.DefaultBER >= 1 {
+		return fmt.Errorf("faults: default BER %v out of [0,1)", p.DefaultBER)
+	}
+	for id, ber := range p.BER {
+		if err := checkLink(id); err != nil {
+			return err
+		}
+		if ber < 0 || ber >= 1 {
+			return fmt.Errorf("faults: BER %v of link %v out of [0,1)", ber, id)
+		}
+	}
+	return nil
+}
+
+// BEROf returns the bit-error rate the plan assigns to id.
+func (p *Plan) BEROf(id LinkID) float64 {
+	if p == nil {
+		return 0
+	}
+	if ber, ok := p.BER[id]; ok {
+		return ber
+	}
+	return p.DefaultBER
+}
+
+// CorruptionStream derives the deterministic random stream that decides
+// packet corruption on link id. Streams are keyed by (plan seed, link),
+// so identical plans corrupt identically regardless of event ordering
+// elsewhere in the run.
+func (p *Plan) CorruptionStream(id LinkID) *xrand.Rand {
+	key := uint64(id.Switch)<<20 | uint64(id.Port)<<1 | 1
+	return xrand.New(p.Seed ^ 0x5eedfa01).Split(key)
+}
+
+// HostCorruptionStream derives the corruption stream for host h's
+// injection link. Host links are not individually addressable by LinkID,
+// so they only carry the plan's DefaultBER; their stream keys (bit 0
+// clear) are disjoint from CorruptionStream's (bit 0 set).
+func (p *Plan) HostCorruptionStream(host int) *xrand.Rand {
+	return xrand.New(p.Seed ^ 0x5eedfa01).Split(uint64(host) << 1)
+}
+
+// Injector schedules a plan's events into a simulation engine and records
+// the executed trace.
+type Injector struct {
+	trace  []TraceEntry
+	events uint64
+}
+
+// Install schedules every event of the plan. resolve maps a LinkID to the
+// live link, returning nil for unwired ports (already rejected by
+// Validate when the network built the plan's topology). onEvent, when
+// non-nil, observes each executed event.
+func (inj *Injector) Install(plan *Plan, eng *sim.Engine, resolve func(LinkID) *link.Link, onEvent func(TraceEntry)) {
+	if plan == nil {
+		return
+	}
+	evs := make([]Event, len(plan.Events))
+	copy(evs, plan.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ev := ev
+		eng.At(ev.At, func() {
+			l := resolve(ev.Link)
+			applied := false
+			if l != nil {
+				switch ev.Kind {
+				case LinkDown:
+					applied = l.SetDown(true)
+				case LinkUp:
+					applied = l.SetDown(false)
+				case Derate:
+					applied = l.Derate(ev.Scale)
+				}
+			}
+			entry := TraceEntry{Event: ev, Applied: applied}
+			inj.events++
+			inj.trace = append(inj.trace, entry)
+			if onEvent != nil {
+				onEvent(entry)
+			}
+		})
+	}
+}
+
+// Trace returns the executed fault events so far, in execution order.
+func (inj *Injector) Trace() []TraceEntry { return inj.trace }
+
+// Executed returns the number of fault events fired so far.
+func (inj *Injector) Executed() uint64 { return inj.events }
+
+// RandomConfig bounds the fault processes RandomPlan draws.
+type RandomConfig struct {
+	// Flaps is the number of down/up pairs to schedule.
+	Flaps int
+	// MinDown and MaxDown bound each flap's outage duration.
+	MinDown, MaxDown units.Time
+	// Derates is the number of derate/restore pairs to schedule.
+	Derates int
+	// MinScale bounds how far a derate may cut capacity (scale is drawn
+	// from [MinScale, 1)).
+	MinScale float64
+	// BERLinks is how many links receive a random bit-error rate.
+	BERLinks int
+	// MaxBER bounds the drawn bit-error rates.
+	MaxBER float64
+}
+
+// RandomPlan draws a deterministic random fault plan over the given links
+// and horizon: flap and derate schedules plus per-link BERs. The same
+// (seed, links, horizon, cfg) always yields the same plan, which makes it
+// suitable for fuzzing with reproducible failures.
+func RandomPlan(seed uint64, links []LinkID, horizon units.Time, cfg RandomConfig) *Plan {
+	rng := xrand.New(seed ^ 0xfa17ed)
+	plan := &Plan{Seed: seed}
+	if len(links) == 0 || horizon <= 0 {
+		return plan
+	}
+	pick := func() LinkID { return links[rng.Intn(len(links))] }
+	minDown, maxDown := cfg.MinDown, cfg.MaxDown
+	if minDown <= 0 {
+		minDown = horizon / 100
+		if minDown <= 0 {
+			minDown = 1
+		}
+	}
+	if maxDown < minDown {
+		maxDown = minDown
+	}
+	for i := 0; i < cfg.Flaps; i++ {
+		id := pick()
+		at := units.Time(rng.Int63n(int64(horizon)))
+		dur := units.Time(rng.UniformInt(int64(minDown), int64(maxDown)))
+		plan.Events = append(plan.Events,
+			Event{At: at, Link: id, Kind: LinkDown},
+			Event{At: at + dur, Link: id, Kind: LinkUp})
+	}
+	minScale := cfg.MinScale
+	if minScale <= 0 || minScale > 1 {
+		minScale = 0.2
+	}
+	for i := 0; i < cfg.Derates; i++ {
+		id := pick()
+		at := units.Time(rng.Int63n(int64(horizon)))
+		dur := units.Time(rng.UniformInt(int64(minDown), int64(maxDown)))
+		plan.Events = append(plan.Events,
+			Event{At: at, Link: id, Kind: Derate, Scale: rng.Uniform(minScale, 1)},
+			Event{At: at + dur, Link: id, Kind: Derate, Scale: 1})
+	}
+	if cfg.BERLinks > 0 && cfg.MaxBER > 0 {
+		plan.BER = make(map[LinkID]float64, cfg.BERLinks)
+		for i := 0; i < cfg.BERLinks; i++ {
+			// Draw log-uniformly so tiny and harsh BERs both appear.
+			exp := rng.Uniform(math.Log(cfg.MaxBER)-6, math.Log(cfg.MaxBER))
+			plan.BER[pick()] = math.Exp(exp)
+		}
+	}
+	return plan
+}
+
+// Conservation is the run-level packet accounting record. Every transfer
+// copy entering the network must end in exactly one terminal state; the
+// Check method verifies the balance.
+type Conservation struct {
+	// Generated counts unique packets created at the sending NICs.
+	Generated uint64
+	// Retransmissions counts retransmit copies queued by the reliability
+	// layer (each creates one additional copy of a unique packet).
+	Retransmissions uint64
+	// InjectedCopies counts transmissions entering the network,
+	// retransmits included.
+	InjectedCopies uint64
+	// DeliveredUnique counts unique packets handed to the application
+	// (first good copy).
+	DeliveredUnique uint64
+	// ArrivedDup counts duplicate copies dropped by the receiver.
+	ArrivedDup uint64
+	// ArrivedCorrupt counts corrupted copies dropped by the receiver's
+	// CRC check.
+	ArrivedCorrupt uint64
+	// LostOnLink counts copies lost in flight to link flaps.
+	LostOnLink uint64
+	// InNetworkAtStop counts copies still inside the fabric when the run
+	// stopped: switch buffers, crossbars in transfer, and link wires.
+	InNetworkAtStop uint64
+	// StagedAtStop counts copies still queued in sending NICs (never
+	// injected, or retransmit copies awaiting injection).
+	StagedAtStop uint64
+	// DoubleDeliveries counts deliveries of an already-delivered unique
+	// packet observed by the oracle (Config.CheckInvariants). Must be 0.
+	DoubleDeliveries uint64
+}
+
+// Check verifies the conservation invariant: every copy created (unique
+// generations plus retransmissions) is delivered exactly once, dropped
+// and accounted (duplicate, corrupt, lost to a flap), or still staged or
+// in flight at stop — and no unique packet is delivered twice.
+func (c Conservation) Check() error {
+	created := c.Generated + c.Retransmissions
+	accounted := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt +
+		c.LostOnLink + c.InNetworkAtStop + c.StagedAtStop
+	if created != accounted {
+		return fmt.Errorf("faults: conservation violated: created %d (gen %d + retx %d) != accounted %d (delivered %d + dup %d + corrupt %d + lost %d + in-network %d + staged %d)",
+			created, c.Generated, c.Retransmissions, accounted,
+			c.DeliveredUnique, c.ArrivedDup, c.ArrivedCorrupt,
+			c.LostOnLink, c.InNetworkAtStop, c.StagedAtStop)
+	}
+	injected := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt + c.LostOnLink + c.InNetworkAtStop
+	if c.InjectedCopies != injected {
+		return fmt.Errorf("faults: injection accounting violated: injected %d != arrived+lost+in-network %d",
+			c.InjectedCopies, injected)
+	}
+	if c.DeliveredUnique > c.Generated {
+		return fmt.Errorf("faults: delivered %d unique packets out of %d generated", c.DeliveredUnique, c.Generated)
+	}
+	if c.DoubleDeliveries > 0 {
+		return fmt.Errorf("faults: %d double deliveries", c.DoubleDeliveries)
+	}
+	return nil
+}
+
+// String renders the record for reports.
+func (c Conservation) String() string {
+	return fmt.Sprintf("gen=%d retx=%d inj=%d dlvr=%d dup=%d corrupt=%d lost=%d net=%d staged=%d",
+		c.Generated, c.Retransmissions, c.InjectedCopies, c.DeliveredUnique,
+		c.ArrivedDup, c.ArrivedCorrupt, c.LostOnLink, c.InNetworkAtStop, c.StagedAtStop)
+}

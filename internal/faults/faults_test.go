@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"deadlineqos/internal/units"
+)
+
+// radix4 is a 4-switch, radix-8 toy topology for validation tests.
+func radix4(int) int { return 8 }
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" = valid
+	}{
+		{"empty", Plan{}, ""},
+		{"good flap", Plan{Events: []Event{
+			{At: 10, Link: LinkID{0, 1}, Kind: LinkDown},
+			{At: 20, Link: LinkID{0, 1}, Kind: LinkUp},
+		}}, ""},
+		{"negative time", Plan{Events: []Event{
+			{At: -1, Link: LinkID{0, 0}, Kind: LinkDown},
+		}}, "before time zero"},
+		{"switch out of range", Plan{Events: []Event{
+			{At: 0, Link: LinkID{4, 0}, Kind: LinkDown},
+		}}, "not in topology"},
+		{"port out of range", Plan{Events: []Event{
+			{At: 0, Link: LinkID{0, 8}, Kind: LinkDown},
+		}}, "not in topology"},
+		{"derate scale zero", Plan{Events: []Event{
+			{At: 0, Link: LinkID{0, 0}, Kind: Derate, Scale: 0},
+		}}, "out of (0,1]"},
+		{"derate scale above one", Plan{Events: []Event{
+			{At: 0, Link: LinkID{0, 0}, Kind: Derate, Scale: 1.5},
+		}}, "out of (0,1]"},
+		{"unknown kind", Plan{Events: []Event{
+			{At: 0, Link: LinkID{0, 0}, Kind: Kind(9)},
+		}}, "unknown event kind"},
+		{"negative default BER", Plan{DefaultBER: -1e-9}, "out of [0,1)"},
+		{"BER of one", Plan{BER: map[LinkID]float64{{1, 2}: 1}}, "out of [0,1)"},
+		{"BER link out of range", Plan{BER: map[LinkID]float64{{9, 0}: 1e-9}}, "not in topology"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4, radix4)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(4, radix4); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	links := []LinkID{{0, 0}, {0, 1}, {1, 3}, {2, 7}}
+	cfg := RandomConfig{Flaps: 5, Derates: 3, BERLinks: 3, MaxBER: 1e-5}
+	a := RandomPlan(99, links, 10*units.Millisecond, cfg)
+	b := RandomPlan(99, links, 10*units.Millisecond, cfg)
+	if fmt.Sprint(a.Events) != fmt.Sprint(b.Events) {
+		t.Fatalf("same-seed plans differ:\n%v\n%v", a.Events, b.Events)
+	}
+	if fmt.Sprint(a.BER) != fmt.Sprint(b.BER) {
+		t.Fatalf("same-seed BER maps differ:\n%v\n%v", a.BER, b.BER)
+	}
+	c := RandomPlan(100, links, 10*units.Millisecond, cfg)
+	if fmt.Sprint(a.Events) == fmt.Sprint(c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if err := a.Validate(4, radix4); err != nil {
+		t.Fatalf("random plan invalid: %v", err)
+	}
+	if len(a.Events) != 2*(cfg.Flaps+cfg.Derates) {
+		t.Fatalf("%d events, want %d", len(a.Events), 2*(cfg.Flaps+cfg.Derates))
+	}
+	for _, ber := range a.BER {
+		if ber <= 0 || ber > cfg.MaxBER {
+			t.Fatalf("BER %v out of (0, %v]", ber, cfg.MaxBER)
+		}
+	}
+}
+
+func TestCorruptionStreamsIndependent(t *testing.T) {
+	p := &Plan{Seed: 5}
+	a := p.CorruptionStream(LinkID{0, 0})
+	b := p.CorruptionStream(LinkID{0, 1})
+	h := p.HostCorruptionStream(0)
+	same := 0
+	for i := 0; i < 64; i++ {
+		av, bv, hv := a.Float64(), b.Float64(), h.Float64()
+		if av == bv || av == hv {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 draws collided across streams", same)
+	}
+	// Replaying the same stream must reproduce it exactly.
+	x, y := p.CorruptionStream(LinkID{2, 3}), p.CorruptionStream(LinkID{2, 3})
+	for i := 0; i < 64; i++ {
+		if x.Float64() != y.Float64() {
+			t.Fatal("same-key corruption streams diverged")
+		}
+	}
+}
+
+func TestConservationCheck(t *testing.T) {
+	good := Conservation{
+		Generated: 100, Retransmissions: 10, InjectedCopies: 95,
+		DeliveredUnique: 80, ArrivedDup: 3, ArrivedCorrupt: 5,
+		LostOnLink: 2, InNetworkAtStop: 5, StagedAtStop: 15,
+	}
+	if err := good.Check(); err != nil {
+		t.Fatalf("balanced record rejected: %v", err)
+	}
+
+	leak := good
+	leak.DeliveredUnique-- // one packet vanished
+	if err := leak.Check(); err == nil || !strings.Contains(err.Error(), "conservation violated") {
+		t.Fatalf("lost packet not detected: %v", err)
+	}
+
+	inj := good
+	inj.InjectedCopies++ // injection books don't balance
+	if err := inj.Check(); err == nil || !strings.Contains(err.Error(), "injection accounting") {
+		t.Fatalf("injection imbalance not detected: %v", err)
+	}
+
+	dbl := good
+	dbl.DoubleDeliveries = 1
+	if err := dbl.Check(); err == nil || !strings.Contains(err.Error(), "double deliveries") {
+		t.Fatalf("double delivery not detected: %v", err)
+	}
+
+	over := Conservation{Generated: 1, DeliveredUnique: 2, InjectedCopies: 2, Retransmissions: 1}
+	if err := over.Check(); err == nil {
+		t.Fatal("delivered > generated not detected")
+	}
+
+	var zero Conservation
+	if err := zero.Check(); err != nil {
+		t.Fatalf("zero record rejected: %v", err)
+	}
+}

@@ -81,6 +81,14 @@ type Hooks struct {
 	Generated func(p *packet.Packet)
 	Injected  func(p *packet.Packet, now units.Time)
 	Delivered func(p *packet.Packet, now units.Time)
+	// Corrupted observes copies dropped by this host's CRC check.
+	Corrupted func(p *packet.Packet, now units.Time)
+	// DupDropped observes duplicate copies dropped by this host.
+	DupDropped func(p *packet.Packet, now units.Time)
+	// Retransmitted observes retransmit copies queued at the source.
+	Retransmitted func(p *packet.Packet, now units.Time)
+	// Demoted observes packets demoted to the best-effort VC.
+	Demoted func(p *packet.Packet, now units.Time)
 }
 
 // Config parameterises one host NIC.
@@ -97,6 +105,14 @@ type Config struct {
 	EligibleLead units.Time
 	IDs          *IDSource
 	Hooks        Hooks
+	// Reliability configures the end-to-end retransmission layer (see
+	// reliability.go); the zero value disables it.
+	Reliability Reliability
+	// SendAck delivers an out-of-band receiver report to the source host
+	// of a flow: ok acknowledges delivery of (flow, seq), !ok requests a
+	// retransmission. Wired by the network when reliability is enabled;
+	// the transport (and its delay) is the caller's.
+	SendAck func(src int, flow packet.FlowID, seq uint64, ok bool)
 }
 
 // hostQueueCap is the injection queue capacity: host memory, effectively
@@ -124,10 +140,19 @@ type Host struct {
 	upstream *link.Link // link feeding the receive side, for credit return
 
 	received uint64
+
+	// Reliability layer (nil when disabled): sender-side retransmission
+	// tracker, receive-side sequence trackers, and counters.
+	rel    *relState
+	rx     map[packet.FlowID]*rxFlow
+	relCnt RelCounters
 }
 
 // New returns a host NIC. Connect it with ConnectOut before submitting.
 func New(cfg Config) *Host {
+	if cfg.Reliability.Enabled {
+		cfg.Reliability = cfg.Reliability.WithDefaults()
+	}
 	h := &Host{cfg: cfg, flows: make(map[packet.FlowID]*Flow)}
 	for vc := 0; vc < packet.NumVCs; vc++ {
 		if cfg.Arch.DeadlineAware() {
@@ -135,6 +160,10 @@ func New(cfg Config) *Host {
 		} else {
 			h.ready[vc] = pqueue.NewFIFO(hostQueueCap, false)
 		}
+	}
+	if cfg.Reliability.Enabled {
+		h.rel = &relState{entries: make(map[relKey]*relEntry)}
+		h.rx = make(map[packet.FlowID]*rxFlow)
 	}
 	return h
 }
@@ -308,6 +337,9 @@ func (h *Host) tryInject() {
 			if h.cfg.Hooks.Injected != nil {
 				h.cfg.Hooks.Injected(p, p.InjectedAt)
 			}
+			if h.rel != nil {
+				h.trackInjected(p)
+			}
 			// TTD is stamped as of the moment the last byte leaves the
 			// NIC (see link.TxTime), keeping reconstructed deadlines free
 			// of size-dependent inflation.
@@ -323,16 +355,60 @@ func (h *Host) tryInject() {
 }
 
 // Receive implements link.Receiver for the host's downlink: the NIC drains
-// at line rate, so the packet is delivered and credits return immediately.
-// The upstream link is identified per call via SetUpstream.
+// at line rate, so credits return immediately in every case — a corrupted
+// or duplicate copy occupied the buffer just like a good one. Corrupted
+// copies fail the end-to-end CRC check and are dropped (with a NAK when
+// the reliability layer runs); duplicates are dropped and re-acknowledged;
+// everything else is delivered to the application at once. The upstream
+// link is identified per call via SetUpstream.
 func (h *Host) Receive(p *packet.Packet) {
 	p.UnpackTTD(h.cfg.Clock.Now())
-	h.received++
 	if h.upstream != nil {
 		h.upstream.ReturnCredits(p.VC, p.Size)
 	}
+	now := h.cfg.Eng.Now()
+	if p.Corrupted {
+		h.relCnt.RxCorrupt++
+		if h.cfg.Hooks.Corrupted != nil {
+			h.cfg.Hooks.Corrupted(p, now)
+		}
+		if h.rel != nil {
+			h.sendReport(p, p.Seq, false)
+			h.rxFlowOf(p.Flow).naked[p.Seq] = struct{}{}
+		}
+		return
+	}
+	if h.rel != nil {
+		rx := h.rxFlowOf(p.Flow)
+		if rx.seen(p.Seq) {
+			h.relCnt.RxDup++
+			if h.cfg.Hooks.DupDropped != nil {
+				h.cfg.Hooks.DupDropped(p, now)
+			}
+			// Re-acknowledge: the original ack may have raced a timeout.
+			h.sendReport(p, p.Seq, true)
+			return
+		}
+		rx.mark(p.Seq)
+		// The network delivers each flow in order, so sequence numbers
+		// missing below this arrival were lost upstream: NAK them once.
+		for _, s := range rx.gaps(p.Seq) {
+			h.sendReport(p, s, false)
+		}
+	}
+	h.received++
 	if h.cfg.Hooks.Delivered != nil {
-		h.cfg.Hooks.Delivered(p, h.cfg.Eng.Now())
+		h.cfg.Hooks.Delivered(p, now)
+	}
+	if h.rel != nil {
+		h.sendReport(p, p.Seq, true)
+	}
+}
+
+// sendReport emits an out-of-band ack/nak toward p's source host.
+func (h *Host) sendReport(p *packet.Packet, seq uint64, ok bool) {
+	if h.cfg.SendAck != nil {
+		h.cfg.SendAck(p.Src, p.Flow, seq, ok)
 	}
 }
 

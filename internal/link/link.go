@@ -13,14 +13,24 @@
 // serialisation delay per hop compared to the virtual cut-through some
 // hardware implements, a constant offset that does not change any of the
 // paper's comparisons (all four architectures pay it equally).
+//
+// Fault model (see internal/faults): a link can go down (packets in
+// flight are lost and their credits restored to the sender, since the
+// downstream buffer never sees them), be derated to a fraction of its
+// nominal bandwidth, and corrupt packets in flight according to a
+// per-link bit-error rate. Credit returns model an out-of-band control
+// channel and keep working while the data path is down — flow-control
+// state must survive a flap without leaking in either direction.
 package link
 
 import (
 	"fmt"
+	"math"
 
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/units"
+	"deadlineqos/internal/xrand"
 )
 
 // Receiver consumes packets at the downstream end of a link.
@@ -33,27 +43,47 @@ type Receiver interface {
 // element calls CanSend/Send; the downstream element calls ReturnCredits
 // as its input buffers drain.
 type Link struct {
-	eng  *sim.Engine
-	bw   units.Bandwidth
-	prop units.Time
-	dst  Receiver
+	eng     *sim.Engine
+	bw      units.Bandwidth
+	nominal units.Bandwidth // construction bandwidth, the derating baseline
+	prop    units.Time
+	dst     Receiver
 
 	busyUntil units.Time
 	credits   [packet.NumVCs]units.Size
+	capacity  units.Size // initial per-VC credits (credit-leak ceiling)
 
 	// OnReady is invoked (possibly repeatedly) whenever transmission
-	// capacity appears: the link went idle or credits were returned.
-	// The upstream scheduler re-arbitrates in response.
+	// capacity appears: the link went idle, credits were returned, or a
+	// downed link recovered. The upstream scheduler re-arbitrates in
+	// response.
 	OnReady func()
 
-	sent     uint64
-	sentSize units.Size
+	// Fault state (see internal/faults). downEpoch increments on every
+	// down transition; a packet whose send-time epoch differs at arrival
+	// was in flight across a flap and is lost.
+	down      bool
+	downEpoch uint64
+	ber       float64
+	berRng    *xrand.Rand
+	inFlight  uint64
+
+	// OnDrop observes packets lost in flight to a link-down; OnCorrupt
+	// observes packets marked corrupted by the bit-error process. Either
+	// may be nil.
+	OnDrop    func(p *packet.Packet)
+	OnCorrupt func(p *packet.Packet)
+
+	sent      uint64
+	sentSize  units.Size
+	dropped   uint64
+	corrupted uint64
 }
 
 // New returns a link into dst with the given bandwidth, propagation delay,
 // and per-VC initial credits (the downstream input buffer capacity).
 func New(eng *sim.Engine, bw units.Bandwidth, prop units.Time, creditsPerVC units.Size, dst Receiver) *Link {
-	l := &Link{eng: eng, bw: bw, prop: prop, dst: dst}
+	l := &Link{eng: eng, bw: bw, nominal: bw, prop: prop, dst: dst, capacity: creditsPerVC}
 	for v := range l.credits {
 		l.credits[v] = creditsPerVC
 	}
@@ -74,46 +104,153 @@ func (l *Link) TxTime(p *packet.Packet) units.Time { return l.bw.TxTime(p.Size) 
 // Credits returns the available credit bytes for vc.
 func (l *Link) Credits(vc packet.VC) units.Size { return l.credits[vc] }
 
-// CanSend reports whether p can be transmitted right now: the link is idle
-// and the downstream buffer for p's VC has room. Per the paper's appendix,
-// callers must only ever test the single packet their dequeue discipline
-// designates — never "some other packet that happens to fit".
+// CanSend reports whether p can be transmitted right now: the link is up
+// and idle, and the downstream buffer for p's VC has room. Per the paper's
+// appendix, callers must only ever test the single packet their dequeue
+// discipline designates — never "some other packet that happens to fit".
 func (l *Link) CanSend(p *packet.Packet) bool {
-	return l.Idle() && l.credits[p.VC] >= p.Size
+	return !l.down && l.Idle() && l.credits[p.VC] >= p.Size
 }
 
 // Send transmits p. It panics if CanSend is false: the caller's
 // arbitration logic must have checked.
 func (l *Link) Send(p *packet.Packet) {
 	if !l.CanSend(p) {
-		panic(fmt.Sprintf("link: Send without CanSend (idle=%v credits=%v pkt=%v)",
-			l.Idle(), l.credits[p.VC], p))
+		panic(fmt.Sprintf("link: Send without CanSend (down=%v idle=%v credits=%v pkt=%v)",
+			l.down, l.Idle(), l.credits[p.VC], p))
 	}
 	l.credits[p.VC] -= p.Size
 	tx := l.bw.TxTime(p.Size)
 	l.busyUntil = l.eng.Now() + tx
 	l.sent++
 	l.sentSize += p.Size
+	if l.ber > 0 && l.berRng.Float64() < CorruptionProb(l.ber, p.Size) && !p.Corrupted {
+		p.Corrupted = true
+		l.corrupted++
+		if l.OnCorrupt != nil {
+			l.OnCorrupt(p)
+		}
+	}
 	// The link frees after serialisation; the packet lands prop later.
 	l.eng.After(tx, func() {
 		if l.OnReady != nil {
 			l.OnReady()
 		}
 	})
-	l.eng.After(tx+l.prop, func() { l.dst.Receive(p) })
+	epoch := l.downEpoch
+	l.inFlight++
+	l.eng.After(tx+l.prop, func() {
+		l.inFlight--
+		if epoch != l.downEpoch {
+			// The link flapped while p was in flight: the packet is lost.
+			// The downstream buffer never sees it, so the credits it held
+			// are restored to the sender — flow control must balance
+			// exactly across the flap.
+			l.dropped++
+			l.addCredits(p.VC, p.Size)
+			if l.OnDrop != nil {
+				l.OnDrop(p)
+			}
+			if l.OnReady != nil {
+				l.OnReady()
+			}
+			return
+		}
+		l.dst.Receive(p)
+	})
+}
+
+// addCredits restores credits with the leak guard: credits above the
+// construction capacity mean a double restore somewhere — a flow-control
+// bug as fatal as a buffer overflow.
+func (l *Link) addCredits(vc packet.VC, size units.Size) {
+	l.credits[vc] += size
+	if l.credits[vc] > l.capacity {
+		panic(fmt.Sprintf("link: %v credits %v exceed capacity %v: credit leak",
+			vc, l.credits[vc], l.capacity))
+	}
 }
 
 // ReturnCredits is called by the downstream element when size bytes of its
 // vc input buffer drain. The credit update reaches the sender after the
-// reverse propagation delay.
+// reverse propagation delay. Credit returns model an out-of-band control
+// channel: they keep flowing while the data path is down.
 func (l *Link) ReturnCredits(vc packet.VC, size units.Size) {
 	l.eng.After(l.prop, func() {
-		l.credits[vc] += size
+		l.addCredits(vc, size)
 		if l.OnReady != nil {
 			l.OnReady()
 		}
 	})
 }
+
+// SetDown transitions the link's up/down state and reports whether the
+// state changed. Taking the link down loses every packet currently in
+// flight (their credits are restored as their would-be arrival events
+// fire); bringing it up re-fires OnReady so stalled arbitration resumes.
+func (l *Link) SetDown(down bool) bool {
+	if l.down == down {
+		return false
+	}
+	l.down = down
+	if down {
+		l.downEpoch++
+		return true
+	}
+	if l.OnReady != nil {
+		l.OnReady()
+	}
+	return true
+}
+
+// Down reports whether the link is currently down.
+func (l *Link) Down() bool { return l.down }
+
+// Derate sets the link bandwidth to scale x the construction bandwidth
+// (scale 1 restores nominal). It reports whether the bandwidth changed.
+// In-progress serialisations keep their original timing; only future
+// sends see the new rate.
+func (l *Link) Derate(scale float64) bool {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("link: derate scale %v out of (0,1]", scale))
+	}
+	bw := units.Bandwidth(float64(l.nominal) * scale)
+	if bw == l.bw {
+		return false
+	}
+	l.bw = bw
+	return true
+}
+
+// SetBER sets the link's bit-error rate and the deterministic stream that
+// draws corruption. ber 0 disables the process.
+func (l *Link) SetBER(ber float64, rng *xrand.Rand) {
+	if ber < 0 || ber >= 1 {
+		panic(fmt.Sprintf("link: BER %v out of [0,1)", ber))
+	}
+	l.ber = ber
+	l.berRng = rng
+}
+
+// CorruptionProb returns the probability that a packet of the given wire
+// size is corrupted on a link with the given bit-error rate:
+// 1 - (1-ber)^bits.
+func CorruptionProb(ber float64, size units.Size) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	return -math.Expm1(float64(8*size) * math.Log1p(-ber))
+}
+
+// InFlight returns the number of packets currently on the wire (sent, not
+// yet arrived or lost) — part of the conservation accounting at stop.
+func (l *Link) InFlight() uint64 { return l.inFlight }
+
+// Dropped returns the number of packets lost in flight to link-downs.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// Corrupted returns the number of packets the bit-error process marked.
+func (l *Link) Corrupted() uint64 { return l.corrupted }
 
 // Sent returns the packet and byte counts transmitted so far.
 func (l *Link) Sent() (packets uint64, bytes units.Size) { return l.sent, l.sentSize }

@@ -175,6 +175,151 @@ func TestSentCounters(t *testing.T) {
 	}
 }
 
+func TestFlapLosesInFlightAndRestoresCredits(t *testing.T) {
+	// A packet in flight when the link goes down is lost: the receiver
+	// never sees it, OnDrop observes it, and its credits return to the
+	// sender at the would-be arrival time — flow control balances exactly.
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 50, 300, s)
+	var dropped []*packet.Packet
+	l.OnDrop = func(p *packet.Packet) { dropped = append(dropped, p) }
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 200)) })
+	// Serialisation ends at 200, arrival would be 250: flap at 210.
+	eng.At(210, func() {
+		if !l.SetDown(true) {
+			t.Error("SetDown(true) reported no change")
+		}
+		if l.CanSend(pkt(2, packet.Control, 50)) {
+			t.Error("CanSend true on a down link")
+		}
+	})
+	eng.At(240, func() {
+		if got := l.Credits(packet.VCRegulated); got != 100 {
+			t.Errorf("credits %v before would-be arrival, want 100", got)
+		}
+	})
+	eng.At(260, func() {
+		if got := l.Credits(packet.VCRegulated); got != 300 {
+			t.Errorf("credits %v after loss accounting, want 300 (restored)", got)
+		}
+		if l.InFlight() != 0 {
+			t.Errorf("in-flight %d after loss, want 0", l.InFlight())
+		}
+	})
+	eng.Drain()
+	if len(s.got) != 0 {
+		t.Fatalf("down link delivered %d packets", len(s.got))
+	}
+	if len(dropped) != 1 || dropped[0].ID != 1 {
+		t.Fatalf("OnDrop saw %v, want packet 1", dropped)
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", l.Dropped())
+	}
+}
+
+func TestFlapRecoveryResumesTraffic(t *testing.T) {
+	// Credits returned by the downstream keep flowing while the link is
+	// down (out-of-band control channel), recovery fires OnReady, and a
+	// sender re-arbitrating from OnReady resumes cleanly — the credit
+	// accounting across the whole flap cycle ends balanced.
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 10, 300, s)
+	var backlog []*packet.Packet
+	l.OnReady = func() {
+		for len(backlog) > 0 && l.CanSend(backlog[0]) {
+			p := backlog[0]
+			backlog = backlog[1:]
+			l.Send(p)
+		}
+	}
+	eng.At(0, func() { l.Send(pkt(1, packet.Control, 300)) })
+	// Delivered at 310; downstream drains and returns credits at 400
+	// while the link is down.
+	eng.At(350, func() { l.SetDown(true) })
+	eng.At(400, func() { l.ReturnCredits(packet.VCRegulated, 300) })
+	eng.At(420, func() {
+		if got := l.Credits(packet.VCRegulated); got != 300 {
+			t.Errorf("credits %v while down, want 300 (returns are out-of-band)", got)
+		}
+		backlog = append(backlog, pkt(2, packet.Control, 100))
+		l.OnReady() // sender retries: still down, must not send
+		if len(backlog) != 1 {
+			t.Error("packet sent while link down")
+		}
+	})
+	eng.At(500, func() {
+		if !l.SetDown(false) {
+			t.Error("SetDown(false) reported no change")
+		}
+	})
+	eng.Drain()
+	if len(s.got) != 2 {
+		t.Fatalf("delivered %d packets, want 2 (recovery resumed traffic)", len(s.got))
+	}
+	// Recovery at 500 fires OnReady synchronously: send 500..600, +10 prop.
+	if s.times[1] != 610 {
+		t.Fatalf("post-recovery delivery at %v, want 610", s.times[1])
+	}
+	if got := l.Credits(packet.VCRegulated); got != 200 {
+		t.Fatalf("credits %v after recovery send, want 200", got)
+	}
+}
+
+func TestDoubleDownUpAreNoOps(t *testing.T) {
+	eng := sim.New()
+	l := New(eng, 1, 0, 300, &sink{eng: eng})
+	if l.SetDown(false) {
+		t.Error("SetDown(false) on an up link reported a change")
+	}
+	if !l.SetDown(true) || l.SetDown(true) {
+		t.Error("down transition change-reporting wrong")
+	}
+	if !l.SetDown(false) || l.SetDown(false) {
+		t.Error("up transition change-reporting wrong")
+	}
+}
+
+func TestDerateChangesTiming(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	l := New(eng, 1, 0, units.Kilobyte, s)
+	eng.At(0, func() {
+		if !l.Derate(0.5) {
+			t.Error("Derate(0.5) reported no change")
+		}
+		if l.Derate(0.5) {
+			t.Error("repeated Derate(0.5) reported a change")
+		}
+		l.Send(pkt(1, packet.Control, 100))
+	})
+	eng.At(300, func() {
+		l.Derate(1)
+		l.Send(pkt(2, packet.Control, 100))
+	})
+	eng.Drain()
+	if s.times[0] != 200 {
+		t.Fatalf("derated delivery at %v, want 200", s.times[0])
+	}
+	if s.times[1] != 400 {
+		t.Fatalf("restored delivery at %v, want 400", s.times[1])
+	}
+}
+
+func TestCreditLeakPanics(t *testing.T) {
+	eng := sim.New()
+	l := New(eng, 1, 0, 300, &sink{eng: eng})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-returning credits did not panic")
+		}
+	}()
+	eng.At(0, func() { l.ReturnCredits(packet.VCRegulated, 100) })
+	eng.Drain()
+}
+
 func TestBackToBackPackets(t *testing.T) {
 	// Two packets sent as soon as the link frees must arrive exactly one
 	// serialisation apart.

@@ -11,6 +11,8 @@ import (
 	"fmt"
 
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/traffic"
@@ -81,8 +83,31 @@ type Config struct {
 	// DegradedLinks derates individual switch output links: the data
 	// plane runs them at Scale x LinkBW and the admission controller
 	// routes regulated flows around them. Models failing cables or
-	// operator-imposed caps.
+	// operator-imposed caps. For faults that appear mid-run (flaps,
+	// time-varying derating, bit errors) use Faults instead.
 	DegradedLinks []DegradedLink
+
+	// Faults, when non-nil, is the deterministic fault plan injected
+	// during the run: timed link flaps, time-varying bandwidth derating,
+	// and per-link bit-error rates (see internal/faults). Identical seeds
+	// and plans replay identical fault traces. Unlike DegradedLinks,
+	// admission control does NOT route around planned faults — they are
+	// unplanned from the fabric manager's point of view.
+	Faults *faults.Plan
+
+	// Reliability configures the hosts' end-to-end retransmission layer
+	// (CRC drop at the receiver, seq-gap NAKs, timeout/backoff
+	// retransmission, demotion to best-effort). Enable it whenever
+	// Faults can lose or corrupt packets; without it, corrupted and
+	// flapped packets are dropped-and-accounted but never recovered.
+	Reliability hostif.Reliability
+
+	// CheckInvariants enables the run-time delivery oracle: every unique
+	// (flow, seq) must be delivered at most once. Costs one map entry
+	// per delivered packet; tests, fuzzing and the chaos tools turn it
+	// on. The cheap counter-based conservation balance in
+	// Results.Conservation is always collected.
+	CheckInvariants bool
 
 	// Trace, when set, receives every packet event in addition to the
 	// statistics collector: generation (deadline freshly stamped),
@@ -216,6 +241,7 @@ func (cfg *Config) validate() error {
 	if cfg.HotspotFraction > 0 && (cfg.HotspotHost < 0 || cfg.HotspotHost >= cfg.Topology.Hosts()) {
 		return fmt.Errorf("network: hotspot host %d not in topology", cfg.HotspotHost)
 	}
+	seen := make(map[[2]int]struct{}, len(cfg.DegradedLinks))
 	for _, d := range cfg.DegradedLinks {
 		if d.Scale <= 0 || d.Scale > 1 {
 			return fmt.Errorf("network: degraded link scale %v out of (0,1]", d.Scale)
@@ -224,6 +250,19 @@ func (cfg *Config) validate() error {
 			d.Port < 0 || d.Port >= cfg.Topology.Radix(d.Switch) {
 			return fmt.Errorf("network: degraded link (%d,%d) not in topology", d.Switch, d.Port)
 		}
+		key := [2]int{d.Switch, d.Port}
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("network: degraded link (%d,%d) listed twice", d.Switch, d.Port)
+		}
+		seen[key] = struct{}{}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Topology.Switches(), cfg.Topology.Radix); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
+	}
+	if err := cfg.Reliability.Validate(); err != nil {
+		return fmt.Errorf("network: %w", err)
 	}
 	return nil
 }

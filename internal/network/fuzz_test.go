@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
@@ -94,6 +96,68 @@ func TestFuzzMatrixInvariants(t *testing.T) {
 				}
 				if thru > 1.0 {
 					t.Errorf("%s: aggregate throughput %.2f > 1", label, thru)
+				}
+				if err := res.Conservation.Check(); err != nil {
+					t.Errorf("%s: %v", label, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzFaultPlans drives randomised fault plans — flaps, derates and
+// bit errors drawn by faults.RandomPlan — against the reliability layer
+// over several topologies and architectures, asserting the two properties
+// fault injection must never break: the run terminates, and the
+// conservation invariant balances. Each plan replays deterministically, so
+// a failing (topology, arch, seed) triple reproduces exactly.
+func TestFuzzFaultPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-plan fuzzing is slow")
+	}
+	for name, topo := range fuzzTopologies(t) {
+		for _, a := range []arch.Arch{arch.Traditional2VC, arch.Advanced2VC, arch.Ideal} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				label := fmt.Sprintf("%s/%s/seed%d", name, a.Flag(), seed)
+				cfg := DefaultConfig()
+				cfg.Topology = topo
+				cfg.Arch = a
+				cfg.Seed = seed
+				cfg.Load = 0.7
+				cfg.WarmUp = 200 * units.Microsecond
+				cfg.Measure = 3 * units.Millisecond
+				cfg.ControlDests = 3
+				cfg.BEDests = 3
+				cfg.Reliability = hostif.Reliability{Enabled: true}
+				cfg.CheckInvariants = true
+				cfg.Faults = faults.RandomPlan(seed*977, allLinkIDs(topo),
+					cfg.WarmUp+cfg.Measure, faults.RandomConfig{
+						Flaps:    3,
+						MinDown:  20 * units.Microsecond,
+						MaxDown:  300 * units.Microsecond,
+						Derates:  2,
+						MinScale: 0.25,
+						BERLinks: 4,
+						MaxBER:   1e-5,
+					})
+				cfg.Faults.DefaultBER = 1e-7
+
+				res, err := Run(cfg)
+				if err != nil {
+					cfg.Load = 0.4
+					res, err = Run(cfg)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+				if err := res.Conservation.Check(); err != nil {
+					t.Errorf("%s: %v\n%v", label, err, res.Conservation)
+				}
+				if res.Conservation.DeliveredUnique == 0 {
+					t.Errorf("%s: no deliveries under faults", label)
+				}
+				if res.FaultEvents == 0 {
+					t.Errorf("%s: no fault events executed", label)
 				}
 			}
 		}

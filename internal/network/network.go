@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"deadlineqos/internal/admission"
+	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/packet"
@@ -34,6 +35,29 @@ type Results struct {
 	PendingAtHorizon int
 	// VideoStreamsPerHost records the provisioned multimedia fan-out.
 	VideoStreamsPerHost int
+
+	// Fault injection and end-to-end recovery (all zero in fault-free
+	// runs). Unlike the Collector's per-class counters these cover the
+	// whole run, warm-up included, so they balance in Conservation.
+	//
+	// FaultEvents counts executed fault-plan events; FaultTrace is their
+	// execution-order record (identical across same-seed runs).
+	FaultEvents uint64
+	FaultTrace  []faults.TraceEntry
+	// LostOnLink counts copies lost in flight to link flaps.
+	LostOnLink uint64
+	// CorruptedInFlight counts copies marked corrupt by link bit errors
+	// (every one is eventually dropped by a destination CRC check or lost
+	// to a flap first).
+	CorruptedInFlight uint64
+	// Reliability aggregates the hosts' recovery-layer counters.
+	Reliability hostif.RelCounters
+	// OutstandingAtStop counts injected-but-unacknowledged packets still
+	// tracked by senders when the run stopped.
+	OutstandingAtStop int
+	// Conservation is the run-level packet accounting; its Check method
+	// is the simulator's end-to-end conservation invariant.
+	Conservation faults.Conservation
 }
 
 // Network is a fully wired simulation. Build one with New, then call Run,
@@ -48,6 +72,24 @@ type Network struct {
 	collect      *stats.Collector
 	adm          *admission.Controller
 	videoPerHost int
+
+	// Fault machinery: every live link (for conservation accounting and
+	// BER wiring), switch output links by fault address, host injection
+	// links by host, the plan injector, the run-level conservation
+	// counters, and the optional delivery oracle.
+	links         []*link.Link
+	linkByID      map[faults.LinkID]*link.Link
+	hostUp        []*link.Link
+	injector      faults.Injector
+	cons          faults.Conservation
+	deliveredOnce map[deliveryKey]struct{}
+}
+
+// deliveryKey identifies a unique packet end-to-end for the delivery
+// oracle (retransmit copies share it).
+type deliveryKey struct {
+	flow packet.FlowID
+	seq  uint64
 }
 
 // New builds and wires a network from cfg without starting it.
@@ -57,6 +99,11 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := &Network{cfg: cfg, eng: sim.New(), topo: cfg.Topology}
 	n.collect = stats.NewCollector(n.topo.Hosts(), cfg.LinkBW, cfg.WarmUp, cfg.WarmUp+cfg.Measure)
+	n.linkByID = make(map[faults.LinkID]*link.Link)
+	n.hostUp = make([]*link.Link, n.topo.Hosts())
+	if cfg.CheckInvariants {
+		n.deliveredOnce = make(map[deliveryKey]struct{})
+	}
 
 	rng := xrand.New(cfg.Seed)
 	skewRng := rng.Split(0xc10c)
@@ -82,34 +129,71 @@ func New(cfg Config) (*Network, error) {
 		}))
 	}
 
-	// Hosts, reporting into the collector.
+	// Hosts, reporting into the collector and the run-level conservation
+	// counters (the latter cover the whole run, warm-up included, so the
+	// accounting balances exactly).
 	ids := &hostif.IDSource{}
 	hooks := hostif.Hooks{
-		Generated: n.collect.PacketGenerated,
-		Injected:  n.collect.PacketInjected,
-		Delivered: n.collect.PacketDelivered,
+		Generated: func(p *packet.Packet) {
+			n.cons.Generated++
+			n.collect.PacketGenerated(p)
+		},
+		Injected: func(p *packet.Packet, now units.Time) {
+			n.cons.InjectedCopies++
+			n.collect.PacketInjected(p, now)
+		},
+		Delivered: func(p *packet.Packet, now units.Time) {
+			n.cons.DeliveredUnique++
+			if n.deliveredOnce != nil {
+				key := deliveryKey{p.Flow, p.Seq}
+				if _, dup := n.deliveredOnce[key]; dup {
+					n.cons.DoubleDeliveries++
+				}
+				n.deliveredOnce[key] = struct{}{}
+			}
+			n.collect.PacketDelivered(p, now)
+		},
+		Corrupted: func(p *packet.Packet, now units.Time) {
+			n.cons.ArrivedCorrupt++
+			n.collect.PacketCorrupted(p, now)
+		},
+		DupDropped: func(p *packet.Packet, now units.Time) {
+			n.cons.ArrivedDup++
+			n.collect.PacketDupDropped(p, now)
+		},
+		Retransmitted: func(p *packet.Packet, now units.Time) {
+			n.cons.Retransmissions++
+			n.collect.PacketRetransmitted(p, now)
+		},
+		Demoted: n.collect.PacketDemoted,
 	}
 	if t := cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
 		base := hooks
-		hooks = hostif.Hooks{
-			Generated: func(p *packet.Packet) {
-				base.Generated(p)
-				if t.Generated != nil {
-					t.Generated(p)
-				}
-			},
-			Injected: func(p *packet.Packet, now units.Time) {
-				base.Injected(p, now)
-				if t.Injected != nil {
-					t.Injected(p, now)
-				}
-			},
-			Delivered: func(p *packet.Packet, now units.Time) {
-				base.Delivered(p, now)
-				if t.Delivered != nil {
-					t.Delivered(p, now)
-				}
-			},
+		hooks.Generated = func(p *packet.Packet) {
+			base.Generated(p)
+			if t.Generated != nil {
+				t.Generated(p)
+			}
+		}
+		hooks.Injected = func(p *packet.Packet, now units.Time) {
+			base.Injected(p, now)
+			if t.Injected != nil {
+				t.Injected(p, now)
+			}
+		}
+		hooks.Delivered = func(p *packet.Packet, now units.Time) {
+			base.Delivered(p, now)
+			if t.Delivered != nil {
+				t.Delivered(p, now)
+			}
+		}
+	}
+	var sendAck func(src int, flow packet.FlowID, seq uint64, ok bool)
+	if cfg.Reliability.Enabled {
+		rel := cfg.Reliability.WithDefaults()
+		sendAck = func(src int, flow packet.FlowID, seq uint64, ok bool) {
+			// Acks travel out-of-band like credits: delayed, never lost.
+			n.eng.After(rel.AckDelay, func() { n.hosts[src].HandleAck(flow, seq, ok) })
 		}
 	}
 	for h := 0; h < n.topo.Hosts(); h++ {
@@ -122,10 +206,13 @@ func New(cfg Config) (*Network, error) {
 			EligibleLead: cfg.EligibleLead,
 			IDs:          ids,
 			Hooks:        hooks,
+			Reliability:  cfg.Reliability,
+			SendAck:      sendAck,
 		}))
 	}
 
 	n.wire()
+	n.installFaults()
 
 	adm, err := admission.New(n.topo, cfg.LinkBW, 1.0)
 	if err != nil {
@@ -168,10 +255,13 @@ func (n *Network) wire() {
 				down := link.New(n.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, h)
 				s.ConnectDownstream(p, down)
 				h.SetUpstream(down)
+				n.retainLink(faults.LinkID{Switch: sw, Port: p}, down)
 				// Host -> switch (injection).
 				up := link.New(n.eng, cfg.LinkBW, cfg.PropDelay, cfg.BufPerVC, s.InputReceiver(p))
 				h.ConnectOut(up)
 				s.ConnectUpstream(p, up)
+				n.links = append(n.links, up)
+				n.hostUp[peer.ID] = up
 				continue
 			}
 			// Switch-to-switch: create the sw->peer direction from this
@@ -181,8 +271,45 @@ func (n *Network) wire() {
 			l := link.New(n.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, other.InputReceiver(peer.Port))
 			s.ConnectDownstream(p, l)
 			other.ConnectUpstream(peer.Port, l)
+			n.retainLink(faults.LinkID{Switch: sw, Port: p}, l)
 		}
 	}
+}
+
+// retainLink records a switch output link under its fault address.
+func (n *Network) retainLink(id faults.LinkID, l *link.Link) {
+	n.links = append(n.links, l)
+	n.linkByID[id] = l
+}
+
+// installFaults arms the loss accounting on every link and installs the
+// configured fault plan: per-link corruption streams and the timed event
+// schedule.
+func (n *Network) installFaults() {
+	onDrop := func(p *packet.Packet) {
+		n.cons.LostOnLink++
+		n.collect.PacketLost(p)
+	}
+	for _, l := range n.links {
+		l.OnDrop = onDrop
+	}
+	plan := n.cfg.Faults
+	if plan.Empty() {
+		return
+	}
+	for id, l := range n.linkByID {
+		if ber := plan.BEROf(id); ber > 0 {
+			l.SetBER(ber, plan.CorruptionStream(id))
+		}
+	}
+	if plan.DefaultBER > 0 {
+		for h, l := range n.hostUp {
+			if l != nil {
+				l.SetBER(plan.DefaultBER, plan.HostCorruptionStream(h))
+			}
+		}
+	}
+	n.injector.Install(plan, n.eng, func(id faults.LinkID) *link.Link { return n.linkByID[id] }, nil)
 }
 
 // destinations returns count destinations for host h, spread
@@ -417,8 +544,37 @@ func (n *Network) Run() *Results {
 	for _, h := range n.hosts {
 		res.PendingAtHorizon += h.Pending()
 	}
+
+	// Close the conservation books: everything not yet in a terminal state
+	// is either staged at a NIC or inside the fabric (switch buffers,
+	// crossbars mid-transfer, link wires).
+	cons := n.cons
+	for _, h := range n.hosts {
+		cons.StagedAtStop += uint64(h.Pending())
+		res.Reliability.Add(h.RelCounters())
+		res.OutstandingAtStop += h.Outstanding()
+	}
+	for _, sw := range n.switches {
+		cons.InNetworkAtStop += uint64(sw.Queued() + sw.InTransit())
+	}
+	for _, l := range n.links {
+		cons.InNetworkAtStop += l.InFlight()
+		res.CorruptedInFlight += l.Corrupted()
+	}
+	res.LostOnLink = cons.LostOnLink
+	res.Conservation = cons
+	res.FaultEvents = n.injector.Executed()
+	res.FaultTrace = n.injector.Trace()
 	return res
 }
+
+// FaultTrace returns the fault events executed so far (live view; Run's
+// Results carry the final copy).
+func (n *Network) FaultTrace() []faults.TraceEntry { return n.injector.Trace() }
+
+// Conservation returns the current conservation counters without the
+// end-of-run staged/in-network census (those are only meaningful at stop).
+func (n *Network) Conservation() faults.Conservation { return n.cons }
 
 // Run builds and executes one simulation.
 func Run(cfg Config) (*Results, error) {

@@ -5,6 +5,8 @@ import (
 
 	"deadlineqos/internal/analytic"
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
@@ -309,6 +311,59 @@ func TestDegradedLinkValidation(t *testing.T) {
 	cfg.DegradedLinks = []DegradedLink{{Switch: 99, Port: 0, Scale: 0.5}}
 	if _, err := New(cfg); err == nil {
 		t.Error("out-of-topology degraded link accepted")
+	}
+	cfg.DegradedLinks = []DegradedLink{{Switch: 0, Port: 0, Scale: -0.5}}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative degrade scale accepted")
+	}
+	cfg.DegradedLinks = []DegradedLink{{Switch: 0, Port: 2, Scale: 0.5}, {Switch: 0, Port: 2, Scale: 0.7}}
+	if _, err := New(cfg); err == nil {
+		t.Error("duplicate degraded link accepted")
+	}
+	cfg.DegradedLinks = []DegradedLink{{Switch: 0, Port: -1, Scale: 0.5}}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative port accepted")
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	base := quickCfg(arch.Advanced2VC, 0.5)
+
+	cfg := base
+	cfg.Faults = &faults.Plan{Events: []faults.Event{
+		{At: 0, Link: faults.LinkID{Switch: 99, Port: 0}, Kind: faults.LinkDown},
+	}}
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-topology fault link accepted")
+	}
+
+	cfg = base
+	cfg.Faults = &faults.Plan{DefaultBER: 2}
+	if _, err := New(cfg); err == nil {
+		t.Error("BER >= 1 accepted")
+	}
+
+	cfg = base
+	cfg.Reliability = hostif.Reliability{Enabled: true, Backoff: 0.5}
+	if _, err := New(cfg); err == nil {
+		t.Error("shrinking retransmission backoff accepted")
+	}
+
+	cfg = base
+	cfg.Reliability = hostif.Reliability{Enabled: true, Timeout: -units.Microsecond}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative retransmission timeout accepted")
+	}
+
+	// A valid plan and reliability config must build.
+	cfg = base
+	cfg.Faults = &faults.Plan{Events: []faults.Event{
+		{At: units.Millisecond, Link: faults.LinkID{Switch: 0, Port: 0}, Kind: faults.LinkDown},
+		{At: 2 * units.Millisecond, Link: faults.LinkID{Switch: 0, Port: 0}, Kind: faults.LinkUp},
+	}}
+	cfg.Reliability = hostif.Reliability{Enabled: true}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("valid fault configuration rejected: %v", err)
 	}
 }
 

@@ -112,6 +112,11 @@ type Packet struct {
 	TTD      units.Time // time-to-deadline, valid only while in flight on a link
 	Route    []int      // fixed source route: output port to take at hop i
 	Hop      int        // current hop index into Route
+	// Corrupted marks a payload CRC mismatch accumulated in flight (set
+	// by the fault model's bit-error process). Switches forward corrupted
+	// packets untouched — only the destination NIC's end-to-end CRC check
+	// detects and drops them.
+	Corrupted bool
 
 	// Host-only field (not transmitted, §3.1).
 	Eligible units.Time // earliest cycle the packet may enter the network

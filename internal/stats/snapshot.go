@@ -36,6 +36,12 @@ type ClassSnapshot struct {
 	FrameCount       uint64  `json:"frame_count"`
 	FrameMeanNs      float64 `json:"frame_mean_ns"`
 	FrameP99Ns       int64   `json:"frame_p99_ns"`
+	// Fault/recovery counters (omitted in fault-free runs).
+	CorruptedPackets     uint64 `json:"corrupted_packets,omitempty"`
+	LostPackets          uint64 `json:"lost_packets,omitempty"`
+	RetransmittedPackets uint64 `json:"retransmitted_packets,omitempty"`
+	DemotedPackets       uint64 `json:"demoted_packets,omitempty"`
+	DuplicateDrops       uint64 `json:"duplicate_drops,omitempty"`
 }
 
 // Snapshot summarises the collector's current state.
@@ -48,18 +54,23 @@ func (c *Collector) Snapshot(label string) *Snapshot {
 	for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
 		cs := &c.PerClass[cl]
 		s.Classes[cl.String()] = ClassSnapshot{
-			GeneratedPackets: cs.GeneratedPackets,
-			DeliveredPackets: cs.DeliveredPackets,
-			Throughput:       c.Throughput(cl),
-			OfferedLoad:      c.OfferedLoad(cl),
-			LatencyMeanNs:    cs.PacketLatency.Mean(),
-			LatencyP50Ns:     int64(cs.LatencyHist.Quantile(0.50)),
-			LatencyP99Ns:     int64(cs.LatencyHist.Quantile(0.99)),
-			LatencyMaxNs:     cs.PacketLatency.Max(),
-			JitterMeanNs:     cs.Jitter.Mean(),
-			FrameCount:       cs.FrameLatency.Count(),
-			FrameMeanNs:      cs.FrameLatency.Mean(),
-			FrameP99Ns:       int64(cs.FrameHist.Quantile(0.99)),
+			GeneratedPackets:     cs.GeneratedPackets,
+			DeliveredPackets:     cs.DeliveredPackets,
+			Throughput:           c.Throughput(cl),
+			OfferedLoad:          c.OfferedLoad(cl),
+			LatencyMeanNs:        cs.PacketLatency.Mean(),
+			LatencyP50Ns:         int64(cs.LatencyHist.Quantile(0.50)),
+			LatencyP99Ns:         int64(cs.LatencyHist.Quantile(0.99)),
+			LatencyMaxNs:         cs.PacketLatency.Max(),
+			JitterMeanNs:         cs.Jitter.Mean(),
+			FrameCount:           cs.FrameLatency.Count(),
+			FrameMeanNs:          cs.FrameLatency.Mean(),
+			FrameP99Ns:           int64(cs.FrameHist.Quantile(0.99)),
+			CorruptedPackets:     cs.CorruptedPackets,
+			LostPackets:          cs.LostPackets,
+			RetransmittedPackets: cs.RetransmittedPackets,
+			DemotedPackets:       cs.DemotedPackets,
+			DuplicateDrops:       cs.DuplicateDrops,
 		}
 	}
 	return s

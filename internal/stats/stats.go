@@ -198,6 +198,14 @@ type ClassStats struct {
 	DeliveredPackets uint64
 	DeliveredBytes   units.Size
 
+	// Fault/recovery counters (zero in fault-free runs; see
+	// internal/faults and the hostif reliability layer).
+	CorruptedPackets     uint64 // copies dropped by the receiver CRC check
+	LostPackets          uint64 // copies lost in flight to link flaps
+	RetransmittedPackets uint64 // retransmit copies queued at sources
+	DemotedPackets       uint64 // packets demoted to the best-effort VC
+	DuplicateDrops       uint64 // duplicate copies dropped by receivers
+
 	PacketLatency Series     // ns, creation to delivery
 	NetLatency    Series     // ns, injection to delivery (network-only share)
 	LatencyHist   *Histogram // packet latency CDF
@@ -314,6 +322,43 @@ func (c *Collector) PacketDelivered(p *packet.Packet, now units.Time) {
 				delete(c.frames, p.FrameID)
 			}
 		}
+	}
+}
+
+// PacketCorrupted records that a copy of p was dropped by the destination
+// NIC's CRC check.
+func (c *Collector) PacketCorrupted(p *packet.Packet, now units.Time) {
+	if c.measured(p) {
+		c.PerClass[p.Class].CorruptedPackets++
+	}
+}
+
+// PacketLost records that a copy of p was lost in flight to a link flap.
+func (c *Collector) PacketLost(p *packet.Packet) {
+	if c.measured(p) {
+		c.PerClass[p.Class].LostPackets++
+	}
+}
+
+// PacketRetransmitted records that a retransmit copy of p was queued.
+func (c *Collector) PacketRetransmitted(p *packet.Packet, now units.Time) {
+	if c.measured(p) {
+		c.PerClass[p.Class].RetransmittedPackets++
+	}
+}
+
+// PacketDemoted records that p was demoted to the best-effort VC.
+func (c *Collector) PacketDemoted(p *packet.Packet, now units.Time) {
+	if c.measured(p) {
+		c.PerClass[p.Class].DemotedPackets++
+	}
+}
+
+// PacketDupDropped records that a duplicate copy of p was dropped at the
+// destination.
+func (c *Collector) PacketDupDropped(p *packet.Packet, now units.Time) {
+	if c.measured(p) {
+		c.PerClass[p.Class].DuplicateDrops++
 	}
 }
 

@@ -79,6 +79,7 @@ type Switch struct {
 
 	xbarTransfers uint64
 	linkSends     uint64
+	inXbar        int // packets mid-crossbar (popped from a VOQ, not yet in an output buffer)
 }
 
 type inputPort struct {
@@ -248,6 +249,7 @@ func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
 	ip.busy = true
 	op.busy = true
 	s.xbarTransfers++
+	s.inXbar++
 	tx := s.cfg.XbarBW.TxTime(p.Size)
 	s.cfg.Eng.After(tx, func() { s.finishTransfer(ip, op, vc, p) })
 }
@@ -255,6 +257,7 @@ func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
 func (s *Switch) finishTransfer(ip *inputPort, op *outputPort, vc packet.VC, p *packet.Packet) {
 	ip.busy = false
 	op.busy = false
+	s.inXbar--
 	// The packet has fully left the input buffer: free the pool and give
 	// the credits back upstream.
 	ip.pool[vc] -= p.Size
@@ -362,6 +365,11 @@ func (s *Switch) Stats() Stats {
 	}
 	return st
 }
+
+// InTransit returns the packets currently crossing the crossbar: popped
+// from an input VOQ but not yet in an output buffer. Together with Queued
+// this accounts for every packet inside the switch (conservation checks).
+func (s *Switch) InTransit() int { return s.inXbar }
 
 // Queued returns the total packets currently buffered in the switch
 // (diagnostics and drain checks).

@@ -28,11 +28,14 @@ type sinkNode struct {
 }
 
 // Receive drains instantly and returns credits, like an endpoint NIC.
+// Credits go back to the VC the packet occupied (p.VC, not the 2-VC class
+// mapping: under 4-VC architectures they differ, and returning to the
+// wrong VC is a credit leak).
 func (sn *sinkNode) Receive(p *packet.Packet) {
 	p.UnpackTTD(sn.eng.Now())
 	sn.got = append(sn.got, p)
 	sn.when = append(sn.when, sn.eng.Now())
-	sn.up.ReturnCredits(packet.VCOf(p.Class), p.Size)
+	sn.up.ReturnCredits(p.VC, p.Size)
 }
 
 func newRig(t *testing.T, a arch.Arch, radix int, bufPerVC units.Size) *rig {

@@ -31,6 +31,8 @@ import (
 	"deadlineqos/internal/analytic"
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/experiments"
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/pqueue"
@@ -181,6 +183,46 @@ type Packet = packet.Packet
 
 // FlowID identifies a flow (a connection with a fixed route).
 type FlowID = packet.FlowID
+
+// FaultPlan is a deterministic fault schedule (link flaps, bandwidth
+// derating, bit errors) injected into a run via Config.Faults; identical
+// seeds and plans replay identical fault traces. See examples/chaos.
+type FaultPlan = faults.Plan
+
+// FaultEvent is one timed fault of a plan.
+type FaultEvent = faults.Event
+
+// FaultLinkID addresses a switch output link in a fault plan, matching
+// Config.DegradedLinks coordinates.
+type FaultLinkID = faults.LinkID
+
+// FaultTraceEntry is one executed fault event of Results.FaultTrace.
+type FaultTraceEntry = faults.TraceEntry
+
+// The fault event kinds.
+const (
+	LinkDown   = faults.LinkDown // link drops; in-flight packets are lost
+	LinkUp     = faults.LinkUp   // link recovers; arbitration resumes
+	LinkDerate = faults.Derate   // bandwidth set to Scale x nominal
+)
+
+// FaultRandomConfig bounds the fault processes RandomFaultPlan draws.
+type FaultRandomConfig = faults.RandomConfig
+
+// RandomFaultPlan draws a reproducible random fault plan over the given
+// links and time horizon.
+func RandomFaultPlan(seed uint64, links []FaultLinkID, horizon Time, cfg FaultRandomConfig) *FaultPlan {
+	return faults.RandomPlan(seed, links, horizon, cfg)
+}
+
+// Reliability configures the hosts' end-to-end retransmission layer
+// (Config.Reliability): CRC drop at the receiver, NAKs, timeout/backoff
+// retransmission with deadline re-stamping, demotion to best-effort.
+type Reliability = hostif.Reliability
+
+// Conservation is the run-level packet accounting of Results.Conservation;
+// its Check method is the simulator's end-to-end conservation invariant.
+type Conservation = faults.Conservation
 
 // UnloadedPacketLatency returns the closed-form end-to-end latency of a
 // packet of the given wire size crossing switchHops switches on an idle
