@@ -5,9 +5,20 @@
 // as benchmark metrics; `go test -bench=<name> -v` additionally prints the
 // full tables. The full 128-endpoint reproduction is `cmd/qostables
 // -scale paper`.
+//
+// The raw-performance benchmarks (SimulationRate, SimulationRateTraced,
+// Engine) additionally persist a machine-readable BENCH_<scenario>.json
+// snapshot in the working directory, so CI and regression scripts can
+// diff simulator throughput across commits without parsing `go test`
+// output:
+//
+//	go test -bench='SimulationRate|Engine' -run '^$' .
+//	cat BENCH_simrate.json
 package deadlineqos
 
 import (
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,9 +30,47 @@ import (
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 	"deadlineqos/internal/xrand"
 )
+
+// benchResult is the BENCH_<scenario>.json schema.
+type benchResult struct {
+	Scenario     string  `json:"scenario"`
+	N            int     `json:"n"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// writeBenchJSON persists the benchmark's headline numbers as
+// BENCH_<scenario>.json (the final timing of the last b.N round wins).
+// Failures only log: a read-only working directory must not fail the
+// benchmark itself.
+func writeBenchJSON(b *testing.B, scenario string, events uint64) {
+	elapsed := b.Elapsed()
+	if b.N == 0 || elapsed <= 0 {
+		return
+	}
+	res := benchResult{
+		Scenario: scenario,
+		N:        b.N,
+		NsPerOp:  float64(elapsed.Nanoseconds()) / float64(b.N),
+	}
+	if events > 0 {
+		res.EventsPerOp = float64(events) / float64(b.N)
+		res.EventsPerSec = float64(events) / elapsed.Seconds()
+	}
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		b.Logf("marshalling BENCH_%s.json: %v", scenario, err)
+		return
+	}
+	if err := os.WriteFile("BENCH_"+scenario+".json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("writing BENCH_%s.json: %v", scenario, err)
+	}
+}
 
 // benchOpt is the benchmark experiment scale: large enough to show every
 // qualitative effect, small enough that one sweep fits in seconds.
@@ -289,6 +338,38 @@ func BenchmarkSimulationRate(b *testing.B) {
 		events += res.SimEvents
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	writeBenchJSON(b, "simrate", events)
+}
+
+// BenchmarkSimulationRateTraced is BenchmarkSimulationRate with
+// packet-lifecycle tracing on at a 2% sample rate — diffing the two
+// BENCH_*.json files quantifies the observability overhead. (With tracing
+// merely configured off, the per-event cost is one nil check; that case
+// is BenchmarkSimulationRate itself.)
+func BenchmarkSimulationRateTraced(b *testing.B) {
+	cfg := network.SmallConfig()
+	cfg.Arch = arch.Advanced2VC
+	cfg.Load = 1.0
+	cfg.WarmUp = 0
+	cfg.Measure = 2 * units.Millisecond
+	cfg.TrackOrderErrors = true
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		tr, err := trace.New(trace.Config{SampleRate: 0.02, Seed: cfg.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Tracer = tr
+		res, err := network.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.SimEvents
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	writeBenchJSON(b, "simrate_traced", events)
 }
 
 // BenchmarkArchitectures measures one full-load run per architecture, the
@@ -331,6 +412,7 @@ func BenchmarkEngine(b *testing.B) {
 	eng.At(0, step)
 	eng.Run(units.Time(1e11))
 	b.ReportMetric(1, "events/op")
+	writeBenchJSON(b, "engine", uint64(b.N))
 }
 
 // BenchmarkBuffers measures push+pop through the three buffer disciplines

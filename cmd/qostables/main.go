@@ -42,7 +42,7 @@ func run() error {
 		plots   = flag.Bool("plots", true, "print ASCII plots next to the tables")
 		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		archsF  = flag.String("archs", "", "comma-separated architecture subset (traditional,traditional4,ideal,simple,advanced)")
-		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective")
+		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack")
 	)
 	flag.Parse()
 
@@ -147,6 +147,7 @@ func run() error {
 		{"E1", "jitter", experiments.VideoJitter},
 		{"E2", "manyvcs", experiments.ManyVCs},
 		{"E3", "collective", experiments.CollectiveCompletion},
+		{"E4", "slack", experiments.DeadlineSlack},
 	} {
 		if !selected(exp.name) {
 			continue

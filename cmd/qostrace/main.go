@@ -1,0 +1,159 @@
+// Command qostrace runs one simulation with full observability switched
+// on — packet-lifecycle tracing of a sampled packet subset, periodic
+// per-port telemetry probes, and engine profiling — and writes the
+// artefacts for offline analysis:
+//
+//	<out>/trace.jsonl        one JSON object per lifecycle event
+//	<out>/trace_chrome.json  Chrome trace_event JSON — load in Perfetto
+//	                         (https://ui.perfetto.dev) or chrome://tracing
+//	<out>/telemetry.csv      per-switch/per-port probe series
+//	<out>/telemetry.json     full telemetry (ports + engine series)
+//
+// On stdout it prints the per-class summary (latency and deadline-slack
+// quantile ladders, miss rates), the per-hop dequeue-slack table, and a
+// one-line engine profile.
+//
+// Examples:
+//
+//	qostrace -topo small -arch advanced -sample 0.05 -out /tmp/qostrace
+//	qostrace -arch traditional -load 1.0 -sample 0.01 -probe 100us -out trace_out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/cli"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/report"
+	"deadlineqos/internal/trace"
+	"deadlineqos/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qostrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		archName  = flag.String("arch", "advanced", "switch architecture: traditional|traditional4|ideal|simple|advanced")
+		topoSpec  = flag.String("topo", "small", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
+		load      = flag.Float64("load", 0.8, "offered load per host as a fraction of link bandwidth")
+		seed      = flag.Uint64("seed", 1, "random seed (also drives packet sampling)")
+		warmup    = flag.String("warmup", "2ms", "warm-up period excluded from measurement")
+		measure   = flag.String("measure", "20ms", "measurement window")
+		sample    = flag.Float64("sample", 0.02, "fraction of packets to trace, in [0,1]")
+		probe     = flag.String("probe", "100us", "telemetry probe interval (0 disables probing)")
+		maxEvents = flag.Int("maxevents", trace.DefaultMaxEvents, "trace event capacity (0 = default)")
+		outDir    = flag.String("out", "qostrace_out", "output directory for the trace artefacts")
+	)
+	flag.Parse()
+
+	a, err := arch.Parse(*archName)
+	if err != nil {
+		return err
+	}
+	topo, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		return err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Arch = a
+	cfg.Topology = topo
+	cfg.Load = *load
+	cfg.Seed = *seed
+	if cfg.WarmUp, err = cli.ParseDuration(*warmup); err != nil {
+		return err
+	}
+	if cfg.Measure, err = cli.ParseDuration(*measure); err != nil {
+		return err
+	}
+	if cfg.ProbeInterval, err = cli.ParseDuration(*probe); err != nil {
+		return err
+	}
+	if topo.Hosts() < 32 {
+		cfg.ControlDests = min(cfg.ControlDests, topo.Hosts()-1)
+		cfg.BEDests = min(cfg.BEDests, topo.Hosts()-1)
+	}
+	// The take-over and order-error observers only fire on tracked
+	// buffers; a tracing run wants them.
+	cfg.TrackOrderErrors = true
+
+	tr, err := trace.New(trace.Config{SampleRate: *sample, Seed: *seed, MaxEvents: *maxEvents})
+	if err != nil {
+		return err
+	}
+	cfg.Tracer = tr
+
+	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d window=[%v, %v] sample=%.3g probe=%v\n",
+		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure,
+		*sample, cfg.ProbeInterval)
+
+	res, err := network.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	writeFile := func(name string, write func(w io.Writer) error) error {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := writeFile("trace.jsonl", tr.WriteJSONL); err != nil {
+		return err
+	}
+	if err := writeFile("trace_chrome.json", tr.WriteChromeTrace); err != nil {
+		return err
+	}
+	if tel := res.Telemetry; tel != nil {
+		if err := writeFile("telemetry.csv", tel.WriteCSV); err != nil {
+			return err
+		}
+		if err := writeFile("telemetry.json", tel.WriteJSON); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println(report.PerClassTable("per-class results", res.Collector))
+
+	if hs := tr.HopSlack(); len(hs) > 0 {
+		t := report.NewTable("dequeue slack per hop (sampled packets)",
+			"hop", "dequeues", "slack avg", "slack min", "slack max")
+		for _, h := range hs {
+			t.Add(fmt.Sprintf("%d", h.Hop), fmt.Sprintf("%d", h.Count),
+				units.Time(h.MeanNs).String(), units.Time(h.MinNs).String(),
+				units.Time(h.MaxNs).String())
+		}
+		fmt.Println(t)
+	}
+
+	dropNote := ""
+	if d := tr.Dropped(); d > 0 {
+		dropNote = fmt.Sprintf(" (%d dropped at the %d-event cap — raise -maxevents or lower -sample)", d, *maxEvents)
+	}
+	fmt.Printf("trace: %d sampled packets, %d events%s\n", tr.SampledPackets(), len(tr.Events()), dropNote)
+	if res.Telemetry != nil {
+		fmt.Printf("telemetry: %d port samples, %d engine samples every %v\n",
+			len(res.Telemetry.Ports), len(res.Telemetry.Engine), res.Telemetry.Interval)
+	}
+	fmt.Printf("profile: %v\n", &res.Perf)
+	fmt.Printf("artefacts in %s: trace.jsonl trace_chrome.json telemetry.csv telemetry.json\n", *outDir)
+	return nil
+}

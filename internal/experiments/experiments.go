@@ -694,6 +694,37 @@ func CollectiveCompletion(opt Options) (*report.Table, error) {
 	return t, nil
 }
 
+// --- E4: deadline slack -------------------------------------------------------
+
+// DeadlineSlack reports the delivered deadline-slack picture at full
+// load: per architecture and regulated class, the mean and the low
+// quantiles of slack (deadline minus delivery time on the destination's
+// clock — negative means the deadline was missed) plus the miss rate.
+// The low quantiles are the interesting tail: p1 is how close the worst
+// percentile of packets came to (or went past) its deadline. An
+// observability extension; the paper only reports latency.
+func DeadlineSlack(opt Options) (*report.Table, error) {
+	points := harness.Sweep(opt.Base, opt.Archs, []float64{opt.maxLoad()}, opt.Parallelism)
+	if err := harness.FirstErr(points); err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Extension: delivered deadline slack at %s load (us; negative = late)", loadPct(opt.maxLoad())),
+		"architecture", "class", "slack avg", "slack p1", "slack p5", "slack p50", "miss %")
+	for _, p := range points {
+		for _, cl := range []packet.Class{packet.Control, packet.Multimedia} {
+			cs := &p.Res.PerClass[cl]
+			t.Add(p.Arch.String(), cl.String(),
+				fmt.Sprintf("%.2f", units.Time(cs.Slack.Mean()).Microseconds()),
+				fmt.Sprintf("%.2f", cs.SlackHist.Quantile(0.01).Microseconds()),
+				fmt.Sprintf("%.2f", cs.SlackHist.Quantile(0.05).Microseconds()),
+				fmt.Sprintf("%.2f", cs.SlackHist.Quantile(0.50).Microseconds()),
+				fmt.Sprintf("%.2f", 100*p.Res.MissRate(cl)))
+		}
+	}
+	return t, nil
+}
+
 // --- R1: chaos — graceful degradation under faults ----------------------------
 
 // chaosLinkIDs enumerates every wired switch output link of a topology.

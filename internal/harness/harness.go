@@ -11,6 +11,7 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/network"
+	"deadlineqos/internal/report"
 	"deadlineqos/internal/stats"
 )
 
@@ -151,4 +152,21 @@ func (p ReplicatedPoint) MeanStd(metric func(*network.Results) float64) (mean, s
 		}
 	}
 	return s.Mean(), s.StdDev()
+}
+
+// PerfTable renders the engine profile of every successful point in a
+// sweep: event throughput, wall clock per simulated second, peak event
+// queue depth, and allocation volume. Failed points are skipped.
+func PerfTable(title string, points []Point) *report.Table {
+	t := report.NewTable(title,
+		"arch", "load", "events", "Mev/s", "wall/sim", "max pending", "allocs", "alloc MiB")
+	for _, p := range points {
+		if p.Err != nil || p.Res == nil {
+			continue
+		}
+		pf := p.Res.Perf
+		t.AddF(p.Arch.String(), p.Load, pf.Events, pf.EventsPerSec/1e6,
+			pf.WallPerSimSec, pf.MaxPending, pf.Mallocs, float64(pf.AllocBytes)/(1<<20))
+	}
+	return t
 }

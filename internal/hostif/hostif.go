@@ -30,6 +30,7 @@ import (
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
 
@@ -113,6 +114,10 @@ type Config struct {
 	// retransmission. Wired by the network when reliability is enabled;
 	// the transport (and its delay) is the caller's.
 	SendAck func(src int, flow packet.FlowID, seq uint64, ok bool)
+	// Tracer records lifecycle events of sampled packets (nil = tracing
+	// off; every event site guards on the pointer and the packet's
+	// Sampled bit, so the disabled cost is one comparison).
+	Tracer *trace.Tracer
 }
 
 // hostQueueCap is the injection queue capacity: host memory, effectively
@@ -254,6 +259,12 @@ func (h *Host) SubmitMessage(flowID packet.FlowID, payload units.Size) {
 			p.Eligible = p.Deadline - h.cfg.EligibleLead
 		}
 
+		if tr := h.cfg.Tracer; tr != nil {
+			p.Sampled = tr.SampleID(p.ID)
+			if p.Sampled {
+				h.traceEvt(trace.KindGenerated, p)
+			}
+		}
 		if h.cfg.Hooks.Generated != nil {
 			h.cfg.Hooks.Generated(p)
 		}
@@ -267,6 +278,9 @@ func (h *Host) SubmitMessage(flowID packet.FlowID, payload units.Size) {
 // part of the paper's proposal, not of PCI AS).
 func (h *Host) stage(p *packet.Packet, localNow units.Time) {
 	if h.cfg.Arch.DeadlineAware() && p.Eligible > localNow {
+		if h.cfg.Tracer != nil && p.Sampled {
+			h.traceEvt(trace.KindEligibleHold, p)
+		}
 		h.elig.push(p)
 		h.armWake()
 		return
@@ -334,6 +348,9 @@ func (h *Host) tryInject() {
 			}
 			h.ready[vc].Pop()
 			p.InjectedAt = h.cfg.Eng.Now()
+			if h.cfg.Tracer != nil && p.Sampled {
+				h.traceEvt(trace.KindInjected, p)
+			}
 			if h.cfg.Hooks.Injected != nil {
 				h.cfg.Hooks.Injected(p, p.InjectedAt)
 			}
@@ -369,6 +386,9 @@ func (h *Host) Receive(p *packet.Packet) {
 	now := h.cfg.Eng.Now()
 	if p.Corrupted {
 		h.relCnt.RxCorrupt++
+		if h.cfg.Tracer != nil && p.Sampled {
+			h.traceEvt(trace.KindCRCDrop, p)
+		}
 		if h.cfg.Hooks.Corrupted != nil {
 			h.cfg.Hooks.Corrupted(p, now)
 		}
@@ -382,6 +402,9 @@ func (h *Host) Receive(p *packet.Packet) {
 		rx := h.rxFlowOf(p.Flow)
 		if rx.seen(p.Seq) {
 			h.relCnt.RxDup++
+			if h.cfg.Tracer != nil && p.Sampled {
+				h.traceEvt(trace.KindDupDrop, p)
+			}
 			if h.cfg.Hooks.DupDropped != nil {
 				h.cfg.Hooks.DupDropped(p, now)
 			}
@@ -397,12 +420,29 @@ func (h *Host) Receive(p *packet.Packet) {
 		}
 	}
 	h.received++
+	if h.cfg.Tracer != nil && p.Sampled {
+		// Slack here is the delivery slack: Deadline was reconstructed
+		// against this host's clock at arrival, so Deadline − now == TTD.
+		h.traceEvt(trace.KindDelivered, p)
+	}
 	if h.cfg.Hooks.Delivered != nil {
 		h.cfg.Hooks.Delivered(p, now)
 	}
 	if h.rel != nil {
 		h.sendReport(p, p.Seq, true)
 	}
+}
+
+// traceEvt records one lifecycle event for a sampled packet. Callers must
+// guard with h.cfg.Tracer != nil && p.Sampled so the disabled path stays
+// free of the Event construction below.
+func (h *Host) traceEvt(kind trace.Kind, p *packet.Packet) {
+	h.cfg.Tracer.Record(trace.Event{
+		T: h.cfg.Eng.Now(), Kind: kind, Pkt: p.ID, Flow: p.Flow,
+		Class: p.Class, VC: p.VC, Seq: p.Seq, Src: p.Src, Dst: p.Dst,
+		Node: h.cfg.ID, Port: -1, Out: -1, Hop: p.Hop,
+		Slack: p.Deadline - h.cfg.Clock.Now(), Size: p.Size,
+	})
 }
 
 // sendReport emits an out-of-band ack/nak toward p's source host.

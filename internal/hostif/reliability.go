@@ -34,6 +34,7 @@ import (
 
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/sim"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
 
@@ -245,6 +246,9 @@ func (h *Host) retransmit(e *relEntry) {
 	if da := h.cfg.Reliability.DemoteAfter; da > 0 && e.retries >= da && !e.demoted {
 		e.demoted = true
 		h.relCnt.Demoted++
+		if h.cfg.Tracer != nil && cp.Sampled {
+			h.traceEvt(trace.KindDemoted, &cp)
+		}
 		if h.cfg.Hooks.Demoted != nil {
 			h.cfg.Hooks.Demoted(&cp, h.cfg.Eng.Now())
 		}
@@ -257,6 +261,11 @@ func (h *Host) retransmit(e *relEntry) {
 
 	pc := new(packet.Packet)
 	*pc = cp
+	if h.cfg.Tracer != nil && pc.Sampled {
+		// The copy inherits the original's sampling decision through the
+		// Sampled bit in the tracked snapshot.
+		h.traceEvt(trace.KindRetransmit, pc)
+	}
 	if h.cfg.Hooks.Retransmitted != nil {
 		h.cfg.Hooks.Retransmitted(pc, h.cfg.Eng.Now())
 	}

@@ -78,6 +78,7 @@ type Link struct {
 	sentSize  units.Size
 	dropped   uint64
 	corrupted uint64
+	busyAccum units.Time // cumulative serialisation time, for utilization probes
 }
 
 // New returns a link into dst with the given bandwidth, propagation delay,
@@ -124,6 +125,7 @@ func (l *Link) Send(p *packet.Packet) {
 	l.busyUntil = l.eng.Now() + tx
 	l.sent++
 	l.sentSize += p.Size
+	l.busyAccum += tx
 	if l.ber > 0 && l.berRng.Float64() < CorruptionProb(l.ber, p.Size) && !p.Corrupted {
 		p.Corrupted = true
 		l.corrupted++
@@ -254,3 +256,9 @@ func (l *Link) Corrupted() uint64 { return l.corrupted }
 
 // Sent returns the packet and byte counts transmitted so far.
 func (l *Link) Sent() (packets uint64, bytes units.Size) { return l.sent, l.sentSize }
+
+// TxBusyTime returns the cumulative time spent serialising packets. The
+// telemetry probes difference it across an interval to compute link
+// utilization (serialisation time is charged at Send, so a probe landing
+// mid-serialisation attributes the whole packet to that interval).
+func (l *Link) TxBusyTime() units.Time { return l.busyAccum }

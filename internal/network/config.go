@@ -15,6 +15,7 @@ import (
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/topology"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/traffic"
 	"deadlineqos/internal/units"
 )
@@ -115,6 +116,22 @@ type Config struct {
 	// destination NIC). Packet pointers are live simulator objects —
 	// copy what you keep.
 	Trace Trace
+
+	// Tracer, when non-nil, records the full lifecycle of a sampled
+	// subset of packets (see internal/trace): NIC queueing, eligible-time
+	// holds, per-hop VOQ/output-buffer transits, take-overs, order
+	// errors, drops and delivery. Sampling is decided at generation by a
+	// deterministic hash, so the same seed and rate trace the same
+	// packets. Nil disables tracing entirely; the fast path then costs a
+	// single nil check per event site.
+	Tracer *trace.Tracer
+
+	// ProbeInterval, when positive, samples every switch port (queue
+	// occupancy, credit balance, take-over and order-error rates, link
+	// utilization) and the engine's progress on this period into
+	// Results.Telemetry. Probes are read-only and do not perturb the
+	// simulation. Zero disables probing.
+	ProbeInterval units.Time
 
 	// HotspotFraction, when positive, skews the best-effort workload so
 	// that roughly this fraction of every host's best-effort bursts heads
@@ -234,6 +251,9 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.VideoPeriod <= 0 || cfg.VideoTarget <= 0 {
 		return fmt.Errorf("network: video period and target must be positive")
+	}
+	if cfg.ProbeInterval < 0 {
+		return fmt.Errorf("network: probe interval %v is negative", cfg.ProbeInterval)
 	}
 	if cfg.HotspotFraction < 0 || cfg.HotspotFraction >= 1 {
 		return fmt.Errorf("network: hotspot fraction %v out of [0, 1)", cfg.HotspotFraction)

@@ -2,6 +2,8 @@ package network
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"deadlineqos/internal/admission"
 	"deadlineqos/internal/faults"
@@ -12,6 +14,7 @@ import (
 	"deadlineqos/internal/stats"
 	"deadlineqos/internal/switchsim"
 	"deadlineqos/internal/topology"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/traffic"
 	"deadlineqos/internal/units"
 	"deadlineqos/internal/xrand"
@@ -58,6 +61,13 @@ type Results struct {
 	// Conservation is the run-level packet accounting; its Check method
 	// is the simulator's end-to-end conservation invariant.
 	Conservation faults.Conservation
+
+	// Telemetry holds the periodic per-port and engine probe series (nil
+	// unless Config.ProbeInterval was positive).
+	Telemetry *trace.Telemetry
+	// Perf profiles the engine's execution of this run: event throughput,
+	// wall clock per simulated second, and allocation counters.
+	Perf trace.Profile
 }
 
 // Network is a fully wired simulation. Build one with New, then call Run,
@@ -83,6 +93,9 @@ type Network struct {
 	injector      faults.Injector
 	cons          faults.Conservation
 	deliveredOnce map[deliveryKey]struct{}
+
+	// telemetry collects the periodic probe series when ProbeInterval > 0.
+	telemetry *trace.Telemetry
 }
 
 // deliveryKey identifies a unique packet end-to-end for the delivery
@@ -126,6 +139,7 @@ func New(cfg Config) (*Network, error) {
 			XbarBW:           cfg.XbarBW,
 			TrackOrderErrors: cfg.TrackOrderErrors,
 			VCTable:          cfg.VCArbitrationTable,
+			Tracer:           cfg.Tracer,
 		}))
 	}
 
@@ -208,6 +222,7 @@ func New(cfg Config) (*Network, error) {
 			Hooks:        hooks,
 			Reliability:  cfg.Reliability,
 			SendAck:      sendAck,
+			Tracer:       cfg.Tracer,
 		}))
 	}
 
@@ -288,6 +303,17 @@ func (n *Network) retainLink(id faults.LinkID, l *link.Link) {
 func (n *Network) installFaults() {
 	onDrop := func(p *packet.Packet) {
 		n.cons.LostOnLink++
+		if tr := n.cfg.Tracer; tr != nil && p.Sampled {
+			// A link drop has no owning node; slack comes from the TTD
+			// header stamped when the packet left the sender (the Deadline
+			// field is stale while in flight).
+			tr.Record(trace.Event{
+				T: n.eng.Now(), Kind: trace.KindLinkDrop, Pkt: p.ID, Flow: p.Flow,
+				Class: p.Class, VC: p.VC, Seq: p.Seq, Src: p.Src, Dst: p.Dst,
+				Node: -1, Port: -1, Out: -1, Hop: p.Hop,
+				Slack: p.TTD, Size: p.Size,
+			})
+		}
 		n.collect.PacketLost(p)
 	}
 	for _, l := range n.links {
@@ -524,15 +550,33 @@ func (n *Network) Run() *Results {
 	for _, src := range n.sources {
 		src.Start()
 	}
+	n.startProbes()
 	horizon := n.cfg.WarmUp + n.cfg.Measure
+
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	wall0 := time.Now()
 	n.eng.Run(horizon)
+	wall := time.Since(wall0)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 
 	res := &Results{
 		Config:              n.cfg,
 		Collector:           n.collect,
 		SimEvents:           n.eng.Fired(),
 		VideoStreamsPerHost: n.videoPerHost,
+		Telemetry:           n.telemetry,
+		Perf: trace.Profile{
+			Events:      n.eng.Fired(),
+			MaxPending:  n.eng.MaxPending(),
+			SimulatedNs: int64(horizon),
+			WallNs:      wall.Nanoseconds(),
+			Mallocs:     ms1.Mallocs - ms0.Mallocs,
+			AllocBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
+		},
 	}
+	res.Perf.Finalize()
 	for _, sw := range n.switches {
 		st := sw.Stats()
 		res.OrderErrors += st.OrderErrors

@@ -1,0 +1,97 @@
+// Periodic telemetry probes: a recurring engine event walks every switch
+// port on Config.ProbeInterval and appends occupancy, credit, take-over,
+// order-error and link-utilization samples to the run's trace.Telemetry,
+// plus one engine-progress sample per tick.
+//
+// Probes are strictly read-only: they never mutate simulator state, and
+// the recurring event's FIFO tie-break slot cannot reorder other events,
+// so enabling probing does not change a run's packet-level outcome.
+
+package network
+
+import (
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/trace"
+	"deadlineqos/internal/units"
+)
+
+// portKey addresses one switch port in the prober's delta maps.
+type portKey struct{ sw, port int }
+
+// prober holds the previous-probe counter values needed to turn the
+// cumulative switch/link counters into per-interval rates.
+type prober struct {
+	n          *Network
+	tel        *trace.Telemetry
+	prevTO     map[portKey]uint64
+	prevOE     map[portKey]uint64
+	prevBusy   map[portKey]units.Time
+	prevEvents uint64
+}
+
+// startProbes arms the recurring probe event when probing is configured.
+func (n *Network) startProbes() {
+	iv := n.cfg.ProbeInterval
+	if iv <= 0 {
+		return
+	}
+	n.telemetry = &trace.Telemetry{Interval: iv}
+	pr := &prober{
+		n:        n,
+		tel:      n.telemetry,
+		prevTO:   make(map[portKey]uint64),
+		prevOE:   make(map[portKey]uint64),
+		prevBusy: make(map[portKey]units.Time),
+	}
+	horizon := n.cfg.WarmUp + n.cfg.Measure
+	var tick func()
+	tick = func() {
+		pr.sample(n.eng.Now())
+		if n.eng.Now()+iv <= horizon {
+			n.eng.After(iv, tick)
+		}
+	}
+	n.eng.After(iv, tick)
+}
+
+// sample appends one probe of every switch port and the engine to the
+// telemetry series.
+func (p *prober) sample(t units.Time) {
+	secs := float64(p.tel.Interval) / 1e9
+	for sw, s := range p.n.switches {
+		for port := 0; port < p.n.topo.Radix(sw); port++ {
+			pt := s.PortTelemetry(port)
+			smp := trace.PortSample{
+				T: t, Switch: sw, Port: port,
+				InPackets: pt.InPackets, InBytes: pt.InBytes,
+				OutPackets: pt.OutPackets, OutBytes: pt.OutBytes,
+				TakeOvers: pt.TakeOvers, OrderErrors: pt.OrderErrors,
+			}
+			key := portKey{sw, port}
+			smp.TakeOverRate = float64(pt.TakeOvers-p.prevTO[key]) / secs
+			smp.OrderErrRate = float64(pt.OrderErrors-p.prevOE[key]) / secs
+			p.prevTO[key] = pt.TakeOvers
+			p.prevOE[key] = pt.OrderErrors
+			if l := p.n.linkByID[faults.LinkID{Switch: sw, Port: port}]; l != nil {
+				var credits units.Size
+				for vc := 0; vc < packet.NumVCs; vc++ {
+					credits += l.Credits(packet.VC(vc))
+				}
+				smp.CreditBytes = credits
+				busy := l.TxBusyTime()
+				// Serialisation time is charged whole at Send, so a probe
+				// landing mid-packet may report slightly above 1.
+				smp.LinkUtilization = float64(busy-p.prevBusy[key]) / float64(p.tel.Interval)
+				p.prevBusy[key] = busy
+			}
+			p.tel.Ports = append(p.tel.Ports, smp)
+		}
+	}
+	ev := p.n.eng.Fired()
+	p.tel.Engine = append(p.tel.Engine, trace.EngineSample{
+		T: t, Events: ev, Pending: p.n.eng.Pending(),
+		EventRate: float64(ev-p.prevEvents) / secs,
+	})
+	p.prevEvents = ev
+}

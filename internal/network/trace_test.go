@@ -1,0 +1,112 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+
+	"deadlineqos/internal/trace"
+	"deadlineqos/internal/units"
+)
+
+// traceRun executes one small traced simulation and returns the tracer and
+// results.
+func traceRun(t *testing.T) (*trace.Tracer, *Results) {
+	t.Helper()
+	cfg := SmallConfig()
+	cfg.WarmUp = 200 * units.Microsecond
+	cfg.Measure = 2 * units.Millisecond
+	cfg.TrackOrderErrors = true
+	cfg.ProbeInterval = 100 * units.Microsecond
+	tr, err := trace.New(trace.Config{SampleRate: 0.05, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+// TestTraceDeterministic is the replayability contract of the tracing
+// layer: the same configuration, seed and sample rate must produce
+// byte-identical JSONL exports across runs.
+func TestTraceDeterministic(t *testing.T) {
+	var buf1, buf2 bytes.Buffer
+	tr1, _ := traceRun(t)
+	if err := tr1.WriteJSONL(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := traceRun(t)
+	if err := tr2.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("trace JSONL differs across identical runs: %d vs %d bytes",
+			buf1.Len(), buf2.Len())
+	}
+}
+
+// TestTraceRunArtifacts checks that a traced run populates every
+// observability surface: lifecycle events, per-hop slack aggregates,
+// telemetry series, and the engine profile.
+func TestTraceRunArtifacts(t *testing.T) {
+	tr, res := traceRun(t)
+
+	if tr.SampledPackets() == 0 {
+		t.Error("no packets were sampled")
+	}
+	if len(tr.Events()) == 0 {
+		t.Error("no trace events recorded")
+	}
+	if len(tr.HopSlack()) == 0 {
+		t.Error("no per-hop dequeue slack recorded")
+	}
+
+	if res.Telemetry == nil {
+		t.Fatal("ProbeInterval set but Results.Telemetry is nil")
+	}
+	if len(res.Telemetry.Ports) == 0 || len(res.Telemetry.Engine) == 0 {
+		t.Errorf("telemetry series empty: %d port, %d engine samples",
+			len(res.Telemetry.Ports), len(res.Telemetry.Engine))
+	}
+
+	if res.Perf.Events == 0 || res.Perf.WallNs <= 0 || res.Perf.EventsPerSec <= 0 {
+		t.Errorf("engine profile not filled: %+v", res.Perf)
+	}
+	if res.Perf.MaxPending <= 0 {
+		t.Errorf("max pending %d not recorded", res.Perf.MaxPending)
+	}
+}
+
+// TestTracerDoesNotChangeResults verifies the observability layers are
+// read-only: enabling tracing and probing must not change any simulation
+// outcome (delivery counts are a sensitive proxy for the full schedule).
+func TestTracerDoesNotChangeResults(t *testing.T) {
+	base := SmallConfig()
+	base.WarmUp = 200 * units.Microsecond
+	base.Measure = 2 * units.Millisecond
+	base.TrackOrderErrors = true
+
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traced := traceRun(t) // same config plus tracer and probes
+
+	for cl := range plain.PerClass {
+		p, q := &plain.PerClass[cl], &traced.PerClass[cl]
+		if p.GeneratedPackets != q.GeneratedPackets || p.DeliveredPackets != q.DeliveredPackets {
+			t.Errorf("class %d: plain gen=%d dlvr=%d, traced gen=%d dlvr=%d",
+				cl, p.GeneratedPackets, p.DeliveredPackets, q.GeneratedPackets, q.DeliveredPackets)
+		}
+	}
+	if plain.SimEvents == traced.SimEvents {
+		// Probe ticks add events, so equal counts mean probes did not run.
+		t.Error("traced run fired no extra probe events")
+	}
+}

@@ -127,6 +127,11 @@ type Packet struct {
 	FrameID    uint64     // application frame/message this packet belongs to (0 = none)
 	FrameParts int        // Parts(F): packets in that frame
 	CRCRedone  int        // header CRC recomputations caused by TTD updates
+	// Sampled marks the packet as selected for lifecycle tracing. It is
+	// decided once at generation (internal/trace sampling hash) and rides
+	// along so every hop can test it with a single bool load; retransmit
+	// copies inherit it by struct copy.
+	Sampled bool
 }
 
 // String renders a compact single-line description for traces and tests.

@@ -63,6 +63,22 @@ type Buffer interface {
 	// Scan calls fn for every stored packet in unspecified order. It is
 	// an oracle hook for tests and statistics.
 	Scan(fn func(*packet.Packet))
+	// SetObserver installs a per-packet event observer (nil to remove).
+	// Observers are measurement-only and never influence the discipline.
+	SetObserver(Observer)
+}
+
+// Observer receives per-packet buffer events. The tracing layer installs
+// one when packet-lifecycle tracing is on; with no observer installed the
+// notification sites cost a single nil check.
+type Observer interface {
+	// TakeOverEnqueued fires when a push diverts p to the take-over
+	// queue U (TakeOver discipline only).
+	TakeOverEnqueued(p *packet.Packet)
+	// OrderError fires when a dequeue emits p although the buffer holds
+	// a smaller deadline. Requires the buffer to be built with order
+	// tracking; untracked buffers never call it.
+	OrderError(p *packet.Packet)
 }
 
 // Discipline names a buffer type, used by configuration.
@@ -173,12 +189,14 @@ type base struct {
 	orderErrors uint64
 	tracker     *minTracker
 	arrivalSeq  uint64
+	obs         Observer
 }
 
-func (b *base) Bytes() units.Size    { return b.bytes }
-func (b *base) Capacity() units.Size { return b.capacity }
-func (b *base) Free() units.Size     { return b.capacity - b.bytes }
-func (b *base) OrderErrors() uint64  { return b.orderErrors }
+func (b *base) Bytes() units.Size      { return b.bytes }
+func (b *base) Capacity() units.Size   { return b.capacity }
+func (b *base) Free() units.Size       { return b.capacity - b.bytes }
+func (b *base) OrderErrors() uint64    { return b.orderErrors }
+func (b *base) SetObserver(o Observer) { b.obs = o }
 
 func (b *base) pushAccounting(p *packet.Packet, kind string) {
 	if b.bytes+p.Size > b.capacity {
@@ -196,6 +214,9 @@ func (b *base) popAccounting(p *packet.Packet) {
 	if b.tracker != nil {
 		if p.Deadline > b.tracker.min() {
 			b.orderErrors++
+			if b.obs != nil {
+				b.obs.OrderError(p)
+			}
 		}
 		b.tracker.remove(p)
 	}
@@ -413,6 +434,9 @@ func (t *TakeOverQueue) Push(p *packet.Packet) {
 	}
 	t.u.push(p)
 	t.takeOver++
+	if t.obs != nil {
+		t.obs.TakeOverEnqueued(p)
+	}
 }
 
 // Head returns the dequeue candidate per Definition 2: the smaller-deadline

@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/stats"
+	"deadlineqos/internal/units"
 )
 
 // Table is a titled grid of cells with a header row.
@@ -216,4 +220,29 @@ func (p *Plot) String() string {
 		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
 	}
 	return b.String()
+}
+
+// PerClassTable renders a collector's per-class metrics — delivery counts,
+// normalised throughput, the latency quantile ladder, and the
+// deadline-slack picture (mean/median slack, miss rate) — as one table
+// row per traffic class. This is the shared per-class summary of the
+// command-line tools.
+func PerClassTable(title string, c *stats.Collector) *Table {
+	t := NewTable(title,
+		"class", "generated", "delivered", "thru %",
+		"lat avg", "lat p50", "lat p95", "lat p99", "lat p99.9", "lat max",
+		"slack avg", "slack p50", "miss %", "jitter")
+	for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
+		cs := &c.PerClass[cl]
+		t.AddF(
+			cl.String(), cs.GeneratedPackets, cs.DeliveredPackets,
+			100*c.Throughput(cl),
+			units.Time(cs.PacketLatency.Mean()),
+			cs.LatencyHist.Quantile(0.50), cs.LatencyHist.Quantile(0.95),
+			cs.LatencyHist.Quantile(0.99), cs.LatencyHist.Quantile(0.999),
+			units.Time(cs.PacketLatency.Max()),
+			units.Time(cs.Slack.Mean()), cs.SlackHist.Quantile(0.50),
+			100*c.MissRate(cl), units.Time(cs.Jitter.Mean()))
+	}
+	return t
 }

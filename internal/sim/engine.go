@@ -46,12 +46,13 @@ func (h Handle) Pending() bool { return h.ev != nil && h.ev.gen == h.gen && h.ev
 // Engine is a discrete-event simulator core. It is not safe for concurrent
 // use; each simulation run owns one Engine on one goroutine.
 type Engine struct {
-	now     units.Time
-	heap    []*Event
-	free    []*Event
-	nextSeq uint64
-	stopped bool
-	fired   uint64
+	now        units.Time
+	heap       []*Event
+	free       []*Event
+	nextSeq    uint64
+	stopped    bool
+	fired      uint64
+	maxPending int
 }
 
 // New returns an Engine with the clock at zero.
@@ -68,6 +69,10 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// MaxPending returns the high-water mark of the pending event set over the
+// engine's lifetime — the profiling proxy for scheduler memory pressure.
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // less orders events by (time, seq).
 func less(a, b *Event) bool {
@@ -196,6 +201,9 @@ func (e *Engine) At(at units.Time, fn func()) Handle {
 	ev := e.alloc(at, fn)
 	ev.idx = len(e.heap)
 	e.heap = append(e.heap, ev)
+	if len(e.heap) > e.maxPending {
+		e.maxPending = len(e.heap)
+	}
 	e.siftUp(ev.idx)
 	return Handle{ev, ev.gen}
 }

@@ -30,12 +30,19 @@ type ClassSnapshot struct {
 	OfferedLoad      float64 `json:"offered_load"`
 	LatencyMeanNs    float64 `json:"latency_mean_ns"`
 	LatencyP50Ns     int64   `json:"latency_p50_ns"`
+	LatencyP95Ns     int64   `json:"latency_p95_ns"`
 	LatencyP99Ns     int64   `json:"latency_p99_ns"`
+	LatencyP999Ns    int64   `json:"latency_p999_ns"`
 	LatencyMaxNs     float64 `json:"latency_max_ns"`
-	JitterMeanNs     float64 `json:"jitter_mean_ns"`
-	FrameCount       uint64  `json:"frame_count"`
-	FrameMeanNs      float64 `json:"frame_mean_ns"`
-	FrameP99Ns       int64   `json:"frame_p99_ns"`
+	// Deadline slack at delivery (negative = missed deadline).
+	SlackMeanNs     float64 `json:"slack_mean_ns"`
+	SlackP50Ns      int64   `json:"slack_p50_ns"`
+	MissedDeadlines uint64  `json:"missed_deadlines"`
+	MissRate        float64 `json:"miss_rate"`
+	JitterMeanNs    float64 `json:"jitter_mean_ns"`
+	FrameCount      uint64  `json:"frame_count"`
+	FrameMeanNs     float64 `json:"frame_mean_ns"`
+	FrameP99Ns      int64   `json:"frame_p99_ns"`
 	// Fault/recovery counters (omitted in fault-free runs).
 	CorruptedPackets     uint64 `json:"corrupted_packets,omitempty"`
 	LostPackets          uint64 `json:"lost_packets,omitempty"`
@@ -60,8 +67,14 @@ func (c *Collector) Snapshot(label string) *Snapshot {
 			OfferedLoad:          c.OfferedLoad(cl),
 			LatencyMeanNs:        cs.PacketLatency.Mean(),
 			LatencyP50Ns:         int64(cs.LatencyHist.Quantile(0.50)),
+			LatencyP95Ns:         int64(cs.LatencyHist.Quantile(0.95)),
 			LatencyP99Ns:         int64(cs.LatencyHist.Quantile(0.99)),
+			LatencyP999Ns:        int64(cs.LatencyHist.Quantile(0.999)),
 			LatencyMaxNs:         cs.PacketLatency.Max(),
+			SlackMeanNs:          cs.Slack.Mean(),
+			SlackP50Ns:           int64(cs.SlackHist.Quantile(0.50)),
+			MissedDeadlines:      cs.MissedDeadlines,
+			MissRate:             c.MissRate(cl),
 			JitterMeanNs:         cs.Jitter.Mean(),
 			FrameCount:           cs.FrameLatency.Count(),
 			FrameMeanNs:          cs.FrameLatency.Mean(),
@@ -105,7 +118,8 @@ type Delta struct {
 
 // Compare returns the metric deltas between two snapshots whose relative
 // change exceeds tolerance (e.g. 0.1 = 10%). Metrics compared: throughput,
-// mean and p99 latency, jitter, and frame mean where present.
+// mean and p99 latency, deadline-miss rate, jitter, and frame mean where
+// present.
 func Compare(before, after *Snapshot, tolerance float64) []Delta {
 	var out []Delta
 	for class, b := range before.Classes {
@@ -120,6 +134,7 @@ func Compare(before, after *Snapshot, tolerance float64) []Delta {
 			{"throughput", b.Throughput, a.Throughput},
 			{"latency_mean_ns", b.LatencyMeanNs, a.LatencyMeanNs},
 			{"latency_p99_ns", float64(b.LatencyP99Ns), float64(a.LatencyP99Ns)},
+			{"miss_rate", b.MissRate, a.MissRate},
 			{"jitter_mean_ns", b.JitterMeanNs, a.JitterMeanNs},
 			{"frame_mean_ns", b.FrameMeanNs, a.FrameMeanNs},
 		}

@@ -85,6 +85,22 @@ func (s *Series) Merge(other *Series) {
 // Histogram is a logarithmically bucketed histogram of units.Time values,
 // built for latency CDFs spanning nanoseconds to seconds. Resolution is
 // bucketsPerOctave buckets per factor-of-two.
+//
+// Values may be negative (deadline slack of a late packet is below zero):
+// negative magnitudes get the same logarithmic resolution as positive
+// ones, and all values in the open interval (-1, 1) — for integer times,
+// exactly 0 — share one sub-cycle bucket. Bucket indices are ordered
+// consistently with the values they hold, so quantiles and CDFs work
+// unchanged on signed data.
+//
+// All per-bucket queries (Quantile, FractionBelow, CDF) resolve to the
+// bucket's UPPER bound, never an interpolated value: Quantile(q) is a
+// value v such that at least a q-fraction of observations are <= v, and
+// it overestimates by at most one bucket width (~9% at 8 buckets per
+// octave). The sub-cycle bucket's upper bound is 0, so a histogram whose
+// only observations are sub-cycle reports Quantile(q) == 0 for every q —
+// indistinguishable from an empty histogram by Quantile alone; check
+// Count to tell them apart.
 type Histogram struct {
 	counts map[int]uint64
 	total  uint64
@@ -95,17 +111,37 @@ const bucketsPerOctave = 8
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]uint64)} }
 
-// bucketOf maps a positive time to its bucket index.
+// subCycleBucket holds every observation in (-1, 1).
+const subCycleBucket = -1
+
+// bucketOf maps a time to its bucket index. Positive values v >= 1 map to
+// b >= 0 exactly as before the signed extension; values in (-1, 1) map to
+// the sub-cycle bucket; v <= -1 maps to b <= -2, with more negative
+// indices for larger magnitudes, so integer bucket order tracks value
+// order everywhere.
 func bucketOf(v units.Time) int {
-	if v < 1 {
-		v = 1
+	switch {
+	case v >= 1:
+		return int(math.Floor(math.Log2(float64(v)) * bucketsPerOctave))
+	case v > -1:
+		return subCycleBucket
+	default:
+		k := int(math.Floor(math.Log2(float64(-v)) * bucketsPerOctave))
+		return -2 - k
 	}
-	return int(math.Floor(math.Log2(float64(v)) * bucketsPerOctave))
 }
 
 // bucketUpper returns the representative (upper bound) value of a bucket.
 func bucketUpper(b int) units.Time {
-	return units.Time(math.Ceil(math.Exp2(float64(b+1) / bucketsPerOctave)))
+	switch {
+	case b >= 0:
+		return units.Time(math.Ceil(math.Exp2(float64(b+1) / bucketsPerOctave)))
+	case b == subCycleBucket:
+		return 0
+	default:
+		k := -2 - b
+		return -units.Time(math.Ceil(math.Exp2(float64(k) / bucketsPerOctave)))
+	}
 }
 
 // Add records one observation.
@@ -210,6 +246,13 @@ type ClassStats struct {
 	NetLatency    Series     // ns, injection to delivery (network-only share)
 	LatencyHist   *Histogram // packet latency CDF
 
+	// Deadline slack at delivery: deadline − delivery time, measured on
+	// the destination's local clock via the TTD header (§3.4), so it is
+	// correct even under clock skew. Negative slack is a missed deadline.
+	Slack           Series
+	SlackHist       *Histogram
+	MissedDeadlines uint64 // delivered packets with negative slack
+
 	FrameLatency Series     // ns, frame creation to last-packet delivery
 	FrameHist    *Histogram // frame latency CDF
 
@@ -255,6 +298,7 @@ func NewCollector(hosts int, linkBW units.Bandwidth, warmUp, horizon units.Time)
 	}
 	for i := range c.PerClass {
 		c.PerClass[i].LatencyHist = NewHistogram()
+		c.PerClass[i].SlackHist = NewHistogram()
 		c.PerClass[i].FrameHist = NewHistogram()
 	}
 	return c
@@ -299,6 +343,15 @@ func (c *Collector) PacketDelivered(p *packet.Packet, now units.Time) {
 	lat := now - p.CreatedAt
 	cs.PacketLatency.Add(float64(lat))
 	cs.LatencyHist.Add(lat)
+	// Delivery slack: at the destination the TTD header holds deadline −
+	// arrival on the local clock (Receive unpacks it at this instant), so
+	// p.TTD IS the slack — no oracle clock needed, skew cancels out.
+	slack := p.TTD
+	cs.Slack.Add(float64(slack))
+	cs.SlackHist.Add(slack)
+	if slack < 0 {
+		cs.MissedDeadlines++
+	}
 	if p.InjectedAt > 0 {
 		cs.NetLatency.Add(float64(now - p.InjectedAt))
 	}
@@ -391,15 +444,31 @@ func (c *Collector) OfferedLoad(cl packet.Class) float64 {
 // large number at teardown indicates saturation).
 func (c *Collector) IncompleteFrames() int { return len(c.frames) }
 
-// Summary renders a one-line-per-class human-readable digest.
+// MissRate returns the fraction of class cl's delivered packets that
+// arrived past their deadline (negative slack).
+func (c *Collector) MissRate(cl packet.Class) float64 {
+	cs := &c.PerClass[cl]
+	if cs.DeliveredPackets == 0 {
+		return 0
+	}
+	return float64(cs.MissedDeadlines) / float64(cs.DeliveredPackets)
+}
+
+// Summary renders a one-line-per-class human-readable digest: delivery
+// counts, normalised throughput, the latency quantile ladder, and the
+// deadline-slack picture (mean slack and miss rate).
 func (c *Collector) Summary() string {
 	out := ""
 	for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
 		cs := &c.PerClass[cl]
-		out += fmt.Sprintf("%-12s gen=%-6d dlvr=%-6d thru=%5.1f%% lat(avg=%v max=%v p99=%v) jitter=%v\n",
+		out += fmt.Sprintf("%-12s gen=%-6d dlvr=%-6d thru=%5.1f%% lat(avg=%v p50=%v p95=%v p99=%v p99.9=%v max=%v) slack(avg=%v p50=%v miss=%.2f%%) jitter=%v\n",
 			cl.String(), cs.GeneratedPackets, cs.DeliveredPackets, 100*c.Throughput(cl),
-			units.Time(cs.PacketLatency.Mean()), units.Time(cs.PacketLatency.Max()),
-			cs.LatencyHist.Quantile(0.99), units.Time(cs.Jitter.Mean()))
+			units.Time(cs.PacketLatency.Mean()),
+			cs.LatencyHist.Quantile(0.50), cs.LatencyHist.Quantile(0.95),
+			cs.LatencyHist.Quantile(0.99), cs.LatencyHist.Quantile(0.999),
+			units.Time(cs.PacketLatency.Max()),
+			units.Time(cs.Slack.Mean()), cs.SlackHist.Quantile(0.50),
+			100*c.MissRate(cl), units.Time(cs.Jitter.Mean()))
 	}
 	return out
 }

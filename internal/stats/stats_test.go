@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -287,12 +288,182 @@ func TestHistogramSingleValue(t *testing.T) {
 
 func TestHistogramSubNanosecondClamp(t *testing.T) {
 	h := NewHistogram()
-	h.Add(0) // clamped to 1 cycle
+	h.Add(0) // lands in the sub-cycle bucket
 	if h.Count() != 1 {
 		t.Fatal("zero-latency observation lost")
 	}
 	if f := h.FractionBelow(units.Microsecond); f != 1.0 {
 		t.Fatalf("FractionBelow = %v", f)
+	}
+}
+
+func TestHistogramSubCycleOnlyQuantile(t *testing.T) {
+	// A histogram whose only observations are sub-cycle reports every
+	// quantile as the sub-cycle bucket's upper bound, 0 — the documented
+	// edge where Quantile alone cannot distinguish it from empty.
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(0)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 (distinguishes sub-cycle from empty)", h.Count())
+	}
+	if f := h.FractionBelow(0); f != 1.0 {
+		t.Fatalf("FractionBelow(0) = %v, want 1", f)
+	}
+}
+
+func TestHistogramNegativeValues(t *testing.T) {
+	// Deadline slack can be negative; bucket order must track value order
+	// across the sign boundary.
+	h := NewHistogram()
+	late := []units.Time{-5 * units.Microsecond, -units.Microsecond, -1}
+	early := []units.Time{0, 1, units.Microsecond}
+	for _, v := range append(append([]units.Time{}, late...), early...) {
+		h.Add(v)
+	}
+	// Half the observations are negative.
+	if f := h.FractionBelow(-1); f != 0.5 {
+		t.Fatalf("FractionBelow(-1) = %v, want 0.5", f)
+	}
+	if q := h.Quantile(0.5); q != -1 {
+		t.Fatalf("median = %v, want -1 (upper bound of the -1 bucket)", q)
+	}
+	if q := h.Quantile(1.0); q < units.Microsecond {
+		t.Fatalf("p100 = %v, want >= 1us", q)
+	}
+	// Quantile output is the -1us observation's bucket upper bound: at
+	// least -1us, but still negative (within one bucket width, ~9%).
+	q25 := h.Quantile(0.25)
+	if q25 < -units.Microsecond || q25 > -900 {
+		t.Fatalf("p25 = %v, want in [-1us, -900ns]", q25)
+	}
+	// CDF stays monotone across the signed range.
+	pts := h.CDF()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Latency < pts[i-1].Latency || pts[i].Cum < pts[i-1].Cum {
+			t.Fatalf("CDF not monotone at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestHistogramQuantileIsUpperBound(t *testing.T) {
+	// Property: Quantile(q) >= the true q-quantile for any signed data —
+	// quantiles are bucket upper bounds, never underestimates.
+	prop := func(raw []int16, qraw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			h.Add(units.Time(v))
+			vals[i] = int64(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		q := float64(qraw%101) / 100
+		target := int(math.Ceil(q * float64(len(vals))))
+		if target < 1 {
+			target = 1
+		}
+		exact := vals[target-1]
+		return int64(h.Quantile(q)) >= exact
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramFractionBelowRoundTrip(t *testing.T) {
+	// Property: FractionBelow(Quantile(q)) >= q — the quantile's bucket
+	// accumulates at least the requested mass.
+	prop := func(raw []int16, qraw uint8) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(units.Time(v))
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		q := float64(qraw%101) / 100
+		return h.FractionBelow(h.Quantile(q)) >= q-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeRoundTrip(t *testing.T) {
+	// Property: merging two histograms is equivalent to recording both
+	// streams into one — identical counts, quantiles and CDF.
+	prop := func(a, b []int16) bool {
+		ha, hb, all := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, v := range a {
+			ha.Add(units.Time(v))
+			all.Add(units.Time(v))
+		}
+		for _, v := range b {
+			hb.Add(units.Time(v))
+			all.Add(units.Time(v))
+		}
+		ha.Merge(hb)
+		if ha.Count() != all.Count() {
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if ha.Quantile(q) != all.Quantile(q) {
+				return false
+			}
+		}
+		pa, pall := ha.CDF(), all.CDF()
+		if len(pa) != len(pall) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != pall[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorSlackAndMissRate(t *testing.T) {
+	c := NewCollector(1, 1, 0, units.Second)
+	// Three deliveries: slacks +500, +100, -200 (one missed deadline).
+	for _, s := range []units.Time{500, 100, -200} {
+		p := mkpkt(packet.Control, 10, 64)
+		p.TTD = s // Receive leaves slack in the TTD header at delivery
+		c.PacketGenerated(p)
+		c.PacketDelivered(p, 100)
+	}
+	cs := &c.PerClass[packet.Control]
+	if cs.Slack.Count() != 3 {
+		t.Fatalf("slack samples = %d, want 3", cs.Slack.Count())
+	}
+	if cs.Slack.Mean() != 400.0/3 {
+		t.Fatalf("slack mean = %v, want 133.3", cs.Slack.Mean())
+	}
+	if cs.MissedDeadlines != 1 {
+		t.Fatalf("missed = %d, want 1", cs.MissedDeadlines)
+	}
+	if mr := c.MissRate(packet.Control); math.Abs(mr-1.0/3) > 1e-12 {
+		t.Fatalf("miss rate = %v, want 1/3", mr)
+	}
+	if c.MissRate(packet.Background) != 0 {
+		t.Fatal("idle class reported a miss rate")
+	}
+	snap := c.Snapshot("test")
+	ctl := snap.Classes[packet.Control.String()]
+	if ctl.MissedDeadlines != 1 || ctl.SlackMeanNs != 400.0/3 {
+		t.Fatalf("snapshot slack fields wrong: %+v", ctl)
 	}
 }
 

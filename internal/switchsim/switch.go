@@ -38,6 +38,7 @@ import (
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
 
@@ -61,6 +62,10 @@ type Config struct {
 	// regulated VC). Ignored by the deadline-aware architectures, whose
 	// regulated VC has absolute priority.
 	VCTable []packet.VC
+	// Tracer records lifecycle events of sampled packets (nil = tracing
+	// off). When set, buffer observers are installed so take-overs and
+	// order errors surface as per-packet events.
+	Tracer *trace.Tracer
 }
 
 // Stats are the instrumentation counters of one switch.
@@ -121,6 +126,9 @@ func New(cfg Config) *Switch {
 				// Each VOQ may transiently hold up to the whole pool;
 				// the pool accounting below enforces the shared limit.
 				ip.voq[vc][o] = pqueue.New(cfg.Arch.Discipline(packet.VC(vc)), cfg.BufPerVC, cfg.TrackOrderErrors)
+				if cfg.Tracer != nil {
+					ip.voq[vc][o].SetObserver(&bufObserver{sw: s, port: i, out: o})
+				}
 			}
 		}
 		s.in = append(s.in, ip)
@@ -128,6 +136,9 @@ func New(cfg Config) *Switch {
 		op := &outputPort{sw: s, idx: i}
 		for vc := 0; vc < packet.NumVCs; vc++ {
 			op.buf[vc] = pqueue.New(cfg.Arch.Discipline(packet.VC(vc)), cfg.BufPerVC, cfg.TrackOrderErrors)
+			if cfg.Tracer != nil {
+				op.buf[vc].SetObserver(&bufObserver{sw: s, port: i, out: -1})
+			}
 			op.edf[vc] = arbiter.NewEDF(cfg.Radix)
 			op.rr[vc] = arbiter.NewRoundRobin(cfg.Radix)
 		}
@@ -188,6 +199,9 @@ func (s *Switch) receive(in int, p *packet.Packet) {
 			s.cfg.ID, in, packet.VC(vc), ip.pool[vc], p.Size, s.cfg.BufPerVC))
 	}
 	ip.pool[vc] += p.Size
+	if s.cfg.Tracer != nil && p.Sampled {
+		s.traceEvt(trace.KindVOQEnqueue, p, in, o)
+	}
 	ip.voq[vc][o].Push(p)
 	s.tryXbar(o)
 }
@@ -246,6 +260,11 @@ func (s *Switch) pickXbar(op *outputPort, cands *[packet.NumVCs][]arbiter.Candid
 // startTransfer moves the head of ip's VOQ for op through the crossbar.
 func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
 	p := ip.voq[vc][op.idx].Pop()
+	if s.cfg.Tracer != nil && p.Sampled {
+		// The per-hop slack distribution of the deadline telemetry is fed
+		// from exactly this event (trace.Tracer aggregates VOQ dequeues).
+		s.traceEvt(trace.KindVOQDequeue, p, ip.idx, op.idx)
+	}
 	ip.busy = true
 	op.busy = true
 	s.xbarTransfers++
@@ -263,6 +282,9 @@ func (s *Switch) finishTransfer(ip *inputPort, op *outputPort, vc packet.VC, p *
 	ip.pool[vc] -= p.Size
 	if ip.upstream != nil {
 		ip.upstream.ReturnCredits(vc, p.Size)
+	}
+	if s.cfg.Tracer != nil && p.Sampled {
+		s.traceEvt(trace.KindOutputEnqueue, p, op.idx, -1)
 	}
 	op.buf[vc].Push(p)
 	s.tryLinkTx(op.idx)
@@ -298,6 +320,9 @@ func (s *Switch) tryLinkTx(o int) {
 		return
 	}
 	p := op.buf[vc].Pop()
+	if s.cfg.Tracer != nil && p.Sampled {
+		s.traceEvt(trace.KindLinkTx, p, o, -1)
+	}
 	// Stamp the TTD as of the moment the last byte leaves this switch, so
 	// the next hop's reconstructed deadline carries no size-dependent
 	// inflation (see link.TxTime).
@@ -364,6 +389,78 @@ func (s *Switch) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// traceEvt records one lifecycle event for a sampled packet at this
+// switch. Slack is measured against the switch's local (possibly skewed)
+// clock — the same clock its schedulers see.
+func (s *Switch) traceEvt(kind trace.Kind, p *packet.Packet, port, out int) {
+	s.cfg.Tracer.Record(trace.Event{
+		T: s.cfg.Eng.Now(), Kind: kind, Pkt: p.ID, Flow: p.Flow,
+		Class: p.Class, VC: p.VC, Seq: p.Seq, Src: p.Src, Dst: p.Dst,
+		Node: s.cfg.ID, Port: port, Out: out, Hop: p.Hop,
+		Slack: p.Deadline - s.cfg.Clock.Now(), Size: p.Size,
+	})
+}
+
+// bufObserver surfaces buffer-internal events (take-over enqueues, order
+// errors) of one queue as packet lifecycle events. Installed only when
+// tracing is on, so the disabled path never pays the interface call.
+type bufObserver struct {
+	sw   *Switch
+	port int // owning port index (input port for VOQs, output port for output buffers)
+	out  int // VOQ's destination output port; -1 for output buffers
+}
+
+func (b *bufObserver) TakeOverEnqueued(p *packet.Packet) {
+	if p.Sampled {
+		b.sw.traceEvt(trace.KindTakeOver, p, b.port, b.out)
+	}
+}
+
+func (b *bufObserver) OrderError(p *packet.Packet) {
+	if p.Sampled {
+		b.sw.traceEvt(trace.KindOrderError, p, b.port, b.out)
+	}
+}
+
+// PortTelemetry is a point-in-time view of one switch port for the
+// periodic probes: current buffer occupancy on both sides of the crossbar
+// plus the cumulative take-over/order-error counters of every queue the
+// port owns (counters are cumulative; the probe loop differences them).
+type PortTelemetry struct {
+	InPackets   int        // packets queued in the input VOQs
+	InBytes     units.Size // bytes queued in the input VOQs (pool usage)
+	OutPackets  int        // packets queued in the output buffers
+	OutBytes    units.Size // bytes queued in the output buffers
+	TakeOvers   uint64     // cumulative take-over enqueues, input + output queues
+	OrderErrors uint64     // cumulative order errors, input + output queues
+}
+
+// PortTelemetry returns the probe view of port p.
+func (s *Switch) PortTelemetry(p int) PortTelemetry {
+	var t PortTelemetry
+	count := func(b pqueue.Buffer) {
+		t.OrderErrors += b.OrderErrors()
+		if tq, ok := b.(*pqueue.TakeOverQueue); ok {
+			t.TakeOvers += tq.TakeOvers()
+		}
+	}
+	ip := s.in[p]
+	for vc := range ip.voq {
+		t.InBytes += ip.pool[vc]
+		for _, b := range ip.voq[vc] {
+			t.InPackets += b.Len()
+			count(b)
+		}
+	}
+	op := s.out[p]
+	for _, b := range op.buf {
+		t.OutPackets += b.Len()
+		t.OutBytes += b.Bytes()
+		count(b)
+	}
+	return t
 }
 
 // InTransit returns the packets currently crossing the crossbar: popped

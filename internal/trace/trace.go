@@ -1,0 +1,345 @@
+// Package trace implements packet-lifecycle tracing, time-series telemetry
+// and engine profiling for the simulator — the observability substrate that
+// makes the paper's mechanisms (deadline slack at every hop, order errors,
+// take-over recoveries, §3.4–§4.4) inspectable as events over time instead
+// of end-of-run aggregates.
+//
+// The design mirrors how SCED-style analyses reason about per-hop deadline
+// slack and how heavy-traffic EDF results are stated in terms of lead-time
+// distributions: every recorded event carries the packet's slack (deadline
+// minus the recording node's local clock) at that instant.
+//
+// Tracing is opt-in and sampled. Components hold a *Tracer pointer that is
+// nil when tracing is off; every call site guards with a nil check, so a
+// disabled tracer costs one pointer comparison per event site (zero
+// allocations, zero work). Whether a packet is sampled is decided once at
+// generation time by a deterministic hash of (seed, packet id), so the same
+// seed and sample rate always select the same packets and produce the
+// byte-identical event stream — tracing inherits the simulator's
+// replayability guarantee.
+//
+// Exports: newline-delimited JSON (one event per line, stable field order)
+// and Chrome trace_event JSON loadable in Perfetto (ui.perfetto.dev), where
+// each sampled packet renders as one track of per-hop spans with instant
+// markers for take-overs, order errors, drops and delivery.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// Kind enumerates the packet-lifecycle points a Tracer records.
+type Kind uint8
+
+// Lifecycle event kinds. Host-side kinds carry the host id in Node;
+// switch-side kinds carry the switch id.
+const (
+	// KindGenerated: the NIC stamped the packet's deadline (host event).
+	KindGenerated Kind = iota
+	// KindEligibleHold: the packet was staged to wait for its eligible
+	// time (host event; only under eligible-time shaping).
+	KindEligibleHold
+	// KindInjected: the packet's first byte entered the network (host).
+	KindInjected
+	// KindVOQEnqueue: the packet joined an input VOQ (switch event; Port
+	// is the input port, Out the VOQ's output port).
+	KindVOQEnqueue
+	// KindVOQDequeue: the scheduler popped the packet from its VOQ into
+	// the crossbar (switch event; Slack here is the paper's per-hop slack
+	// at dequeue).
+	KindVOQDequeue
+	// KindOutputEnqueue: the crossbar transfer completed and the packet
+	// entered the output buffer (switch event).
+	KindOutputEnqueue
+	// KindLinkTx: the packet started serialising on the output link
+	// (switch event).
+	KindLinkTx
+	// KindTakeOver: the packet arrived with a deadline below the ordered
+	// queue's tail and diverted to the take-over queue (switch event).
+	KindTakeOver
+	// KindOrderError: a dequeue emitted this packet although the buffer
+	// held a smaller deadline (switch event; requires TrackOrderErrors).
+	KindOrderError
+	// KindCRCDrop: the destination NIC's end-to-end CRC check dropped a
+	// corrupted copy (host event).
+	KindCRCDrop
+	// KindLinkDrop: a copy was lost in flight to a link flap.
+	KindLinkDrop
+	// KindRetransmit: a retransmit copy was queued at the source (host).
+	KindRetransmit
+	// KindDupDrop: the destination dropped a duplicate copy (host event).
+	KindDupDrop
+	// KindDemoted: the packet was demoted to the best-effort VC (host).
+	KindDemoted
+	// KindDelivered: the packet reached its destination NIC (host event;
+	// Slack is the delivery slack, deadline − delivery time).
+	KindDelivered
+	numKinds
+)
+
+var kindLabels = [numKinds]string{
+	"gen", "elig-hold", "inject", "voq-enq", "voq-deq", "out-enq",
+	"link-tx", "takeover", "order-err", "crc-drop", "link-drop", "retx",
+	"dup-drop", "demote", "deliver",
+}
+
+// String returns the short label used in JSONL output.
+func (k Kind) String() string {
+	if int(k) < len(kindLabels) {
+		return kindLabels[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded lifecycle point of a sampled packet. Times are on
+// the engine's oracle clock; Slack is deadline − local clock of the node
+// that recorded the event (the quantity the paper's per-hop EDF decisions
+// inspect).
+type Event struct {
+	T     units.Time // oracle time of the event
+	Kind  Kind
+	Pkt   uint64
+	Flow  packet.FlowID
+	Class packet.Class
+	VC    packet.VC
+	Seq   uint64
+	Src   int
+	Dst   int
+	Node  int        // host id (host kinds) or switch id (switch kinds); -1 unknown
+	Port  int        // port within Node; -1 when not applicable
+	Out   int        // destination output port (VOQ kinds); -1 otherwise
+	Hop   int        // route hop index at the event
+	Slack units.Time // deadline − recording node's local clock
+	Size  units.Size
+}
+
+// appendJSON renders the event as one JSON object with a fixed field
+// order, so identical event streams serialise byte-identically.
+func (e *Event) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendInt(dst, int64(e.T), 10)
+	dst = append(dst, `,"k":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","pkt":`...)
+	dst = strconv.AppendUint(dst, e.Pkt, 10)
+	dst = append(dst, `,"flow":`...)
+	dst = strconv.AppendUint(dst, uint64(e.Flow), 10)
+	dst = append(dst, `,"cls":"`...)
+	dst = append(dst, e.Class.String()...)
+	dst = append(dst, `","vc":`...)
+	dst = strconv.AppendUint(dst, uint64(e.VC), 10)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"src":`...)
+	dst = strconv.AppendInt(dst, int64(e.Src), 10)
+	dst = append(dst, `,"dst":`...)
+	dst = strconv.AppendInt(dst, int64(e.Dst), 10)
+	dst = append(dst, `,"node":`...)
+	dst = strconv.AppendInt(dst, int64(e.Node), 10)
+	dst = append(dst, `,"port":`...)
+	dst = strconv.AppendInt(dst, int64(e.Port), 10)
+	dst = append(dst, `,"out":`...)
+	dst = strconv.AppendInt(dst, int64(e.Out), 10)
+	dst = append(dst, `,"hop":`...)
+	dst = strconv.AppendInt(dst, int64(e.Hop), 10)
+	dst = append(dst, `,"slack":`...)
+	dst = strconv.AppendInt(dst, int64(e.Slack), 10)
+	dst = append(dst, `,"size":`...)
+	dst = strconv.AppendInt(dst, int64(e.Size), 10)
+	dst = append(dst, '}')
+	return dst
+}
+
+// Config parameterises a Tracer.
+type Config struct {
+	// SampleRate is the fraction of generated packets traced, in [0, 1].
+	// Sampling is per logical packet: retransmit copies inherit the
+	// original's decision through the Sampled header bit they copy.
+	SampleRate float64
+	// Seed salts the sampling hash. Use the run's traffic seed to make
+	// the sampled set a pure function of the run configuration.
+	Seed uint64
+	// MaxEvents caps the stored event count (default 1<<20). Events past
+	// the cap are counted in Dropped and discarded, bounding memory on
+	// runaway configurations.
+	MaxEvents int
+}
+
+// DefaultMaxEvents is the event-store cap when Config.MaxEvents is zero.
+const DefaultMaxEvents = 1 << 20
+
+// Tracer records lifecycle events for sampled packets. One Tracer belongs
+// to exactly one simulation run (the engine is single-threaded; a Tracer is
+// not safe for concurrent use across runs).
+type Tracer struct {
+	cfg       Config
+	threshold uint64 // hash < threshold => sampled
+	events    []Event
+	dropped   uint64
+	sampled   uint64 // KindGenerated events, i.e. sampled packet count
+
+	hopSlack []slackAgg // per route-hop aggregation of dequeue slack
+}
+
+// slackAgg is a tiny online aggregate (count/mean/min/max) kept per hop.
+type slackAgg struct {
+	n              uint64
+	mean, min, max float64
+}
+
+func (a *slackAgg) add(v float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.mean += (v - a.mean) / float64(a.n)
+}
+
+// New validates cfg and returns a Tracer.
+func New(cfg Config) (*Tracer, error) {
+	if cfg.SampleRate < 0 || cfg.SampleRate > 1 {
+		return nil, fmt.Errorf("trace: sample rate %v out of [0, 1]", cfg.SampleRate)
+	}
+	if cfg.MaxEvents < 0 {
+		return nil, fmt.Errorf("trace: negative event cap %d", cfg.MaxEvents)
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	t := &Tracer{cfg: cfg}
+	switch {
+	case cfg.SampleRate >= 1:
+		t.threshold = ^uint64(0)
+	default:
+		t.threshold = uint64(cfg.SampleRate * float64(1<<63) * 2)
+	}
+	return t, nil
+}
+
+// splitmix64 is the finaliser of SplitMix64 — a cheap, well-distributed
+// 64-bit hash used for the per-packet sampling decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SampleID reports whether the packet with the given id is sampled. The
+// decision is a pure function of (seed, id): same seed and rate always
+// select the same packets. Nil-safe (a nil Tracer samples nothing).
+func (t *Tracer) SampleID(id uint64) bool {
+	if t == nil || t.threshold == 0 {
+		return false
+	}
+	if t.threshold == ^uint64(0) {
+		return true
+	}
+	return splitmix64(t.cfg.Seed^(id*0x9e3779b97f4a7c15)) < t.threshold
+}
+
+// Record stores one event. Callers are expected to have checked both the
+// tracer pointer and the packet's Sampled bit; Record itself is still
+// nil-safe so cold paths can call it unconditionally.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.Kind == KindVOQDequeue {
+		for len(t.hopSlack) <= ev.Hop {
+			t.hopSlack = append(t.hopSlack, slackAgg{})
+		}
+		t.hopSlack[ev.Hop].add(float64(ev.Slack))
+	}
+	if len(t.events) >= t.cfg.MaxEvents {
+		t.dropped++
+		return
+	}
+	if ev.Kind == KindGenerated {
+		t.sampled++
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns the recorded events in recording order (a live slice; do
+// not mutate).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Dropped returns how many events were discarded after MaxEvents filled.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// SampledPackets returns how many packets were selected for tracing.
+func (t *Tracer) SampledPackets() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled
+}
+
+// WriteJSONL writes one JSON object per event, in recording order. The
+// rendering uses a fixed field order, so identical runs produce
+// byte-identical output (the replayability contract tested in
+// internal/network).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 256)
+	for i := range t.events {
+		buf = t.events[i].appendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("trace: writing JSONL: %w", err)
+		}
+	}
+	return nil
+}
+
+// HopSlackStat summarises the dequeue slack observed at one route hop
+// across all sampled packets: how far ahead of (positive) or past
+// (negative) their deadline packets were when the scheduler served them.
+type HopSlackStat struct {
+	Hop    int
+	Count  uint64
+	MeanNs float64
+	MinNs  float64
+	MaxNs  float64
+}
+
+// HopSlack returns per-hop dequeue-slack summaries in hop order. Hops with
+// no observations are omitted.
+func (t *Tracer) HopSlack() []HopSlackStat {
+	if t == nil {
+		return nil
+	}
+	var out []HopSlackStat
+	for hop, a := range t.hopSlack {
+		if a.n == 0 {
+			continue
+		}
+		out = append(out, HopSlackStat{Hop: hop, Count: a.n, MeanNs: a.mean, MinNs: a.min, MaxNs: a.max})
+	}
+	return out
+}
