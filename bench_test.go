@@ -18,7 +18,9 @@ package deadlineqos
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -568,5 +570,84 @@ func BenchmarkCollective(b *testing.B) {
 		if i == 0 {
 			b.Logf("\n%s", t)
 		}
+	}
+}
+
+// parsimShardRun is one row of BENCH_parsim.json: the cost of the
+// reference run at one shard count.
+type parsimShardRun struct {
+	Shards       int     `json:"shards"`
+	N            int     `json:"n"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerOp  float64 `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is sequential wall time over this run's wall time. It only
+	// exceeds 1 when the host grants the shards real cores; GOMAXPROCS
+	// below records what this machine offered.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchmarkParsimScaling measures the sharded engine (internal/parsim) on
+// the paper-scale 128-endpoint MIN at 1/2/4/8 shards and persists the
+// scaling curve as BENCH_parsim.json. Results are byte-identical across
+// shard counts (pinned by the experiments determinism tests); only the
+// wall clock moves. Event counts differ across shard counts — a
+// cross-shard hop is an event on both engines — so ns_per_op, not
+// events_per_sec, is the cross-shard-count comparison axis.
+func BenchmarkParsimScaling(b *testing.B) {
+	base := network.DefaultConfig() // paper-scale MIN
+	base.Arch = arch.Advanced2VC
+	base.Load = 1.0
+	base.WarmUp = 0
+	base.Measure = 3 * units.Millisecond
+	runs := map[int]parsimShardRun{}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := base
+			cfg.Shards = shards
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := network.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.SimEvents
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			runs[shards] = parsimShardRun{
+				Shards:       shards,
+				N:            b.N,
+				NsPerOp:      float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				EventsPerOp:  float64(events) / float64(b.N),
+				EventsPerSec: float64(events) / b.Elapsed().Seconds(),
+			}
+		})
+	}
+	seq, ok := runs[1]
+	if !ok || seq.NsPerOp <= 0 {
+		return
+	}
+	out := struct {
+		Scenario   string           `json:"scenario"`
+		Topology   string           `json:"topology"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Runs       []parsimShardRun `json:"runs"`
+	}{Scenario: "parsim", Topology: base.Topology.Name(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, shards := range []int{1, 2, 4, 8} {
+		r, ok := runs[shards]
+		if !ok {
+			continue
+		}
+		r.Speedup = seq.NsPerOp / r.NsPerOp
+		out.Runs = append(out.Runs, r)
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		b.Logf("marshalling BENCH_parsim.json: %v", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_parsim.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("writing BENCH_parsim.json: %v", err)
 	}
 }

@@ -53,6 +53,7 @@ func run() error {
 		archName  = flag.String("arch", "advanced", "switch architecture: traditional|ideal|simple|advanced")
 		topoSpec  = flag.String("topo", "small", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
 		load      = flag.Float64("load", 0.8, "offered load per host as a fraction of link bandwidth")
+		shards    = cli.ShardsFlag()
 		seed      = flag.Uint64("seed", 1, "traffic random seed")
 		warmup    = flag.String("warmup", "2ms", "warm-up period excluded from measurement")
 		measure   = flag.String("measure", "20ms", "measurement window")
@@ -78,6 +79,7 @@ func run() error {
 	cfg.Topology = topo
 	cfg.Load = *load
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	if cfg.WarmUp, err = cli.ParseDuration(*warmup); err != nil {
 		return err
 	}

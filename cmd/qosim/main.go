@@ -34,6 +34,7 @@ func run() error {
 		archName = flag.String("arch", "advanced", "switch architecture: traditional|ideal|simple|advanced")
 		topoSpec = flag.String("topo", "paper", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
 		load     = flag.Float64("load", 1.0, "offered load per host as a fraction of link bandwidth")
+		shards   = cli.ShardsFlag()
 		seed     = flag.Uint64("seed", 1, "random seed")
 		warmup   = flag.String("warmup", "5ms", "warm-up period excluded from measurement")
 		measure  = flag.String("measure", "50ms", "measurement window")
@@ -58,6 +59,7 @@ func run() error {
 	cfg.Topology = topo
 	cfg.Load = *load
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	cfg.TrackOrderErrors = *track
 	if cfg.WarmUp, err = cli.ParseDuration(*warmup); err != nil {
 		return err

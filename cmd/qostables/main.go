@@ -34,7 +34,8 @@ func main() {
 func run() error {
 	var (
 		scale   = flag.String("scale", "quick", "experiment scale: quick|paper")
-		par     = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		par     = cli.ParFlag()
+		shards  = cli.ShardsFlag()
 		seed    = flag.Uint64("seed", 1, "random seed")
 		loads   = flag.String("loads", "", "comma-separated loads overriding the scale's sweep")
 		warmup  = flag.String("warmup", "", "override warm-up period (e.g. 2ms)")
@@ -51,6 +52,7 @@ func run() error {
 		return err
 	}
 	opt.Parallelism = *par
+	opt = opt.WithShards(*shards)
 	opt.Base.Seed = *seed
 	if *loads != "" {
 		if opt.Loads, err = cli.ParseLoads(*loads); err != nil {

@@ -30,7 +30,8 @@ func run() error {
 		figure = flag.Int("figure", 2, "paper figure to regenerate: 2 (Control), 3 (Video), 4 (best-effort)")
 		scale  = flag.String("scale", "quick", "experiment scale: quick|paper")
 		loads  = flag.String("loads", "", "comma-separated loads overriding the scale's sweep")
-		par    = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		par    = cli.ParFlag()
+		shards = cli.ShardsFlag()
 		seed   = flag.Uint64("seed", 1, "random seed")
 		seeds  = flag.String("seeds", "", "comma-separated seed list: figure 2 reports mean±std across them")
 		csv    = flag.Bool("csv", false, "emit CSV instead of tables and plots")
@@ -42,6 +43,7 @@ func run() error {
 		return err
 	}
 	opt.Parallelism = *par
+	opt = opt.WithShards(*shards)
 	opt.Base.Seed = *seed
 	if *loads != "" {
 		if opt.Loads, err = cli.ParseLoads(*loads); err != nil {

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/trace"
+	"deadlineqos/internal/units"
+)
+
+// The sharded-execution correctness bar (DESIGN.md §9): for every
+// experiment scenario, a run split across N engine shards must produce
+// byte-identical statistics snapshots, trace output, telemetry,
+// conservation accounting and fault traces to the sequential engine with
+// the same config and seed. These tests pin that guarantee across every
+// feature that records state at event time.
+
+// detScenario is one config variation to cross-check.
+type detScenario struct {
+	name string
+	cfg  func() network.Config
+}
+
+// detBase is the shared scenario base: the quick 16-host network with a
+// window short enough to run each scenario at three shard counts.
+func detBase() network.Config {
+	cfg := network.SmallConfig()
+	cfg.WarmUp = 500 * units.Microsecond
+	cfg.Measure = 3 * units.Millisecond
+	if raceEnabled {
+		// The race detector costs ~10-20x per run; byte-equality over a
+		// shorter window still exercises every merge path.
+		cfg.WarmUp = 200 * units.Microsecond
+		cfg.Measure = 800 * units.Microsecond
+	}
+	cfg.Load = 0.8
+	cfg.CheckInvariants = true
+	return cfg
+}
+
+// detScenarios covers every recording subsystem: plain stats, order
+// oracles, clock skew, hotspots, degraded links, fault injection with
+// end-to-end reliability, packet-lifecycle tracing, telemetry probes, and
+// trace-driven video across the switch architectures.
+func detScenarios() []detScenario {
+	return []detScenario{
+		{"baseline-advanced", detBase},
+		{"traditional-vctable", func() network.Config {
+			cfg := detBase()
+			cfg.Arch = arch.Traditional2VC
+			cfg.Load = 1.0
+			cfg.VCArbitrationTable = []packet.VC{packet.VCRegulated, packet.VCBestEffort}
+			return cfg
+		}},
+		{"ideal-skew", func() network.Config {
+			cfg := detBase()
+			cfg.Arch = arch.Ideal
+			cfg.ClockSkewMax = 5 * units.Microsecond
+			return cfg
+		}},
+		{"simple-hotspot", func() network.Config {
+			cfg := detBase()
+			cfg.Arch = arch.Simple2VC
+			cfg.HotspotFraction = 0.5
+			cfg.HotspotHost = 0
+			return cfg
+		}},
+		{"order-errors-unshaped", func() network.Config {
+			cfg := detBase()
+			cfg.TrackOrderErrors = true
+			cfg.EligibleLead = 0
+			return cfg
+		}},
+		{"degraded-links", func() network.Config {
+			cfg := detBase()
+			cfg.DegradedLinks = []network.DegradedLink{
+				{Switch: 0, Port: 0, Scale: 0.5},
+				{Switch: 4, Port: 1, Scale: 0.7},
+			}
+			return cfg
+		}},
+		{"faults-reliability", func() network.Config {
+			cfg := detBase()
+			cfg.Faults = ChaosPlan(cfg.Seed+7, cfg.Topology, cfg.WarmUp+cfg.Measure)
+			cfg.Reliability = hostif.Reliability{Enabled: true}
+			return cfg
+		}},
+		{"telemetry-probes", func() network.Config {
+			cfg := detBase()
+			cfg.ProbeInterval = 100 * units.Microsecond
+			return cfg
+		}},
+		{"video-trace", func() network.Config {
+			cfg := detBase()
+			cfg.VideoTraceFrames = []units.Size{
+				24 * units.Kilobyte, 8 * units.Kilobyte, 6 * units.Kilobyte,
+				10 * units.Kilobyte, 7 * units.Kilobyte, 12 * units.Kilobyte,
+			}
+			return cfg
+		}},
+	}
+}
+
+// runFingerprint runs cfg at the given shard count (building a fresh
+// tracer when requested) and renders every determinism-guaranteed output
+// as one labelled byte blob.
+func runFingerprint(t *testing.T, cfg network.Config, shards int, withTracer bool) []byte {
+	t.Helper()
+	cfg.Shards = shards
+	var tr *trace.Tracer
+	if withTracer {
+		var err error
+		// The sample cap must not be hit: per-shard tracers enforce it
+		// independently, so a capped run loses the equality guarantee.
+		tr, err = trace.New(trace.Config{SampleRate: 0.05, Seed: cfg.Seed, MaxEvents: 500_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Tracer = tr
+	}
+	res, err := network.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	section := func(name string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "== %s ==\n%s\n", name, b)
+	}
+	section("snapshot", res.Snapshot("det"))
+	section("conservation", res.Conservation)
+	section("fault-trace", res.FaultTrace)
+	section("reliability", res.Reliability)
+	section("counters", []uint64{
+		res.OrderErrors, res.TakeOvers, res.XbarTransfers, res.LinkSends,
+		uint64(res.PendingAtHorizon), res.LostOnLink, res.CorruptedInFlight,
+		res.FaultEvents, uint64(res.OutstandingAtStop),
+	})
+	if tr != nil {
+		buf.WriteString("== trace-jsonl ==\n")
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Dropped() > 0 {
+			t.Fatalf("tracer hit its event cap (%d dropped); raise MaxEvents", tr.Dropped())
+		}
+	}
+	if res.Telemetry != nil {
+		buf.WriteString("== telemetry-ports ==\n")
+		if err := res.Telemetry.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// diffLine locates the first differing line between two fingerprints so a
+// failure names the section instead of dumping megabytes.
+func diffLine(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	section := "?"
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if bytes.HasPrefix(al[i], []byte("== ")) {
+			section = string(al[i])
+		}
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("section %s line %d:\n  seq: %.200s\n  par: %.200s", section, i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ (%d vs %d lines) after section %s", len(al), len(bl), section)
+}
+
+// detShardCounts is the sharded side of the cross-check. Under the race
+// detector only the 2-shard run is compared (the 4-shard schedule adds
+// interleavings, not merge paths, and race runs cost 10-20x); the plain
+// build compares both.
+func detShardCounts() []int {
+	if raceEnabled {
+		return []int{2}
+	}
+	return []int{2, 4}
+}
+
+// TestShardDeterminism is the cross-check: every scenario at Shards=2 and
+// Shards=4 against the sequential run.
+func TestShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run cross-check")
+	}
+	for _, sc := range detScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			ref := runFingerprint(t, sc.cfg(), 1, false)
+			for _, shards := range detShardCounts() {
+				got := runFingerprint(t, sc.cfg(), shards, false)
+				if !bytes.Equal(ref, got) {
+					t.Errorf("shards=%d diverges from sequential: %s", shards, diffLine(ref, got))
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismTraced runs the tracing cross-check separately (the
+// tracer makes runs slower): full JSONL trace bytes must match, alongside
+// everything else, with faults and order tracking on.
+func TestShardDeterminismTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run cross-check")
+	}
+	cfgFn := func() network.Config {
+		cfg := detBase()
+		cfg.TrackOrderErrors = true
+		cfg.Faults = ChaosPlan(cfg.Seed+7, cfg.Topology, cfg.WarmUp+cfg.Measure)
+		cfg.Reliability = hostif.Reliability{Enabled: true}
+		cfg.ProbeInterval = 200 * units.Microsecond
+		return cfg
+	}
+	ref := runFingerprint(t, cfgFn(), 1, true)
+	for _, shards := range detShardCounts() {
+		got := runFingerprint(t, cfgFn(), shards, true)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("traced run at shards=%d diverges: %s", shards, diffLine(ref, got))
+		}
+	}
+}
+
+// TestShardsRejectsTraceCallbacks pins the validation rule: user packet
+// callbacks cannot run concurrently on shard goroutines.
+func TestShardsRejectsTraceCallbacks(t *testing.T) {
+	cfg := detBase()
+	cfg.Shards = 2
+	cfg.Trace = network.Trace{Generated: func(p *packet.Packet) {}}
+	if _, err := network.New(cfg); err == nil {
+		t.Fatal("Shards > 1 with Trace callbacks must be rejected")
+	}
+}
+
+// TestPartitionPlanner pins the planner's invariants: round-robin switch
+// assignment, hosts co-located with their leaf, and clamping.
+func TestPartitionPlanner(t *testing.T) {
+	topo := network.SmallConfig().Topology
+	swShard, hostShard, eff := network.Partition(topo, 4)
+	if eff != 4 {
+		t.Fatalf("effective shards = %d, want 4", eff)
+	}
+	for sw, s := range swShard {
+		if s != sw%4 {
+			t.Fatalf("switch %d on shard %d, want %d", sw, s, sw%4)
+		}
+	}
+	for sw := 0; sw < topo.Switches(); sw++ {
+		for p := 0; p < topo.Radix(sw); p++ {
+			if peer := topo.Peer(sw, p); peer.ID >= 0 && peer.IsHost {
+				if hostShard[peer.ID] != swShard[sw] {
+					t.Fatalf("host %d on shard %d, leaf switch %d on shard %d",
+						peer.ID, hostShard[peer.ID], sw, swShard[sw])
+				}
+			}
+		}
+	}
+	if _, _, eff := network.Partition(topo, 1000); eff != topo.Switches() {
+		t.Fatalf("shard count not clamped to switch count: %d", eff)
+	}
+	if _, _, eff := network.Partition(topo, 0); eff != 1 {
+		t.Fatalf("shard count not clamped up to 1: %d", eff)
+	}
+}
+
+// TestFaultPlanRejectedWithoutLookahead pins the config rule that sharded
+// runs need at least one cycle of lookahead.
+func TestFaultPlanRejectedWithoutLookahead(t *testing.T) {
+	cfg := detBase()
+	cfg.Shards = 2
+	cfg.PropDelay = 0
+	if _, err := network.New(cfg); err == nil {
+		t.Fatal("Shards > 1 with zero PropDelay must be rejected")
+	}
+}

@@ -35,6 +35,15 @@ type Options struct {
 	Parallelism int
 }
 
+// WithShards returns o with every simulation configured to run across n
+// engine shards (see network.Config.Shards). Results are byte-identical
+// at every shard count, so this only changes wall-clock time; it composes
+// with Parallelism, which parallelises across runs.
+func (o Options) WithShards(n int) Options {
+	o.Base.Shards = n
+	return o
+}
+
 // DefaultLoads is the paper's input-load sweep (10%..100%).
 func DefaultLoads() []float64 {
 	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}

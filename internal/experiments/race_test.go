@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled scales the determinism cross-check down when the race
+// detector multiplies every run's cost: the interleaving coverage the
+// detector wants does not need full-length measurement windows.
+const raceEnabled = true

@@ -190,6 +190,20 @@ func (p *Plan) BEROf(id LinkID) float64 {
 	return p.DefaultBER
 }
 
+// Normalized returns the plan's events sorted by time (stable, so
+// same-cycle events keep plan order) — the exact order Install executes
+// them in. The sharded network uses it to give every event a global index
+// before splitting the schedule across per-shard injectors.
+func (p *Plan) Normalized() []Event {
+	if p == nil {
+		return nil
+	}
+	evs := make([]Event, len(p.Events))
+	copy(evs, p.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
 // CorruptionStream derives the deterministic random stream that decides
 // packet corruption on link id. Streams are keyed by (plan seed, link),
 // so identical plans corrupt identically regardless of event ordering
@@ -222,11 +236,31 @@ func (inj *Injector) Install(plan *Plan, eng *sim.Engine, resolve func(LinkID) *
 	if plan == nil {
 		return
 	}
-	evs := make([]Event, len(plan.Events))
-	copy(evs, plan.Events)
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
-	for _, ev := range evs {
+	evs := plan.Normalized()
+	indexes := make([]int, len(evs))
+	for i := range indexes {
+		indexes[i] = i
+	}
+	var wrapped func(int, TraceEntry)
+	if onEvent != nil {
+		wrapped = func(_ int, entry TraceEntry) { onEvent(entry) }
+	}
+	inj.InstallEvents(evs, indexes, eng, resolve, wrapped)
+}
+
+// InstallEvents schedules an explicit slice of already-normalized events
+// (see Plan.Normalized). indexes carries each event's position in the full
+// normalized plan and is passed through to onEvent, which lets a sharded
+// run install disjoint subsets of one plan on several engines and still
+// reassemble the global trace in sequential firing order. len(indexes)
+// must equal len(evs).
+func (inj *Injector) InstallEvents(evs []Event, indexes []int, eng *sim.Engine, resolve func(LinkID) *link.Link, onEvent func(int, TraceEntry)) {
+	if len(evs) != len(indexes) {
+		panic(fmt.Sprintf("faults: %d events with %d indexes", len(evs), len(indexes)))
+	}
+	for i, ev := range evs {
 		ev := ev
+		idx := indexes[i]
 		eng.At(ev.At, func() {
 			l := resolve(ev.Link)
 			applied := false
@@ -244,7 +278,7 @@ func (inj *Injector) Install(plan *Plan, eng *sim.Engine, resolve func(LinkID) *
 			inj.events++
 			inj.trace = append(inj.trace, entry)
 			if onEvent != nil {
-				onEvent(entry)
+				onEvent(idx, entry)
 			}
 		})
 	}
@@ -356,6 +390,23 @@ type Conservation struct {
 	// DoubleDeliveries counts deliveries of an already-delivered unique
 	// packet observed by the oracle (Config.CheckInvariants). Must be 0.
 	DoubleDeliveries uint64
+}
+
+// Add accumulates other into c field-wise. The sharded network keeps one
+// Conservation record per shard (each hook increments its own shard's)
+// and sums them at stop; every counter is a plain count, so the sum is
+// the sequential record.
+func (c *Conservation) Add(other Conservation) {
+	c.Generated += other.Generated
+	c.Retransmissions += other.Retransmissions
+	c.InjectedCopies += other.InjectedCopies
+	c.DeliveredUnique += other.DeliveredUnique
+	c.ArrivedDup += other.ArrivedDup
+	c.ArrivedCorrupt += other.ArrivedCorrupt
+	c.LostOnLink += other.LostOnLink
+	c.InNetworkAtStop += other.InNetworkAtStop
+	c.StagedAtStop += other.StagedAtStop
+	c.DoubleDeliveries += other.DoubleDeliveries
 }
 
 // Check verifies the conservation invariant: every copy created (unique

@@ -64,10 +64,19 @@ type Flow struct {
 	seq          uint64
 }
 
-// IDSource hands out simulation-unique packet and frame identifiers. One
-// instance is shared by all hosts of a run (the engine is single-threaded).
+// IDSource hands out simulation-unique packet and frame identifiers. The
+// network layer gives every host its own instance over a disjoint id range
+// (see NewIDSource), so id assignment is independent of cross-host event
+// interleaving and identical between sequential and sharded runs.
 type IDSource struct {
 	pkt, frame uint64
+}
+
+// NewIDSource returns an IDSource whose packet and frame counters both
+// start just above base. Callers space bases far enough apart (the network
+// uses (host+1)<<40) that ranges never collide.
+func NewIDSource(base uint64) *IDSource {
+	return &IDSource{pkt: base, frame: base}
 }
 
 // NextPacket returns a fresh packet id.
@@ -111,9 +120,11 @@ type Config struct {
 	Reliability Reliability
 	// SendAck delivers an out-of-band receiver report to the source host
 	// of a flow: ok acknowledges delivery of (flow, seq), !ok requests a
-	// retransmission. Wired by the network when reliability is enabled;
-	// the transport (and its delay) is the caller's.
-	SendAck func(src int, flow packet.FlowID, seq uint64, ok bool)
+	// retransmission. dst is the reporting host (this one), which the
+	// network uses to key the report's ordering channel. Wired by the
+	// network when reliability is enabled; the transport (and its delay)
+	// is the caller's.
+	SendAck func(src, dst int, flow packet.FlowID, seq uint64, ok bool)
 	// Tracer records lifecycle events of sampled packets (nil = tracing
 	// off; every event site guards on the pointer and the packet's
 	// Sampled bit, so the disabled cost is one comparison).
@@ -142,7 +153,7 @@ type Host struct {
 	wake   sim.Handle // pending eligibility wake-up
 	wakeAt units.Time // oracle time the pending wake-up fires
 
-	upstream *link.Link // link feeding the receive side, for credit return
+	upstream link.CreditReturner // credit-return path of the receive-side link
 
 	received uint64
 
@@ -448,13 +459,13 @@ func (h *Host) traceEvt(kind trace.Kind, p *packet.Packet) {
 // sendReport emits an out-of-band ack/nak toward p's source host.
 func (h *Host) sendReport(p *packet.Packet, seq uint64, ok bool) {
 	if h.cfg.SendAck != nil {
-		h.cfg.SendAck(p.Src, p.Flow, seq, ok)
+		h.cfg.SendAck(p.Src, h.cfg.ID, p.Flow, seq, ok)
 	}
 }
 
-// SetUpstream registers the link feeding the host's receive side so that
-// credits can be returned.
-func (h *Host) SetUpstream(l *link.Link) { h.upstream = l }
+// SetUpstream registers the credit-return path of the link feeding the
+// host's receive side (the link itself, or a parsim cross-shard portal).
+func (h *Host) SetUpstream(cr link.CreditReturner) { h.upstream = cr }
 
 // Pending returns the number of packets staged in the NIC (both queues),
 // for drain checks and diagnostics.

@@ -156,7 +156,9 @@ type relState struct {
 }
 
 // trackInjected registers (or re-arms) tracking for a packet that just
-// entered the network.
+// entered the network. The entry stores a value copy taken at injection —
+// never a reference to the live packet, which the destination (possibly
+// on another parsim shard) mutates in flight.
 func (h *Host) trackInjected(p *packet.Packet) {
 	key := relKey{p.Flow, p.Seq}
 	e := h.rel.entries[key]

@@ -39,6 +39,16 @@ type Receiver interface {
 	Receive(p *packet.Packet)
 }
 
+// CreditReturner is what a downstream element holds to return credits to
+// its upstream link as its input buffer drains. For an intra-shard link it
+// is the *Link itself; for a link whose endpoints live on different parsim
+// shards the network substitutes a portal that relays the credit update to
+// the sender's engine with the same propagation delay and ordering
+// channel, so both cases execute the identical event sequence.
+type CreditReturner interface {
+	ReturnCredits(vc packet.VC, size units.Size)
+}
+
 // Link is a directed link with credit-based flow control. The upstream
 // element calls CanSend/Send; the downstream element calls ReturnCredits
 // as its input buffers drain.
@@ -52,6 +62,25 @@ type Link struct {
 	busyUntil units.Time
 	credits   [packet.NumVCs]units.Size
 	capacity  units.Size // initial per-VC credits (credit-leak ceiling)
+
+	// Ordering channels (see sim.Engine.AtChannel). The network layer
+	// assigns every link a globally unique pair in construction order so
+	// that same-cycle arrival and credit events sort identically on one
+	// engine and across parsim shard engines. Zero (the default) keeps the
+	// plain FIFO tie-break for directly built test links.
+	pktCh    uint32
+	creditCh uint32
+
+	// Remote delivery (parsim cross-shard mode). When remoteDeliver is
+	// non-nil the downstream element lives on another shard: arrivals are
+	// relayed through it instead of being scheduled on the local engine,
+	// and loss across link-down flaps is decided by the statically
+	// precomputed lostBetween predicate (the receiver's shard cannot
+	// observe this link's downEpoch). The local engine still runs the
+	// sender-side bookkeeping event at the arrival instant and asserts
+	// that the static decision matches the dynamic epoch state.
+	remoteDeliver func(at units.Time, p *packet.Packet)
+	lostBetween   func(sent, arrive units.Time) bool
 
 	// OnReady is invoked (possibly repeatedly) whenever transmission
 	// capacity appears: the link went idle, credits were returned, or a
@@ -141,7 +170,37 @@ func (l *Link) Send(p *packet.Packet) {
 	})
 	epoch := l.downEpoch
 	l.inFlight++
-	l.eng.After(tx+l.prop, func() {
+	arrive := l.eng.Now() + tx + l.prop
+
+	if l.remoteDeliver != nil {
+		// Cross-shard link: decide loss now from the static fault
+		// timeline, hand the packet to the receiver's shard if it
+		// survives, and keep the sender-side bookkeeping local.
+		lost := l.lostBetween != nil && l.lostBetween(l.eng.Now(), arrive)
+		if !lost {
+			l.remoteDeliver(arrive, p)
+		}
+		l.eng.AtChannel(arrive, l.pktCh, func() {
+			l.inFlight--
+			if (epoch != l.downEpoch) != lost {
+				panic(fmt.Sprintf("link: static loss predicate %v disagrees with epoch state at %v",
+					lost, l.eng.Now()))
+			}
+			if lost {
+				l.dropped++
+				l.addCredits(p.VC, p.Size)
+				if l.OnDrop != nil {
+					l.OnDrop(p)
+				}
+				if l.OnReady != nil {
+					l.OnReady()
+				}
+			}
+		})
+		return
+	}
+
+	l.eng.AtChannel(arrive, l.pktCh, func() {
 		l.inFlight--
 		if epoch != l.downEpoch {
 			// The link flapped while p was in flight: the packet is lost.
@@ -178,12 +237,43 @@ func (l *Link) addCredits(vc packet.VC, size units.Size) {
 // reverse propagation delay. Credit returns model an out-of-band control
 // channel: they keep flowing while the data path is down.
 func (l *Link) ReturnCredits(vc packet.VC, size units.Size) {
-	l.eng.After(l.prop, func() {
-		l.addCredits(vc, size)
-		if l.OnReady != nil {
-			l.OnReady()
-		}
+	l.eng.AtChannel(l.eng.Now()+l.prop, l.creditCh, func() {
+		l.ApplyCredits(vc, size)
 	})
+}
+
+// ApplyCredits restores credits immediately and re-fires OnReady. It is
+// the landing half of ReturnCredits, exported so a parsim credit portal
+// can apply a relayed cross-shard credit update on the sender's engine.
+func (l *Link) ApplyCredits(vc packet.VC, size units.Size) {
+	l.addCredits(vc, size)
+	if l.OnReady != nil {
+		l.OnReady()
+	}
+}
+
+// SetChannels assigns the link's ordering channels for arrival (pkt) and
+// credit-return (credit) events. The network layer calls it once, right
+// after construction, with globally unique ids; see sim.Engine.AtChannel.
+func (l *Link) SetChannels(pkt, credit uint32) {
+	l.pktCh = pkt
+	l.creditCh = credit
+}
+
+// Channels returns the ordering channel pair assigned by SetChannels.
+func (l *Link) Channels() (pkt, credit uint32) { return l.pktCh, l.creditCh }
+
+// Prop returns the link's propagation delay (the parsim lookahead floor).
+func (l *Link) Prop() units.Time { return l.prop }
+
+// SetRemote puts the link in cross-shard delivery mode: arrivals are
+// relayed through deliver (which must schedule dst.Receive on the
+// receiver shard's engine at the given instant on this link's packet
+// channel), and in-flight loss across down transitions is decided by the
+// static predicate lost (nil means the link never goes down). See Send.
+func (l *Link) SetRemote(deliver func(at units.Time, p *packet.Packet), lost func(sent, arrive units.Time) bool) {
+	l.remoteDeliver = deliver
+	l.lostBetween = lost
 }
 
 // SetDown transitions the link's up/down state and reports whether the

@@ -142,6 +142,15 @@ type Config struct {
 	// HotspotHost is the hotspot destination (used when HotspotFraction > 0).
 	HotspotHost int
 
+	// Shards splits the simulation across this many engines, run on their
+	// own goroutines and synchronised conservatively on the link
+	// propagation latency (see internal/parsim). Switches are dealt
+	// round-robin across shards and every host lives with its leaf switch.
+	// The results — statistics, traces, conservation accounting — are
+	// byte-identical at every shard count; only wall-clock time changes.
+	// Zero or one runs the classic single-engine simulation.
+	Shards int
+
 	// VCArbitrationTable overrides the Traditional architecture's
 	// weighted table (nil = 3 regulated slots : 1 best-effort slot).
 	// Entry counts define the bandwidth weights, as in the PCI AS and
@@ -279,6 +288,23 @@ func (cfg *Config) validate() error {
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(cfg.Topology.Switches(), cfg.Topology.Radix); err != nil {
 			return fmt.Errorf("network: %w", err)
+		}
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("network: shard count %d is negative", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		// Cross-shard effects ride on the link propagation (and, with
+		// reliability, the ack) delay; the conservative synchroniser needs
+		// at least one cycle of it as lookahead.
+		if cfg.PropDelay < 1 {
+			return fmt.Errorf("network: Shards > 1 needs a positive PropDelay for lookahead")
+		}
+		if cfg.Reliability.Enabled && cfg.Reliability.WithDefaults().AckDelay < 1 {
+			return fmt.Errorf("network: Shards > 1 needs a positive reliability AckDelay for lookahead")
+		}
+		if t := cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
+			return fmt.Errorf("network: Trace callbacks are not supported with Shards > 1 (they would run concurrently on shard goroutines)")
 		}
 	}
 	if err := cfg.Reliability.Validate(); err != nil {

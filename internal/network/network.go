@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"deadlineqos/internal/admission"
@@ -10,6 +11,7 @@ import (
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/parsim"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/stats"
 	"deadlineqos/internal/switchsim"
@@ -31,7 +33,11 @@ type Results struct {
 	XbarTransfers uint64
 	LinkSends     uint64
 
-	// SimEvents is the number of engine events executed (cost metric).
+	// SimEvents is the number of engine events executed (cost metric),
+	// summed over shard engines in a parallel run. Sharding splits some
+	// logically-single events (a cross-shard arrival is one receiver event
+	// plus one sender bookkeeping event), so this count is comparable
+	// between runs of equal Shards, not across shard counts.
 	SimEvents uint64
 	// PendingAtHorizon counts packets still queued anywhere when the
 	// measurement window closed (a saturation indicator).
@@ -44,7 +50,8 @@ type Results struct {
 	// whole run, warm-up included, so they balance in Conservation.
 	//
 	// FaultEvents counts executed fault-plan events; FaultTrace is their
-	// execution-order record (identical across same-seed runs).
+	// execution-order record (identical across same-seed runs, sequential
+	// or sharded).
 	FaultEvents uint64
 	FaultTrace  []faults.TraceEntry
 	// LostOnLink counts copies lost in flight to link flaps.
@@ -65,36 +72,59 @@ type Results struct {
 	// Telemetry holds the periodic per-port and engine probe series (nil
 	// unless Config.ProbeInterval was positive).
 	Telemetry *trace.Telemetry
-	// Perf profiles the engine's execution of this run: event throughput,
+	// Perf profiles the engines' execution of this run: event throughput,
 	// wall clock per simulated second, and allocation counters.
 	Perf trace.Profile
+}
+
+// netShard is the per-shard slice of the simulation state: a private
+// engine plus private sinks for everything the model records at event
+// time. Each shard's goroutine only ever touches its own netShard, so no
+// recording path needs a lock; Run merges the shards after the engines
+// stop. A sequential run is simply nshards == 1.
+type netShard struct {
+	eng           *sim.Engine
+	collect       *stats.Collector
+	tracer        *trace.Tracer
+	cons          faults.Conservation
+	injector      faults.Injector
+	deliveredOnce map[deliveryKey]struct{}
+	telemetry     *trace.Telemetry
 }
 
 // Network is a fully wired simulation. Build one with New, then call Run,
 // or use the package-level Run convenience for the whole lifecycle.
 type Network struct {
 	cfg          Config
-	eng          *sim.Engine
+	eng          *sim.Engine // shard 0's engine (the sequential API surface)
 	topo         topology.Topology
 	hosts        []*hostif.Host
 	switches     []*switchsim.Switch
 	sources      []traffic.Source
-	collect      *stats.Collector
+	collect      *stats.Collector // shard 0's; all shards merged into it at Run end
 	adm          *admission.Controller
 	videoPerHost int
 
+	// Sharded execution state (see internal/parsim). nshards == 1 is the
+	// sequential layout: one shard, no mailbox queues.
+	nshards   int
+	swShard   []int
+	hostShard []int
+	shards    []*netShard
+	queues    [][]*parsim.Queue // queues[from][to]; nil on the diagonal
+	lookahead units.Time
+
 	// Fault machinery: every live link (for conservation accounting and
 	// BER wiring), switch output links by fault address, host injection
-	// links by host, the plan injector, the run-level conservation
-	// counters, and the optional delivery oracle.
-	links         []*link.Link
-	linkByID      map[faults.LinkID]*link.Link
-	hostUp        []*link.Link
-	injector      faults.Injector
-	cons          faults.Conservation
-	deliveredOnce map[deliveryKey]struct{}
+	// links by host, and the plan's per-event execution slots (slot i is
+	// normalized event i; disjoint shards write disjoint slots).
+	links      []*link.Link
+	linkByID   map[faults.LinkID]*link.Link
+	hostUp     []*link.Link
+	faultSlots []faults.TraceEntry
+	faultDone  []bool
 
-	// telemetry collects the periodic probe series when ProbeInterval > 0.
+	// telemetry holds the merged probe series after Run (ProbeInterval > 0).
 	telemetry *trace.Telemetry
 }
 
@@ -105,18 +135,79 @@ type deliveryKey struct {
 	seq  uint64
 }
 
+// Partition returns the shard assignment for every switch and host of
+// topo when split across the given shard count, plus the effective count
+// (clamped to [1, switches]). Switches are dealt round-robin; each host
+// follows its leaf switch, so a host's injection and ejection links never
+// cross a shard boundary — only switch-to-switch links do, and those
+// carry the link propagation latency that parsim uses as lookahead.
+func Partition(topo topology.Topology, shards int) (swShard, hostShard []int, effective int) {
+	effective = shards
+	if effective < 1 {
+		effective = 1
+	}
+	if s := topo.Switches(); effective > s {
+		effective = s
+	}
+	swShard = make([]int, topo.Switches())
+	for sw := range swShard {
+		swShard[sw] = sw % effective
+	}
+	hostShard = make([]int, topo.Hosts())
+	for sw := 0; sw < topo.Switches(); sw++ {
+		for p := 0; p < topo.Radix(sw); p++ {
+			if peer := topo.Peer(sw, p); peer.ID >= 0 && peer.IsHost {
+				hostShard[peer.ID] = swShard[sw]
+			}
+		}
+	}
+	return swShard, hostShard, effective
+}
+
 // New builds and wires a network from cfg without starting it.
 func New(cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, eng: sim.New(), topo: cfg.Topology}
-	n.collect = stats.NewCollector(n.topo.Hosts(), cfg.LinkBW, cfg.WarmUp, cfg.WarmUp+cfg.Measure)
+	n := &Network{cfg: cfg, topo: cfg.Topology}
+	n.swShard, n.hostShard, n.nshards = Partition(n.topo, cfg.Shards)
+	n.lookahead = cfg.PropDelay
+	if cfg.Reliability.Enabled {
+		if ad := cfg.Reliability.WithDefaults().AckDelay; ad < n.lookahead {
+			n.lookahead = ad
+		}
+	}
+
+	n.shards = make([]*netShard, n.nshards)
+	for i := range n.shards {
+		sh := &netShard{
+			eng:     sim.New(),
+			collect: stats.NewCollector(n.topo.Hosts(), cfg.LinkBW, cfg.WarmUp, cfg.WarmUp+cfg.Measure),
+		}
+		if n.nshards == 1 {
+			sh.tracer = cfg.Tracer
+		} else {
+			sh.tracer = cfg.Tracer.Clone()
+		}
+		if cfg.CheckInvariants {
+			sh.deliveredOnce = make(map[deliveryKey]struct{})
+		}
+		n.shards[i] = sh
+	}
+	n.eng = n.shards[0].eng
+	n.collect = n.shards[0].collect
+	n.queues = make([][]*parsim.Queue, n.nshards)
+	for i := range n.queues {
+		n.queues[i] = make([]*parsim.Queue, n.nshards)
+		for j := range n.queues[i] {
+			if i != j {
+				n.queues[i][j] = &parsim.Queue{}
+			}
+		}
+	}
+
 	n.linkByID = make(map[faults.LinkID]*link.Link)
 	n.hostUp = make([]*link.Link, n.topo.Hosts())
-	if cfg.CheckInvariants {
-		n.deliveredOnce = make(map[deliveryKey]struct{})
-	}
 
 	rng := xrand.New(cfg.Seed)
 	skewRng := rng.Split(0xc10c)
@@ -127,11 +218,12 @@ func New(cfg Config) (*Network, error) {
 		return units.Time(skewRng.UniformInt(-int64(cfg.ClockSkewMax), int64(cfg.ClockSkewMax)))
 	}
 
-	// Switches.
+	// Switches, each on its shard's engine.
 	for sw := 0; sw < n.topo.Switches(); sw++ {
+		sh := n.shards[n.swShard[sw]]
 		n.switches = append(n.switches, switchsim.New(switchsim.Config{
-			Eng:              n.eng,
-			Clock:            packet.Clock{Base: n.eng.Now, Skew: skew()},
+			Eng:              sh.eng,
+			Clock:            packet.Clock{Base: sh.eng.Now, Skew: skew()},
 			ID:               sw,
 			Radix:            n.topo.Radix(sw),
 			Arch:             cfg.Arch,
@@ -139,90 +231,56 @@ func New(cfg Config) (*Network, error) {
 			XbarBW:           cfg.XbarBW,
 			TrackOrderErrors: cfg.TrackOrderErrors,
 			VCTable:          cfg.VCArbitrationTable,
-			Tracer:           cfg.Tracer,
+			Tracer:           sh.tracer,
 		}))
 	}
 
-	// Hosts, reporting into the collector and the run-level conservation
-	// counters (the latter cover the whole run, warm-up included, so the
-	// accounting balances exactly).
-	ids := &hostif.IDSource{}
-	hooks := hostif.Hooks{
-		Generated: func(p *packet.Packet) {
-			n.cons.Generated++
-			n.collect.PacketGenerated(p)
-		},
-		Injected: func(p *packet.Packet, now units.Time) {
-			n.cons.InjectedCopies++
-			n.collect.PacketInjected(p, now)
-		},
-		Delivered: func(p *packet.Packet, now units.Time) {
-			n.cons.DeliveredUnique++
-			if n.deliveredOnce != nil {
-				key := deliveryKey{p.Flow, p.Seq}
-				if _, dup := n.deliveredOnce[key]; dup {
-					n.cons.DoubleDeliveries++
-				}
-				n.deliveredOnce[key] = struct{}{}
-			}
-			n.collect.PacketDelivered(p, now)
-		},
-		Corrupted: func(p *packet.Packet, now units.Time) {
-			n.cons.ArrivedCorrupt++
-			n.collect.PacketCorrupted(p, now)
-		},
-		DupDropped: func(p *packet.Packet, now units.Time) {
-			n.cons.ArrivedDup++
-			n.collect.PacketDupDropped(p, now)
-		},
-		Retransmitted: func(p *packet.Packet, now units.Time) {
-			n.cons.Retransmissions++
-			n.collect.PacketRetransmitted(p, now)
-		},
-		Demoted: n.collect.PacketDemoted,
+	// Hosts, each on its shard's engine, reporting into the shard's
+	// collector and conservation counters (hooks run on the host's shard
+	// goroutine, so recording needs no locks; the counters cover the whole
+	// run, warm-up included, so the accounting balances exactly).
+	hooks := make([]hostif.Hooks, n.nshards)
+	for i := range hooks {
+		hooks[i] = n.hooksFor(n.shards[i])
 	}
-	if t := cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
-		base := hooks
-		hooks.Generated = func(p *packet.Packet) {
-			base.Generated(p)
-			if t.Generated != nil {
-				t.Generated(p)
-			}
-		}
-		hooks.Injected = func(p *packet.Packet, now units.Time) {
-			base.Injected(p, now)
-			if t.Injected != nil {
-				t.Injected(p, now)
-			}
-		}
-		hooks.Delivered = func(p *packet.Packet, now units.Time) {
-			base.Delivered(p, now)
-			if t.Delivered != nil {
-				t.Delivered(p, now)
-			}
-		}
-	}
-	var sendAck func(src int, flow packet.FlowID, seq uint64, ok bool)
+	var sendAck func(src, dst int, flow packet.FlowID, seq uint64, ok bool)
 	if cfg.Reliability.Enabled {
 		rel := cfg.Reliability.WithDefaults()
-		sendAck = func(src int, flow packet.FlowID, seq uint64, ok bool) {
+		hostCount := n.topo.Hosts()
+		sendAck = func(src, dst int, flow packet.FlowID, seq uint64, ok bool) {
 			// Acks travel out-of-band like credits: delayed, never lost.
-			n.eng.After(rel.AckDelay, func() { n.hosts[src].HandleAck(flow, seq, ok) })
+			// Each (src, dst) report path has its own ordering channel so
+			// relayed reports keep the sequential order (see
+			// sim.Engine.AtChannel); ack channels set bit 31 to stay
+			// disjoint from the link channels wire() assigns.
+			from, to := n.hostShard[dst], n.hostShard[src]
+			ch := uint32(1)<<31 | uint32(src*hostCount+dst)
+			fire := n.shards[from].eng.Now() + rel.AckDelay
+			fn := func() { n.hosts[src].HandleAck(flow, seq, ok) }
+			if from == to {
+				n.shards[from].eng.AtChannel(fire, ch, fn)
+			} else {
+				n.queues[from][to].Put(fire, ch, fn)
+			}
 		}
 	}
 	for h := 0; h < n.topo.Hosts(); h++ {
+		sh := n.shards[n.hostShard[h]]
 		n.hosts = append(n.hosts, hostif.New(hostif.Config{
-			Eng:          n.eng,
-			Clock:        packet.Clock{Base: n.eng.Now, Skew: skew()},
+			Eng:          sh.eng,
+			Clock:        packet.Clock{Base: sh.eng.Now, Skew: skew()},
 			ID:           h,
 			Arch:         cfg.Arch,
 			MTU:          cfg.MTU,
 			EligibleLead: cfg.EligibleLead,
-			IDs:          ids,
-			Hooks:        hooks,
-			Reliability:  cfg.Reliability,
-			SendAck:      sendAck,
-			Tracer:       cfg.Tracer,
+			// Per-host id ranges keep packet and frame ids unique without
+			// any cross-shard coordination, and identical at every shard
+			// count.
+			IDs:         hostif.NewIDSource(uint64(h+1) << 40),
+			Hooks:       hooks[n.hostShard[h]],
+			Reliability: cfg.Reliability,
+			SendAck:     sendAck,
+			Tracer:      sh.tracer,
 		}))
 	}
 
@@ -243,8 +301,154 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
+// hooksFor builds the instrumentation hooks for hosts living on sh.
+func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
+	hooks := hostif.Hooks{
+		Generated: func(p *packet.Packet) {
+			sh.cons.Generated++
+			sh.collect.PacketGenerated(p)
+		},
+		Injected: func(p *packet.Packet, now units.Time) {
+			sh.cons.InjectedCopies++
+			sh.collect.PacketInjected(p, now)
+		},
+		Delivered: func(p *packet.Packet, now units.Time) {
+			sh.cons.DeliveredUnique++
+			if sh.deliveredOnce != nil {
+				key := deliveryKey{p.Flow, p.Seq}
+				if _, dup := sh.deliveredOnce[key]; dup {
+					sh.cons.DoubleDeliveries++
+				}
+				sh.deliveredOnce[key] = struct{}{}
+			}
+			sh.collect.PacketDelivered(p, now)
+		},
+		Corrupted: func(p *packet.Packet, now units.Time) {
+			sh.cons.ArrivedCorrupt++
+			sh.collect.PacketCorrupted(p, now)
+		},
+		DupDropped: func(p *packet.Packet, now units.Time) {
+			sh.cons.ArrivedDup++
+			sh.collect.PacketDupDropped(p, now)
+		},
+		Retransmitted: func(p *packet.Packet, now units.Time) {
+			sh.cons.Retransmissions++
+			sh.collect.PacketRetransmitted(p, now)
+		},
+		Demoted: sh.collect.PacketDemoted,
+	}
+	if t := n.cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
+		// User callbacks are rejected by validate when Shards > 1 (they
+		// would run on shard goroutines), so this wrapper only ever wraps
+		// the single sequential shard.
+		base := hooks
+		hooks.Generated = func(p *packet.Packet) {
+			base.Generated(p)
+			if t.Generated != nil {
+				t.Generated(p)
+			}
+		}
+		hooks.Injected = func(p *packet.Packet, now units.Time) {
+			base.Injected(p, now)
+			if t.Injected != nil {
+				t.Injected(p, now)
+			}
+		}
+		hooks.Delivered = func(p *packet.Packet, now units.Time) {
+			base.Delivered(p, now)
+			if t.Delivered != nil {
+				t.Delivered(p, now)
+			}
+		}
+	}
+	return hooks
+}
+
+// onDropFor builds the in-flight-loss observer for links owned by sh.
+func (n *Network) onDropFor(sh *netShard) func(p *packet.Packet) {
+	return func(p *packet.Packet) {
+		sh.cons.LostOnLink++
+		if tr := sh.tracer; tr != nil && p.Sampled {
+			// A link drop has no owning node; slack comes from the TTD
+			// header stamped when the packet left the sender (the Deadline
+			// field is stale while in flight).
+			tr.Record(trace.Event{
+				T: sh.eng.Now(), Kind: trace.KindLinkDrop, Pkt: p.ID, Flow: p.Flow,
+				Class: p.Class, VC: p.VC, Seq: p.Seq, Src: p.Src, Dst: p.Dst,
+				Node: -1, Port: -1, Out: -1, Hop: p.Hop,
+				Slack: p.TTD, Size: p.Size,
+			})
+		}
+		sh.collect.PacketLost(p)
+	}
+}
+
+// creditPortal relays a cross-shard credit return: the downstream element
+// calls ReturnCredits on the receiver's shard, and the update lands on the
+// sender's engine after the reverse propagation delay, on the link's
+// credit channel — the same timing and ordering the intra-shard path has.
+type creditPortal struct {
+	q    *parsim.Queue // receiver shard -> sender shard
+	eng  *sim.Engine   // receiver shard's engine (for Now)
+	l    *link.Link
+	prop units.Time
+	ch   uint32
+}
+
+func (cp *creditPortal) ReturnCredits(vc packet.VC, size units.Size) {
+	cp.q.Put(cp.eng.Now()+cp.prop, cp.ch, func() { cp.l.ApplyCredits(vc, size) })
+}
+
+// downTimeline replays the plan's normalized events through the per-link
+// up/down state machine and returns, per link, the times of the applied
+// down transitions — the exact instants the live link's downEpoch will
+// increment. Cross-shard links use it to decide in-flight loss at send
+// time (the receiver's shard cannot observe the sender-side epoch).
+func downTimeline(plan *faults.Plan) map[faults.LinkID][]units.Time {
+	if plan.Empty() {
+		return nil
+	}
+	down := make(map[faults.LinkID]bool)
+	out := make(map[faults.LinkID][]units.Time)
+	for _, ev := range plan.Normalized() {
+		switch ev.Kind {
+		case faults.LinkDown:
+			if !down[ev.Link] {
+				down[ev.Link] = true
+				out[ev.Link] = append(out[ev.Link], ev.At)
+			}
+		case faults.LinkUp:
+			down[ev.Link] = false
+		}
+	}
+	return out
+}
+
+// lostBetween turns a link's down-transition timeline into the static loss
+// predicate: a packet sent at tS (link up, or Send would have been
+// refused) and arriving at tA is lost iff a down transition fires in
+// (tS, tA]. The bounds match the event order on the sender's engine: a
+// down at exactly tS runs before the send (fault events are installed
+// before any runtime event and sort first), so it blocks rather than
+// drops; a down at exactly tA runs before the arrival (channel 0 sorts
+// before the link's packet channel) and drops it.
+func lostBetween(times []units.Time) func(sent, arrive units.Time) bool {
+	if len(times) == 0 {
+		return nil
+	}
+	return func(sent, arrive units.Time) bool {
+		i := sort.Search(len(times), func(i int) bool { return times[i] > sent })
+		return i < len(times) && times[i] <= arrive
+	}
+}
+
 // wire creates every link of the topology: host<->leaf in both directions
 // and switch<->switch (each wired once, from the lower (switch, port)).
+// Every link is owned by its sender's shard and gets a globally unique
+// pair of ordering channels, assigned in this fixed wiring order so the
+// assignment is independent of the shard count. A switch-to-switch link
+// whose endpoints land on different shards is put in remote mode: arrivals
+// and credit returns relay through the parsim mailboxes.
 func (n *Network) wire() {
 	cfg := n.cfg
 	degraded := make(map[[2]int]float64, len(cfg.DegradedLinks))
@@ -257,22 +461,36 @@ func (n *Network) wire() {
 		}
 		return cfg.LinkBW
 	}
+	timeline := downTimeline(cfg.Faults)
+	nextCh := uint32(1)
+	channels := func(l *link.Link) {
+		l.SetChannels(nextCh, nextCh+1)
+		nextCh += 2
+	}
 	for sw := 0; sw < n.topo.Switches(); sw++ {
 		s := n.switches[sw]
+		shard := n.swShard[sw]
+		sh := n.shards[shard]
 		for p := 0; p < n.topo.Radix(sw); p++ {
 			peer := n.topo.Peer(sw, p)
 			if peer.ID == -1 {
 				continue // unwired port
 			}
 			if peer.IsHost {
+				// Host links never cross shards: the host lives on its
+				// leaf switch's shard by construction.
 				h := n.hosts[peer.ID]
 				// Switch -> host (ejection).
-				down := link.New(n.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, h)
+				down := link.New(sh.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, h)
+				channels(down)
+				down.OnDrop = n.onDropFor(sh)
 				s.ConnectDownstream(p, down)
 				h.SetUpstream(down)
 				n.retainLink(faults.LinkID{Switch: sw, Port: p}, down)
 				// Host -> switch (injection).
-				up := link.New(n.eng, cfg.LinkBW, cfg.PropDelay, cfg.BufPerVC, s.InputReceiver(p))
+				up := link.New(sh.eng, cfg.LinkBW, cfg.PropDelay, cfg.BufPerVC, s.InputReceiver(p))
+				channels(up)
+				up.OnDrop = n.onDropFor(sh)
 				h.ConnectOut(up)
 				s.ConnectUpstream(p, up)
 				n.links = append(n.links, up)
@@ -283,9 +501,25 @@ func (n *Network) wire() {
 			// side; the peer->sw direction is created when iterating the
 			// peer. Each direction is thus created exactly once.
 			other := n.switches[peer.ID]
-			l := link.New(n.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, other.InputReceiver(peer.Port))
+			otherShard := n.swShard[peer.ID]
+			l := link.New(sh.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, other.InputReceiver(peer.Port))
+			channels(l)
+			l.OnDrop = n.onDropFor(sh)
 			s.ConnectDownstream(p, l)
-			other.ConnectUpstream(peer.Port, l)
+			if shard == otherShard {
+				other.ConnectUpstream(peer.Port, l)
+			} else {
+				pktCh, creditCh := l.Channels()
+				recv := other.InputReceiver(peer.Port)
+				outQ := n.queues[shard][otherShard]
+				l.SetRemote(func(at units.Time, p *packet.Packet) {
+					outQ.Put(at, pktCh, func() { recv.Receive(p) })
+				}, lostBetween(timeline[faults.LinkID{Switch: sw, Port: p}]))
+				other.ConnectUpstream(peer.Port, &creditPortal{
+					q: n.queues[otherShard][shard], eng: n.shards[otherShard].eng,
+					l: l, prop: cfg.PropDelay, ch: creditCh,
+				})
+			}
 			n.retainLink(faults.LinkID{Switch: sw, Port: p}, l)
 		}
 	}
@@ -297,28 +531,11 @@ func (n *Network) retainLink(id faults.LinkID, l *link.Link) {
 	n.linkByID[id] = l
 }
 
-// installFaults arms the loss accounting on every link and installs the
-// configured fault plan: per-link corruption streams and the timed event
-// schedule.
+// installFaults wires the per-link corruption streams and installs the
+// configured fault plan. Every plan event executes on the shard owning its
+// link, writing its execution record into the event's global slot, so the
+// merged trace reassembles in sequential firing order.
 func (n *Network) installFaults() {
-	onDrop := func(p *packet.Packet) {
-		n.cons.LostOnLink++
-		if tr := n.cfg.Tracer; tr != nil && p.Sampled {
-			// A link drop has no owning node; slack comes from the TTD
-			// header stamped when the packet left the sender (the Deadline
-			// field is stale while in flight).
-			tr.Record(trace.Event{
-				T: n.eng.Now(), Kind: trace.KindLinkDrop, Pkt: p.ID, Flow: p.Flow,
-				Class: p.Class, VC: p.VC, Seq: p.Seq, Src: p.Src, Dst: p.Dst,
-				Node: -1, Port: -1, Out: -1, Hop: p.Hop,
-				Slack: p.TTD, Size: p.Size,
-			})
-		}
-		n.collect.PacketLost(p)
-	}
-	for _, l := range n.links {
-		l.OnDrop = onDrop
-	}
 	plan := n.cfg.Faults
 	if plan.Empty() {
 		return
@@ -335,7 +552,24 @@ func (n *Network) installFaults() {
 			}
 		}
 	}
-	n.injector.Install(plan, n.eng, func(id faults.LinkID) *link.Link { return n.linkByID[id] }, nil)
+	evs := plan.Normalized()
+	n.faultSlots = make([]faults.TraceEntry, len(evs))
+	n.faultDone = make([]bool, len(evs))
+	perShardEvs := make([][]faults.Event, n.nshards)
+	perShardIdx := make([][]int, n.nshards)
+	for i, ev := range evs {
+		s := n.swShard[ev.Link.Switch]
+		perShardEvs[s] = append(perShardEvs[s], ev)
+		perShardIdx[s] = append(perShardIdx[s], i)
+	}
+	resolve := func(id faults.LinkID) *link.Link { return n.linkByID[id] }
+	for s, sh := range n.shards {
+		sh.injector.InstallEvents(perShardEvs[s], perShardIdx[s], sh.eng, resolve,
+			func(idx int, entry faults.TraceEntry) {
+				n.faultSlots[idx] = entry
+				n.faultDone[idx] = true
+			})
+	}
 }
 
 // destinations returns count destinations for host h, spread
@@ -383,7 +617,8 @@ func destinations(h, hosts, count int, rng *xrand.Rand) []int {
 }
 
 // provisionFlows creates all flow records, reserves regulated bandwidth
-// through admission control, and instantiates the traffic sources.
+// through admission control, and instantiates the traffic sources (each on
+// its host's shard engine).
 func (n *Network) provisionFlows(rng *xrand.Rand) error {
 	cfg := n.cfg
 	hosts := n.topo.Hosts()
@@ -414,6 +649,7 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 
 	for h := 0; h < hosts; h++ {
 		host := n.hosts[h]
+		hostEng := n.shards[n.hostShard[h]].eng
 		hostRng := rng.Split(uint64(h) + 1)
 
 		// Control flows: no admission (BWavg = link bandwidth gives them
@@ -430,7 +666,7 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 				ctl = append(ctl, nextFlow)
 			}
 			n.sources = append(n.sources, traffic.NewControl(traffic.ControlConfig{
-				Eng: n.eng, Host: host, Rng: hostRng.Split(1), Flows: ctl,
+				Eng: hostEng, Host: host, Rng: hostRng.Split(1), Flows: ctl,
 				Rate: classRate(packet.Control), MinMsg: 128, MaxMsg: 2 * units.Kilobyte,
 			}))
 		}
@@ -451,12 +687,12 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 			})
 			if len(cfg.VideoTraceFrames) > 0 {
 				n.sources = append(n.sources, traffic.NewVideoTrace(traffic.VideoTraceConfig{
-					Eng: n.eng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
+					Eng: hostEng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
 					Flow: nextFlow, Period: cfg.VideoPeriod, Frames: cfg.VideoTraceFrames,
 				}))
 			} else {
 				n.sources = append(n.sources, traffic.NewVideo(traffic.VideoConfig{
-					Eng: n.eng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
+					Eng: hostEng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
 					Flow: nextFlow, Period: cfg.VideoPeriod, GoP: cfg.GoP,
 				}))
 			}
@@ -514,7 +750,7 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 				}
 			}
 			n.sources = append(n.sources, traffic.NewSelfSimilar(traffic.SelfSimilarConfig{
-				Eng: n.eng, Host: host, Rng: hostRng.Split(uint64(200 + int(cl))),
+				Eng: hostEng, Host: host, Rng: hostRng.Split(uint64(200 + int(cl))),
 				Flows: flows, Rate: rate,
 				MinFrame: 128, MaxFrame: 100 * units.Kilobyte,
 				SizeAlpha: 1.3, BurstAlpha: 1.5,
@@ -525,8 +761,13 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 }
 
 // Engine exposes the simulation engine (examples drive custom scenarios
-// through it).
+// through it). In a sharded network this is shard 0's engine; custom
+// drivers that schedule their own events should run sequentially
+// (Shards <= 1), where it is the only engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Shards returns the effective shard count the network was built with.
+func (n *Network) Shards() int { return n.nshards }
 
 // Hosts returns the number of endpoints.
 func (n *Network) Hosts() int { return n.topo.Hosts() }
@@ -541,11 +782,13 @@ func (n *Network) Host(h int) *hostif.Host { return n.hosts[h] }
 // Admission returns the admission controller.
 func (n *Network) Admission() *admission.Controller { return n.adm }
 
-// Collector returns the live statistics collector.
+// Collector returns the live statistics collector (shard 0's in a sharded
+// network; the full merge happens when Run returns).
 func (n *Network) Collector() *stats.Collector { return n.collect }
 
 // Run starts all traffic sources, executes the simulation through warm-up
-// plus measurement, and returns the results.
+// plus measurement — across shard engines when Shards > 1 — and returns
+// the merged results, identical at every shard count.
 func (n *Network) Run() *Results {
 	for _, src := range n.sources {
 		src.Start()
@@ -556,25 +799,66 @@ func (n *Network) Run() *Results {
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	wall0 := time.Now()
-	n.eng.Run(horizon)
+	if n.nshards == 1 {
+		n.eng.Run(horizon)
+	} else {
+		lps := make([]*parsim.LP, n.nshards)
+		for i, sh := range n.shards {
+			var in []*parsim.Queue
+			for j := range n.shards {
+				if q := n.queues[j][i]; q != nil {
+					in = append(in, q)
+				}
+			}
+			lps[i] = &parsim.LP{Eng: sh.eng, In: in}
+		}
+		parsim.Run(lps, horizon, n.lookahead)
+	}
 	wall := time.Since(wall0)
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 
+	// Merge the shards: every recorded quantity is either summed with an
+	// order-independent integer merge or reassembled in a canonical order,
+	// so the merged results are byte-identical to a sequential run's.
+	for _, sh := range n.shards[1:] {
+		n.collect.Merge(sh.collect)
+	}
+	if n.nshards > 1 {
+		if tr := n.cfg.Tracer; tr != nil {
+			for _, sh := range n.shards {
+				tr.Absorb(sh.tracer)
+			}
+			tr.SortEvents()
+		}
+		if n.shards[0].telemetry != nil {
+			merged := n.shards[0].telemetry
+			for _, sh := range n.shards[1:] {
+				merged.Absorb(sh.telemetry)
+			}
+			merged.Sort()
+			n.telemetry = merged
+		}
+	} else {
+		n.telemetry = n.shards[0].telemetry
+	}
+
 	res := &Results{
 		Config:              n.cfg,
 		Collector:           n.collect,
-		SimEvents:           n.eng.Fired(),
 		VideoStreamsPerHost: n.videoPerHost,
 		Telemetry:           n.telemetry,
 		Perf: trace.Profile{
-			Events:      n.eng.Fired(),
-			MaxPending:  n.eng.MaxPending(),
 			SimulatedNs: int64(horizon),
 			WallNs:      wall.Nanoseconds(),
 			Mallocs:     ms1.Mallocs - ms0.Mallocs,
 			AllocBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
 		},
+	}
+	for _, sh := range n.shards {
+		res.SimEvents += sh.eng.Fired()
+		res.Perf.Events += sh.eng.Fired()
+		res.Perf.MaxPending += sh.eng.MaxPending()
 	}
 	res.Perf.Finalize()
 	for _, sw := range n.switches {
@@ -592,7 +876,7 @@ func (n *Network) Run() *Results {
 	// Close the conservation books: everything not yet in a terminal state
 	// is either staged at a NIC or inside the fabric (switch buffers,
 	// crossbars mid-transfer, link wires).
-	cons := n.cons
+	cons := n.Conservation()
 	for _, h := range n.hosts {
 		cons.StagedAtStop += uint64(h.Pending())
 		res.Reliability.Add(h.RelCounters())
@@ -607,18 +891,35 @@ func (n *Network) Run() *Results {
 	}
 	res.LostOnLink = cons.LostOnLink
 	res.Conservation = cons
-	res.FaultEvents = n.injector.Executed()
-	res.FaultTrace = n.injector.Trace()
+	for _, sh := range n.shards {
+		res.FaultEvents += sh.injector.Executed()
+	}
+	res.FaultTrace = n.FaultTrace()
 	return res
 }
 
-// FaultTrace returns the fault events executed so far (live view; Run's
-// Results carry the final copy).
-func (n *Network) FaultTrace() []faults.TraceEntry { return n.injector.Trace() }
+// FaultTrace returns the fault events executed so far, in the sequential
+// firing order (live view; Run's Results carry the final copy).
+func (n *Network) FaultTrace() []faults.TraceEntry {
+	var out []faults.TraceEntry
+	for i, done := range n.faultDone {
+		if done {
+			out = append(out, n.faultSlots[i])
+		}
+	}
+	return out
+}
 
-// Conservation returns the current conservation counters without the
-// end-of-run staged/in-network census (those are only meaningful at stop).
-func (n *Network) Conservation() faults.Conservation { return n.cons }
+// Conservation returns the current conservation counters, summed over
+// shards, without the end-of-run staged/in-network census (those are only
+// meaningful at stop).
+func (n *Network) Conservation() faults.Conservation {
+	var cons faults.Conservation
+	for _, sh := range n.shards {
+		cons.Add(sh.cons)
+	}
+	return cons
+}
 
 // Run builds and executes one simulation.
 func Run(cfg Config) (*Results, error) {

@@ -5,7 +5,12 @@
 //
 // Probes are strictly read-only: they never mutate simulator state, and
 // the recurring event's FIFO tie-break slot cannot reorder other events,
-// so enabling probing does not change a run's packet-level outcome.
+// so enabling probing does not change a run's packet-level outcome. In a
+// sharded run each shard probes only the switches it owns, on its own
+// engine (a probe may only touch state of its own shard); Run merges the
+// per-shard port series back into the sequential (time, switch, port)
+// order, so the merged series is identical at every shard count. Engine
+// samples are inherently per-engine and are excluded from that guarantee.
 
 package network
 
@@ -20,46 +25,57 @@ import (
 type portKey struct{ sw, port int }
 
 // prober holds the previous-probe counter values needed to turn the
-// cumulative switch/link counters into per-interval rates.
+// cumulative switch/link counters into per-interval rates. Each shard has
+// its own prober; the delta maps are keyed per port, so splitting them
+// across shards leaves every computed rate unchanged.
 type prober struct {
 	n          *Network
-	tel        *trace.Telemetry
+	shard      int
+	sh         *netShard
 	prevTO     map[portKey]uint64
 	prevOE     map[portKey]uint64
 	prevBusy   map[portKey]units.Time
 	prevEvents uint64
 }
 
-// startProbes arms the recurring probe event when probing is configured.
+// startProbes arms one recurring probe event per shard when probing is
+// configured.
 func (n *Network) startProbes() {
 	iv := n.cfg.ProbeInterval
 	if iv <= 0 {
 		return
 	}
-	n.telemetry = &trace.Telemetry{Interval: iv}
-	pr := &prober{
-		n:        n,
-		tel:      n.telemetry,
-		prevTO:   make(map[portKey]uint64),
-		prevOE:   make(map[portKey]uint64),
-		prevBusy: make(map[portKey]units.Time),
-	}
 	horizon := n.cfg.WarmUp + n.cfg.Measure
-	var tick func()
-	tick = func() {
-		pr.sample(n.eng.Now())
-		if n.eng.Now()+iv <= horizon {
-			n.eng.After(iv, tick)
+	for si, sh := range n.shards {
+		sh.telemetry = &trace.Telemetry{Interval: iv}
+		pr := &prober{
+			n:        n,
+			shard:    si,
+			sh:       sh,
+			prevTO:   make(map[portKey]uint64),
+			prevOE:   make(map[portKey]uint64),
+			prevBusy: make(map[portKey]units.Time),
 		}
+		eng := sh.eng
+		var tick func()
+		tick = func() {
+			pr.sample(eng.Now())
+			if eng.Now()+iv <= horizon {
+				eng.After(iv, tick)
+			}
+		}
+		eng.After(iv, tick)
 	}
-	n.eng.After(iv, tick)
 }
 
-// sample appends one probe of every switch port and the engine to the
-// telemetry series.
+// sample appends one probe of every owned switch port and of the shard's
+// engine to the shard's telemetry series.
 func (p *prober) sample(t units.Time) {
-	secs := float64(p.tel.Interval) / 1e9
+	secs := float64(p.sh.telemetry.Interval) / 1e9
 	for sw, s := range p.n.switches {
+		if p.n.swShard[sw] != p.shard {
+			continue
+		}
 		for port := 0; port < p.n.topo.Radix(sw); port++ {
 			pt := s.PortTelemetry(port)
 			smp := trace.PortSample{
@@ -73,6 +89,8 @@ func (p *prober) sample(t units.Time) {
 			smp.OrderErrRate = float64(pt.OrderErrors-p.prevOE[key]) / secs
 			p.prevTO[key] = pt.TakeOvers
 			p.prevOE[key] = pt.OrderErrors
+			// The port's outgoing link is owned by this switch's shard, so
+			// reading its sender-side counters stays shard-local.
 			if l := p.n.linkByID[faults.LinkID{Switch: sw, Port: port}]; l != nil {
 				var credits units.Size
 				for vc := 0; vc < packet.NumVCs; vc++ {
@@ -82,15 +100,15 @@ func (p *prober) sample(t units.Time) {
 				busy := l.TxBusyTime()
 				// Serialisation time is charged whole at Send, so a probe
 				// landing mid-packet may report slightly above 1.
-				smp.LinkUtilization = float64(busy-p.prevBusy[key]) / float64(p.tel.Interval)
+				smp.LinkUtilization = float64(busy-p.prevBusy[key]) / float64(p.sh.telemetry.Interval)
 				p.prevBusy[key] = busy
 			}
-			p.tel.Ports = append(p.tel.Ports, smp)
+			p.sh.telemetry.Ports = append(p.sh.telemetry.Ports, smp)
 		}
 	}
-	ev := p.n.eng.Fired()
-	p.tel.Engine = append(p.tel.Engine, trace.EngineSample{
-		T: t, Events: ev, Pending: p.n.eng.Pending(),
+	ev := p.sh.eng.Fired()
+	p.sh.telemetry.Engine = append(p.sh.telemetry.Engine, trace.EngineSample{
+		T: t, Events: ev, Pending: p.sh.eng.Pending(),
 		EventRate: float64(ev-p.prevEvents) / secs,
 	})
 	p.prevEvents = ev

@@ -2,11 +2,13 @@
 // the network model.
 //
 // The engine maintains a clock in cycles (see internal/units) and a pending
-// event set ordered by firing time. Events scheduled for the same cycle fire
-// in scheduling order (FIFO tie-break), which makes runs fully deterministic:
-// the same configuration and seed always produce the identical event trace.
-// The whole simulation runs on a single goroutine; parallelism in the
-// benchmark harness comes from running independent simulations concurrently.
+// event set ordered by (firing time, channel, scheduling order): same-cycle
+// events on the same channel fire in scheduling order (FIFO tie-break),
+// which makes runs fully deterministic — the same configuration and seed
+// always produce the identical event trace. One Engine runs on a single
+// goroutine; a large simulation can span cores by partitioning the model
+// across several engines with internal/parsim, whose channel-keyed merge
+// rule reproduces the sequential order exactly.
 //
 // Implementation notes: simulations execute tens of millions of events, so
 // the pending set is a hand-rolled 4-ary heap (shallower than a binary heap,
@@ -26,10 +28,11 @@ import (
 // Engine; user code refers to them through Handles.
 type Event struct {
 	at  units.Time
-	seq uint64 // FIFO tie-break among same-cycle events
+	seq uint64 // FIFO tie-break among same-cycle, same-channel events
 	fn  func()
 	idx int    // heap index, -1 when not queued
 	gen uint32 // incremented on recycle, invalidating stale Handles
+	ch  uint32 // ordering channel; 0 for plain At/After events
 }
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
@@ -74,10 +77,20 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // engine's lifetime — the profiling proxy for scheduler memory pressure.
 func (e *Engine) MaxPending() int { return e.maxPending }
 
-// less orders events by (time, seq).
+// less orders events by (time, channel, seq). The channel component exists
+// for the parallel engine (internal/parsim): events that may cross a shard
+// boundary — link arrivals, credit returns, receiver reports — are keyed by
+// a globally unique channel id, so their position among same-cycle events
+// is a pure function of (time, channel) rather than of the engine-local seq
+// counter. Within one channel, and among all channel-0 events, the seq FIFO
+// tie-break applies as before. A sequential run and a sharded run therefore
+// execute the exact same total order.
 func less(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.ch != b.ch {
+		return a.ch < b.ch
 	}
 	return a.seq < b.seq
 }
@@ -192,13 +205,29 @@ func (e *Engine) recycle(ev *Event) {
 	}
 }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it would silently corrupt causality.
+// At schedules fn to run at absolute time at, on channel 0. Scheduling in
+// the past (before Now) panics: it would silently corrupt causality.
+// Same-cycle channel-0 events fire in scheduling order (FIFO).
 func (e *Engine) At(at units.Time, fn func()) Handle {
+	return e.schedule(at, 0, fn)
+}
+
+// AtChannel schedules fn at absolute time at on ordering channel ch.
+// Same-cycle events fire in (channel, scheduling-order) order; see less.
+// Channel ids are assigned by the network layer, one per directed link
+// endpoint and receiver-report path, so the order of same-cycle events is
+// identical whether they were scheduled on one engine or relayed between
+// shard engines by internal/parsim.
+func (e *Engine) AtChannel(at units.Time, ch uint32, fn func()) Handle {
+	return e.schedule(at, ch, fn)
+}
+
+func (e *Engine) schedule(at units.Time, ch uint32, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	ev := e.alloc(at, fn)
+	ev.ch = ch
 	ev.idx = len(e.heap)
 	e.heap = append(e.heap, ev)
 	if len(e.heap) > e.maxPending {
@@ -230,10 +259,33 @@ func (e *Engine) Cancel(h Handle) bool {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether the engine is in the stopped state: Stop was
+// called and no Run/Drain call has cleared it since. Each Run and Drain
+// call resets the flag on entry (the stop request is per-call, not
+// sticky), so Stopped is meaningful between the return of a Run that was
+// interrupted and the next Run — exactly the window internal/parsim needs
+// to propagate a stop across shard engines.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// PeekTime returns the firing time of the earliest pending event. ok is
+// false when no events are pending.
+func (e *Engine) PeekTime() (at units.Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // Run executes events in order until the queue is empty, Stop is called,
 // or the next event would fire after until. The clock is left at the time
 // of the last executed event, or advanced to until if the queue drained
 // earlier (so that a subsequent Run(until2) resumes correctly).
+//
+// Reset semantics of Stop: the stopped flag is cleared at the top of every
+// Run (and Drain) call, so a Stop only interrupts the call during which it
+// fires. After an interrupted Run returns, Stopped reports true until the
+// next Run/Drain clears it; calling Run again resumes execution from the
+// current clock as if Stop had never happened.
 func (e *Engine) Run(until units.Time) {
 	e.stopped = false
 	for !e.stopped && len(e.heap) > 0 {

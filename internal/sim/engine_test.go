@@ -342,3 +342,124 @@ func TestCancelStressRandom(t *testing.T) {
 		}
 	}
 }
+
+func TestStoppedAccessor(t *testing.T) {
+	e := New()
+	if e.Stopped() {
+		t.Fatal("fresh engine reports Stopped")
+	}
+	e.At(10, func() { e.Stop() })
+	e.At(20, func() {})
+	e.Run(100)
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after a run halted by Stop")
+	}
+	// Run clears the flag on entry: the next call resumes and, without a
+	// new Stop, completes the horizon.
+	e.Run(100)
+	if e.Stopped() {
+		t.Fatal("Stopped() still true after a clean resumed run")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("resumed run ended at %v, want 100", e.Now())
+	}
+}
+
+func TestAtNowFIFOTieBreak(t *testing.T) {
+	// Events scheduled for the current instant from inside an event fire in
+	// scheduling (FIFO) order, after the running event — the property the
+	// parallel shard-merge rule leans on.
+	e := New()
+	var got []int
+	e.At(50, func() {
+		for i := 0; i < 5; i++ {
+			i := i
+			e.At(e.Now(), func() { got = append(got, i) })
+		}
+	})
+	e.At(50, func() { got = append(got, 99) }) // scheduled earlier => fires first
+	e.Drain()
+	want := []int{99, 0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-cycle order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtChannelOrderBeatsSeq(t *testing.T) {
+	// At one instant the channel id outranks scheduling order: that is what
+	// lets a sharded run reproduce the sequential order of cross-shard
+	// arrivals. Channel 0 (plain At) sorts first.
+	e := New()
+	var got []int
+	e.AtChannel(10, 7, func() { got = append(got, 7) })
+	e.AtChannel(10, 3, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 0) })
+	e.AtChannel(10, 3, func() { got = append(got, 4) }) // same channel: FIFO
+	e.Drain()
+	want := []int{0, 3, 4, 7}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("channel order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancelRecycledHandleStaleGen(t *testing.T) {
+	// A handle whose event has fired and been recycled (possibly several
+	// times) must never cancel the slot's new occupant: the generation
+	// counter, not the slot index, is the identity.
+	e := New()
+	stale := e.At(1, func() {})
+	e.Run(5)
+	// Cycle the freed slot through several reuse generations.
+	for i := 0; i < 3; i++ {
+		h := e.At(units.Time(10+i), func() {})
+		if stale.Pending() {
+			t.Fatalf("stale handle pending after %d recycles", i)
+		}
+		if e.Cancel(stale) {
+			t.Fatalf("stale handle cancelled generation %d occupant", i)
+		}
+		if !h.Pending() {
+			t.Fatalf("live handle of generation %d not pending", i)
+		}
+		e.Run(units.Time(10 + i))
+	}
+	fired := false
+	live := e.At(100, func() { fired = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale handle cancelled the live event")
+	}
+	e.Drain()
+	if !fired {
+		t.Fatal("live event killed by a stale-handle Cancel")
+	}
+	if live.Pending() {
+		t.Fatal("live handle still pending after firing")
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	e := New()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime ok on an empty engine")
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	if at, ok := e.PeekTime(); !ok || at != 10 {
+		t.Fatalf("PeekTime = %v, %v; want 10, true", at, ok)
+	}
+	e.Run(10)
+	if at, ok := e.PeekTime(); !ok || at != 30 {
+		t.Fatalf("PeekTime after partial run = %v, %v; want 30, true", at, ok)
+	}
+	e.Drain()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime ok after drain")
+	}
+}

@@ -12,6 +12,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"deadlineqos/internal/packet"
@@ -80,6 +81,112 @@ func (s *Series) Merge(other *Series) {
 	minv := math.Min(s.min, other.min)
 	maxv := math.Max(s.max, other.max)
 	*s = Series{n: n, mean: mean, m2: m2, min: minv, max: maxv}
+}
+
+// TimeSeries accumulates count/sum/min/max and the exact sum of squares of
+// a stream of integer time values (nanoseconds). Every accumulator is an
+// integer — the sum of squares is kept in 128 bits — so folding per-shard
+// series together is exact and order-independent: a sharded run (see
+// internal/parsim) reports bit-identical means to a sequential one, which
+// the float64 Welford accumulation of Series cannot guarantee. Use Series
+// for genuinely real-valued data; use TimeSeries for latencies, slacks and
+// the other integer-valued metrics the per-class statistics track.
+type TimeSeries struct {
+	n          uint64
+	sum        int64
+	sqHi, sqLo uint64 // 128-bit sum of v*v
+	min, max   int64
+}
+
+// Add records one value.
+func (s *TimeSeries) Add(v units.Time) {
+	x := int64(v)
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	s.sum += x
+	m := uint64(x)
+	if x < 0 {
+		m = uint64(-x)
+	}
+	hi, lo := bits.Mul64(m, m)
+	var carry uint64
+	s.sqLo, carry = bits.Add64(s.sqLo, lo, 0)
+	s.sqHi, _ = bits.Add64(s.sqHi, hi, carry)
+}
+
+// Count returns the number of recorded values.
+func (s *TimeSeries) Count() uint64 { return s.n }
+
+// Mean returns the mean (0 when empty). The division is the only float
+// operation, applied to exact integer accumulators, so equal multisets of
+// observations always yield the identical float64.
+func (s *TimeSeries) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.n)
+}
+
+// Min returns the smallest recorded value (0 when empty).
+func (s *TimeSeries) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.min)
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (s *TimeSeries) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.max)
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 values).
+func (s *TimeSeries) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	sq := float64(s.sqHi)*0x1p64 + float64(s.sqLo)
+	mean := float64(s.sum) / float64(s.n)
+	m2 := sq - mean*float64(s.sum)
+	if m2 < 0 {
+		m2 = 0 // guard the float cancellation in sq - mean*sum
+	}
+	return math.Sqrt(m2 / float64(s.n-1))
+}
+
+// Merge folds other into s. Integer accumulators make the fold exact and
+// order-independent.
+func (s *TimeSeries) Merge(other *TimeSeries) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	s.n += other.n
+	s.sum += other.sum
+	var carry uint64
+	s.sqLo, carry = bits.Add64(s.sqLo, other.sqLo, 0)
+	s.sqHi, _ = bits.Add64(s.sqHi, other.sqHi, carry)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
 }
 
 // Histogram is a logarithmically bucketed histogram of units.Time values,
@@ -242,21 +349,45 @@ type ClassStats struct {
 	DemotedPackets       uint64 // packets demoted to the best-effort VC
 	DuplicateDrops       uint64 // duplicate copies dropped by receivers
 
-	PacketLatency Series     // ns, creation to delivery
-	NetLatency    Series     // ns, injection to delivery (network-only share)
+	PacketLatency TimeSeries // ns, creation to delivery
+	NetLatency    TimeSeries // ns, injection to delivery (network-only share)
 	LatencyHist   *Histogram // packet latency CDF
 
 	// Deadline slack at delivery: deadline − delivery time, measured on
 	// the destination's local clock via the TTD header (§3.4), so it is
 	// correct even under clock skew. Negative slack is a missed deadline.
-	Slack           Series
+	Slack           TimeSeries
 	SlackHist       *Histogram
 	MissedDeadlines uint64 // delivered packets with negative slack
 
-	FrameLatency Series     // ns, frame creation to last-packet delivery
+	FrameLatency TimeSeries // ns, frame creation to last-packet delivery
 	FrameHist    *Histogram // frame latency CDF
 
-	Jitter Series // ns, |latency_i - latency_{i-1}| per flow (RFC3550-style)
+	Jitter TimeSeries // ns, |latency_i - latency_{i-1}| per flow (RFC3550-style)
+}
+
+// merge folds other's accumulators into cs.
+func (cs *ClassStats) merge(other *ClassStats) {
+	cs.GeneratedPackets += other.GeneratedPackets
+	cs.GeneratedBytes += other.GeneratedBytes
+	cs.InjectedPackets += other.InjectedPackets
+	cs.InjectedBytes += other.InjectedBytes
+	cs.DeliveredPackets += other.DeliveredPackets
+	cs.DeliveredBytes += other.DeliveredBytes
+	cs.CorruptedPackets += other.CorruptedPackets
+	cs.LostPackets += other.LostPackets
+	cs.RetransmittedPackets += other.RetransmittedPackets
+	cs.DemotedPackets += other.DemotedPackets
+	cs.DuplicateDrops += other.DuplicateDrops
+	cs.PacketLatency.Merge(&other.PacketLatency)
+	cs.NetLatency.Merge(&other.NetLatency)
+	cs.LatencyHist.Merge(other.LatencyHist)
+	cs.Slack.Merge(&other.Slack)
+	cs.SlackHist.Merge(other.SlackHist)
+	cs.MissedDeadlines += other.MissedDeadlines
+	cs.FrameLatency.Merge(&other.FrameLatency)
+	cs.FrameHist.Merge(other.FrameHist)
+	cs.Jitter.Merge(&other.Jitter)
 }
 
 // frameAcc assembles in-flight frames to measure frame-level latency.
@@ -315,11 +446,6 @@ func (c *Collector) PacketGenerated(p *packet.Packet) {
 	cs := &c.PerClass[p.Class]
 	cs.GeneratedPackets++
 	cs.GeneratedBytes += p.Size
-	if p.FrameID != 0 {
-		if _, ok := c.frames[p.FrameID]; !ok {
-			c.frames[p.FrameID] = &frameAcc{created: p.CreatedAt, remaining: p.FrameParts, class: p.Class}
-		}
-	}
 }
 
 // PacketInjected records that p's first byte entered the network at now.
@@ -341,39 +467,46 @@ func (c *Collector) PacketDelivered(p *packet.Packet, now units.Time) {
 	cs.DeliveredPackets++
 	cs.DeliveredBytes += p.Size
 	lat := now - p.CreatedAt
-	cs.PacketLatency.Add(float64(lat))
+	cs.PacketLatency.Add(lat)
 	cs.LatencyHist.Add(lat)
 	// Delivery slack: at the destination the TTD header holds deadline −
 	// arrival on the local clock (Receive unpacks it at this instant), so
 	// p.TTD IS the slack — no oracle clock needed, skew cancels out.
 	slack := p.TTD
-	cs.Slack.Add(float64(slack))
+	cs.Slack.Add(slack)
 	cs.SlackHist.Add(slack)
 	if slack < 0 {
 		cs.MissedDeadlines++
 	}
 	if p.InjectedAt > 0 {
-		cs.NetLatency.Add(float64(now - p.InjectedAt))
+		cs.NetLatency.Add(now - p.InjectedAt)
 	}
 	if last, ok := c.lastLat[p.Flow]; ok {
 		d := lat - last
 		if d < 0 {
 			d = -d
 		}
-		cs.Jitter.Add(float64(d))
+		cs.Jitter.Add(d)
 	}
 	c.lastLat[p.Flow] = lat
 
-	if p.FrameID != 0 {
-		if f, ok := c.frames[p.FrameID]; ok {
-			f.remaining--
-			if f.remaining == 0 {
-				flat := now - f.created
-				fcs := &c.PerClass[f.class]
-				fcs.FrameLatency.Add(float64(flat))
-				fcs.FrameHist.Add(flat)
-				delete(c.frames, p.FrameID)
-			}
+	// Frame assembly is tracked purely on the delivery side: the record is
+	// created lazily at the first delivered part (the header carries the
+	// frame's creation time and part count). Frames are therefore local to
+	// the destination host, which keeps per-shard collectors disjoint.
+	if p.FrameID != 0 && p.FrameParts > 0 {
+		f, ok := c.frames[p.FrameID]
+		if !ok {
+			f = &frameAcc{created: p.CreatedAt, remaining: p.FrameParts, class: p.Class}
+			c.frames[p.FrameID] = f
+		}
+		f.remaining--
+		if f.remaining == 0 {
+			flat := now - f.created
+			fcs := &c.PerClass[f.class]
+			fcs.FrameLatency.Add(flat)
+			fcs.FrameHist.Add(flat)
+			delete(c.frames, p.FrameID)
 		}
 	}
 }
@@ -440,9 +573,32 @@ func (c *Collector) OfferedLoad(cl packet.Class) float64 {
 	return float64(c.PerClass[cl].GeneratedBytes) / (float64(c.linkBW) * float64(w) * float64(c.hosts))
 }
 
-// IncompleteFrames returns frames still being assembled (diagnostics; a
-// large number at teardown indicates saturation).
+// IncompleteFrames returns frames with at least one part delivered that are
+// still being assembled (diagnostics; a large number at teardown indicates
+// saturation).
 func (c *Collector) IncompleteFrames() int { return len(c.frames) }
+
+// Merge folds other into c: the counters, series and histograms of every
+// class plus the in-flight frame and per-flow jitter state. Both frame
+// assembly and jitter are keyed by the destination host (a flow has one
+// destination, a frame one flow), so collectors fed by a host-partitioned
+// run hold disjoint maps and the union is exact. Used by internal/parsim
+// runs to fold per-shard collectors into one; merging collectors that
+// observed overlapping flows is a caller bug.
+func (c *Collector) Merge(other *Collector) {
+	for cl := range c.PerClass {
+		c.PerClass[cl].merge(&other.PerClass[cl])
+	}
+	for id, f := range other.frames {
+		c.frames[id] = f
+	}
+	for fl, lat := range other.lastLat {
+		c.lastLat[fl] = lat
+	}
+	c.OrderErrors += other.OrderErrors
+	c.TakeOverPackets += other.TakeOverPackets
+	c.Dequeues += other.Dequeues
+}
 
 // MissRate returns the fraction of class cl's delivered packets that
 // arrived past their deadline (negative slack).

@@ -95,7 +95,7 @@ type inputPort struct {
 	voq      [packet.NumVCs][]pqueue.Buffer
 	pool     [packet.NumVCs]units.Size
 	busy     bool
-	upstream *link.Link
+	upstream link.CreditReturner
 }
 
 type outputPort struct {
@@ -161,9 +161,10 @@ func New(cfg Config) *Switch {
 // ID returns the switch's index in the topology.
 func (s *Switch) ID() int { return s.cfg.ID }
 
-// ConnectUpstream registers the link feeding input port p, used to return
-// credits as the input buffer drains.
-func (s *Switch) ConnectUpstream(p int, l *link.Link) { s.in[p].upstream = l }
+// ConnectUpstream registers the credit-return path of the link feeding
+// input port p (the link itself, or a parsim cross-shard portal), used to
+// return credits as the input buffer drains.
+func (s *Switch) ConnectUpstream(p int, cr link.CreditReturner) { s.in[p].upstream = cr }
 
 // ConnectDownstream registers the link leaving output port p and hooks its
 // readiness callback to this port's transmission scheduler.

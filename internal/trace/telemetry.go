@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"deadlineqos/internal/units"
@@ -60,6 +61,34 @@ type Telemetry struct {
 	Interval units.Time     `json:"interval_ns"`
 	Ports    []PortSample   `json:"ports,omitempty"`
 	Engine   []EngineSample `json:"engine,omitempty"`
+}
+
+// Absorb appends other's samples into t. Used by the sharded network,
+// which probes each shard's switches on that shard's engine; call Sort
+// after the last Absorb to restore the sequential probe order.
+func (t *Telemetry) Absorb(other *Telemetry) {
+	if other == nil {
+		return
+	}
+	t.Ports = append(t.Ports, other.Ports...)
+	t.Engine = append(t.Engine, other.Engine...)
+}
+
+// Sort orders the port series by (time, switch, port) — exactly the order
+// a sequential probe pass appends in, since each tick walks switches and
+// ports in index order — and the engine series by time.
+func (t *Telemetry) Sort() {
+	sort.SliceStable(t.Ports, func(i, j int) bool {
+		a, b := &t.Ports[i], &t.Ports[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		return a.Port < b.Port
+	})
+	sort.SliceStable(t.Engine, func(i, j int) bool { return t.Engine[i].T < t.Engine[j].T })
 }
 
 // WriteCSV writes the per-port series as CSV (one row per port per

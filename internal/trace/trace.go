@@ -25,8 +25,10 @@
 package trace
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"deadlineqos/internal/packet"
@@ -186,25 +188,43 @@ type Tracer struct {
 	hopSlack []slackAgg // per route-hop aggregation of dequeue slack
 }
 
-// slackAgg is a tiny online aggregate (count/mean/min/max) kept per hop.
+// slackAgg is a tiny online aggregate (count/sum/min/max) kept per hop.
+// Slack values are integer nanoseconds and the aggregate stays integer, so
+// merging shard tracers (Absorb) is exact and order-independent; the mean
+// is derived on demand.
 type slackAgg struct {
-	n              uint64
-	mean, min, max float64
+	n        uint64
+	sum      int64
+	min, max int64
 }
 
-func (a *slackAgg) add(v float64) {
-	a.n++
-	if a.n == 1 {
-		a.min, a.max = v, v
-	} else {
-		if v < a.min {
-			a.min = v
-		}
-		if v > a.max {
-			a.max = v
-		}
+func (a *slackAgg) add(v int64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
 	}
-	a.mean += (v - a.mean) / float64(a.n)
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+}
+
+func (a *slackAgg) merge(o slackAgg) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = o
+		return
+	}
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+	a.n += o.n
+	a.sum += o.sum
 }
 
 // New validates cfg and returns a Tracer.
@@ -261,7 +281,7 @@ func (t *Tracer) Record(ev Event) {
 		for len(t.hopSlack) <= ev.Hop {
 			t.hopSlack = append(t.hopSlack, slackAgg{})
 		}
-		t.hopSlack[ev.Hop].add(float64(ev.Slack))
+		t.hopSlack[ev.Hop].add(int64(ev.Slack))
 	}
 	if len(t.events) >= t.cfg.MaxEvents {
 		t.dropped++
@@ -298,19 +318,97 @@ func (t *Tracer) SampledPackets() uint64 {
 	return t.sampled
 }
 
-// WriteJSONL writes one JSON object per event, in recording order. The
-// rendering uses a fixed field order, so identical runs produce
-// byte-identical output (the replayability contract tested in
-// internal/network).
+// Clone returns an empty Tracer with the same configuration and sampling
+// threshold. The sharded network hands each shard a clone of the run's
+// tracer so recording stays single-goroutine, then folds them back into
+// the original with Absorb. Nil-safe (a nil Tracer clones to nil).
+func (t *Tracer) Clone() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{cfg: t.cfg, threshold: t.threshold}
+}
+
+// Absorb merges other's recorded state into t: events are appended and the
+// drop/sample counters and per-hop slack aggregates are summed (all
+// integer, so the result is independent of absorb order). Call SortEvents
+// after the last Absorb to restore the canonical time order. other is
+// drained and must not record afterwards.
+func (t *Tracer) Absorb(other *Tracer) {
+	if t == nil || other == nil {
+		return
+	}
+	t.events = append(t.events, other.events...)
+	t.dropped += other.dropped
+	t.sampled += other.sampled
+	for hop, a := range other.hopSlack {
+		for len(t.hopSlack) <= hop {
+			t.hopSlack = append(t.hopSlack, slackAgg{})
+		}
+		t.hopSlack[hop].merge(a)
+	}
+	other.events = nil
+	other.hopSlack = nil
+}
+
+// SortEvents sorts the stored events into the canonical (time, rendered
+// JSON) order WriteJSONL emits. A sequential run already records in time
+// order, so this is only needed after merging shard tracers — chiefly so
+// the Chrome export walks each packet's life chronologically.
+func (t *Tracer) SortEvents() {
+	if t == nil {
+		return
+	}
+	evs := t.events
+	lines := make([][]byte, len(evs))
+	for i := range evs {
+		lines[i] = evs[i].appendJSON(nil)
+	}
+	idx := make([]int, len(evs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := &evs[idx[a]], &evs[idx[b]]
+		if ea.T != eb.T {
+			return ea.T < eb.T
+		}
+		return bytes.Compare(lines[idx[a]], lines[idx[b]]) < 0
+	})
+	out := make([]Event, len(evs))
+	for i, j := range idx {
+		out[i] = evs[j]
+	}
+	t.events = out
+}
+
+// WriteJSONL writes one JSON object per event. Lines are emitted in the
+// canonical (time, line-bytes) order rather than recording order, so two
+// tracers holding the same multiset of events — a sequential run and a
+// merged sharded run — produce byte-identical output (the replayability
+// contract tested in internal/network). The fixed field order of the
+// rendering makes the per-line bytes themselves stable.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	buf := make([]byte, 0, 256)
+	type rendered struct {
+		at   units.Time
+		line []byte
+	}
+	lines := make([]rendered, len(t.events))
 	for i := range t.events {
-		buf = t.events[i].appendJSON(buf[:0])
-		buf = append(buf, '\n')
-		if _, err := w.Write(buf); err != nil {
+		buf := t.events[i].appendJSON(make([]byte, 0, 256))
+		lines[i] = rendered{t.events[i].T, append(buf, '\n')}
+	}
+	sort.SliceStable(lines, func(a, b int) bool {
+		if lines[a].at != lines[b].at {
+			return lines[a].at < lines[b].at
+		}
+		return bytes.Compare(lines[a].line, lines[b].line) < 0
+	})
+	for i := range lines {
+		if _, err := w.Write(lines[i].line); err != nil {
 			return fmt.Errorf("trace: writing JSONL: %w", err)
 		}
 	}
@@ -339,7 +437,11 @@ func (t *Tracer) HopSlack() []HopSlackStat {
 		if a.n == 0 {
 			continue
 		}
-		out = append(out, HopSlackStat{Hop: hop, Count: a.n, MeanNs: a.mean, MinNs: a.min, MaxNs: a.max})
+		out = append(out, HopSlackStat{
+			Hop: hop, Count: a.n,
+			MeanNs: float64(a.sum) / float64(a.n),
+			MinNs:  float64(a.min), MaxNs: float64(a.max),
+		})
 	}
 	return out
 }
