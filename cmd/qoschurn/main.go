@@ -1,0 +1,184 @@
+// Command qoschurn runs a dynamic-session (churn) simulation: every host
+// generates Poisson session arrivals that negotiate admission with the
+// centralised CAC over in-band Control-class messages, hold their grant for
+// an exponential time, and tear down — while the Table 1 mix loads the
+// fabric. Optional bandwidth derates exercise the CAC's revocation path.
+// The run is audited against the packet-conservation invariant; a violation
+// exits non-zero, so the command doubles as a CI smoke check.
+//
+// Examples:
+//
+//	qoschurn -arch advanced -topo small -load 0.6
+//	qoschurn -load 1.0 -inter 60us -hold 3ms          # saturate the CAC
+//	qoschurn -derates 4 -faultseed 3                  # revocation under faults
+//	qoschurn -flash 8 -flashat 2ms -flashlen 2ms      # flash crowd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/cli"
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/report"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qoschurn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		archName  = flag.String("arch", "advanced", "switch architecture: traditional|ideal|simple|advanced")
+		topoSpec  = flag.String("topo", "small", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
+		load      = flag.Float64("load", 0.6, "static background load per host as a fraction of link bandwidth")
+		shards    = cli.ShardsFlag()
+		seed      = flag.Uint64("seed", 1, "random seed")
+		warmup    = flag.String("warmup", "1ms", "warm-up period excluded from measurement")
+		measure   = flag.String("measure", "10ms", "measurement window")
+		inter     = flag.String("inter", "200us", "mean per-host session inter-arrival time")
+		hold      = flag.String("hold", "2ms", "mean session hold time")
+		manager   = flag.Int("manager", 0, "host index running the CAC endpoint")
+		flash     = flag.Float64("flash", 0, "flash-crowd arrival-rate multiplier (0 = off)")
+		flashAt   = flag.String("flashat", "2ms", "flash-crowd window start")
+		flashLen  = flag.String("flashlen", "2ms", "flash-crowd window length")
+		derates   = flag.Int("derates", 0, "number of bandwidth derate/restore pairs to schedule")
+		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (independent of the traffic seed)")
+		probe     = flag.String("probe", "", "telemetry probe interval (e.g. 100us; empty = off)")
+		csvPath   = flag.String("csv", "", "write the session time series as CSV to this file (needs -probe)")
+	)
+	flag.Parse()
+
+	a, err := arch.Parse(*archName)
+	if err != nil {
+		return err
+	}
+	topo, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		return err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Arch = a
+	cfg.Topology = topo
+	cfg.Load = *load
+	cfg.Seed = *seed
+	cfg.Shards = *shards
+	cfg.CheckInvariants = true
+	if cfg.WarmUp, err = cli.ParseDuration(*warmup); err != nil {
+		return err
+	}
+	if cfg.Measure, err = cli.ParseDuration(*measure); err != nil {
+		return err
+	}
+	if topo.Hosts() < 32 {
+		cfg.ControlDests = min(cfg.ControlDests, topo.Hosts()-1)
+		cfg.BEDests = min(cfg.BEDests, topo.Hosts()-1)
+	}
+
+	scfg := session.Config{Manager: *manager}
+	if scfg.InterArrival, err = cli.ParseDuration(*inter); err != nil {
+		return err
+	}
+	if scfg.HoldMean, err = cli.ParseDuration(*hold); err != nil {
+		return err
+	}
+	if *flash > 0 {
+		scfg.FlashFactor = *flash
+		if scfg.FlashAt, err = cli.ParseDuration(*flashAt); err != nil {
+			return err
+		}
+		if scfg.FlashLen, err = cli.ParseDuration(*flashLen); err != nil {
+			return err
+		}
+	}
+	cfg.Sessions = &scfg
+
+	horizon := cfg.WarmUp + cfg.Measure
+	if *derates > 0 {
+		// Derate/restore epochs only: every fault exercises the CAC's
+		// revocation path, not the loss-recovery machinery.
+		var ids []faults.LinkID
+		for sw := 0; sw < topo.Switches(); sw++ {
+			for p := 0; p < topo.Radix(sw); p++ {
+				if topo.Peer(sw, p).ID != -1 {
+					ids = append(ids, faults.LinkID{Switch: sw, Port: p})
+				}
+			}
+		}
+		cfg.Faults = faults.RandomPlan(*faultSeed, ids, horizon, faults.RandomConfig{
+			Derates:  *derates,
+			MinScale: 0.3,
+		})
+	}
+	if *probe != "" {
+		if cfg.ProbeInterval, err = cli.ParseDuration(*probe); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d shards=%d window=[%v, %v]\n",
+		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.Shards, cfg.WarmUp, horizon)
+	fmt.Printf("sessions: inter-arrival=%v hold=%v manager=%d flash=%.1fx derates=%d\n",
+		scfg.InterArrival, scfg.HoldMean, *manager, *flash, *derates)
+
+	res, err := network.Run(cfg)
+	if err != nil {
+		return err
+	}
+	s := res.Sessions
+
+	t := report.NewTable("session lifecycle",
+		"started", "granted", "rejected", "retries", "timeouts", "downgraded",
+		"finished", "released", "active at stop")
+	t.Add(fmt.Sprintf("%d", s.Started), fmt.Sprintf("%d", s.Granted),
+		fmt.Sprintf("%d", s.Rejected), fmt.Sprintf("%d", s.Retries),
+		fmt.Sprintf("%d", s.Timeouts), fmt.Sprintf("%d", s.Downgraded),
+		fmt.Sprintf("%d", s.Finished), fmt.Sprintf("%d", s.Released),
+		fmt.Sprintf("%d", s.ActiveAtStop))
+	fmt.Println(t)
+
+	fmt.Printf("admission: accept ratio %.3f, setup latency mean %v p50 %v p99 %v (%d samples)\n",
+		s.AcceptRatio, units.Time(s.SetupMeanNs), s.SetupP50, s.SetupP99, s.SetupCount)
+	fmt.Printf("utilisation: reserved %.1f%% achieved %.1f%% of injection capacity\n",
+		100*s.ReservedUtil, 100*s.AchievedUtil)
+	fmt.Printf("revocation: revoked=%d rerouted=%d downgraded=%d stale teardowns=%d\n",
+		s.Revoked, s.Rerouted, s.RevokeDowngrades, s.StaleTears)
+	fmt.Printf("traffic: data %d pkts (%v), signalling %d pkts (%v)\n",
+		s.DataPackets, s.DataBytes, s.SigPackets, s.SigBytes)
+	ctrl := &res.PerClass[packet.Control]
+	fmt.Printf("control class: avg %v p99 %v\n",
+		units.Time(ctrl.PacketLatency.Mean()), ctrl.LatencyHist.Quantile(0.99))
+
+	if *csvPath != "" {
+		if res.Telemetry == nil {
+			return fmt.Errorf("-csv needs -probe to record the session series")
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := res.Telemetry.WriteSessionsCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("session series: %d samples -> %s\n", len(res.Telemetry.Sessions), *csvPath)
+	}
+
+	if err := res.Conservation.Check(); err != nil {
+		return err
+	}
+	fmt.Println("conservation: OK")
+	return nil
+}

@@ -43,7 +43,7 @@ func run() error {
 		plots   = flag.Bool("plots", true, "print ASCII plots next to the tables")
 		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		archsF  = flag.String("archs", "", "comma-separated architecture subset (traditional,traditional4,ideal,simple,advanced)")
-		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack")
+		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn")
 	)
 	flag.Parse()
 
@@ -150,6 +150,7 @@ func run() error {
 		{"E2", "manyvcs", experiments.ManyVCs},
 		{"E3", "collective", experiments.CollectiveCompletion},
 		{"E4", "slack", experiments.DeadlineSlack},
+		{"E5", "churn", experiments.Churn},
 	} {
 		if !selected(exp.name) {
 			continue

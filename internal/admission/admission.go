@@ -42,6 +42,15 @@ type Controller struct {
 	// flows records admitted reservations so they can be released.
 	flows  map[FlowHandle]reservation
 	nextFH FlowHandle
+	// byLink and byHost list the live handles charged to each link and
+	// each host injection link, in admission order. They exist so Release
+	// can restore the float ledger exactly: instead of subtracting (which
+	// does not invert addition in float64), the affected sums are
+	// recomputed over the surviving handles in their original order,
+	// leaving Reserved/HostReserved byte-identical to a history in which
+	// the released flow never existed.
+	byLink map[linkKey][]FlowHandle
+	byHost [][]FlowHandle
 }
 
 // FlowHandle identifies an admitted reservation for later release.
@@ -71,6 +80,8 @@ func New(topo topology.Topology, linkBW units.Bandwidth, maxUtil float64) (*Cont
 		hostInj:  make([]units.Bandwidth, topo.Hosts()),
 		capScale: make(map[linkKey]float64),
 		flows:    make(map[FlowHandle]reservation),
+		byLink:   make(map[linkKey][]FlowHandle),
+		byHost:   make([][]FlowHandle, topo.Hosts()),
 	}, nil
 }
 
@@ -152,28 +163,72 @@ func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandl
 		return nil, 0, fmt.Errorf("admission: no path from %d to %d can carry %v more", src, dst, bw)
 	}
 	hops := c.topo.Path(src, dst, bestChoice)
+	c.nextFH++
 	for _, h := range hops {
-		c.reserved[linkKey{h.Switch, h.OutPort}] += bw
+		k := linkKey{h.Switch, h.OutPort}
+		c.reserved[k] += bw
+		c.byLink[k] = append(c.byLink[k], c.nextFH)
 	}
 	c.hostInj[src] += bw
-	c.nextFH++
+	c.byHost[src] = append(c.byHost[src], c.nextFH)
 	c.flows[c.nextFH] = reservation{src: src, bw: bw, hops: hops}
 	return ports(hops), c.nextFH, nil
 }
 
+// dropHandle removes h from an admission-order handle list, preserving
+// the order of the survivors.
+func dropHandle(s []FlowHandle, h FlowHandle) []FlowHandle {
+	for i, v := range s {
+		if v == h {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// recomputeLink resets one link's reserved bandwidth to the
+// admission-order sum over its surviving handles, the canonical value the
+// incremental additions in Reserve would have produced had the released
+// flows never been admitted.
+func (c *Controller) recomputeLink(k linkKey) {
+	hs := c.byLink[k]
+	if len(hs) == 0 {
+		delete(c.byLink, k)
+		delete(c.reserved, k)
+		return
+	}
+	var sum units.Bandwidth
+	for _, h := range hs {
+		sum += c.flows[h].bw
+	}
+	c.reserved[k] = sum
+}
+
 // Release returns a flow's reserved bandwidth to the network (connection
-// teardown). Releasing an unknown or already-released handle is an error.
-func (c *Controller) Release(h FlowHandle) error {
+// teardown). Releasing a handle that was never issued, or releasing the
+// same handle twice, is a hard error (panic): under dynamic churn a
+// double release silently under-counts reservations and lets the
+// controller oversubscribe links, so the bug must not limp on.
+func (c *Controller) Release(h FlowHandle) {
 	r, ok := c.flows[h]
 	if !ok {
-		return fmt.Errorf("admission: release of unknown flow handle %d", h)
+		if h == 0 || h > c.nextFH {
+			panic(fmt.Sprintf("admission: release of never-issued flow handle %d", h))
+		}
+		panic(fmt.Sprintf("admission: double release of flow handle %d", h))
 	}
 	delete(c.flows, h)
 	for _, hop := range r.hops {
-		c.reserved[linkKey{hop.Switch, hop.OutPort}] -= r.bw
+		k := linkKey{hop.Switch, hop.OutPort}
+		c.byLink[k] = dropHandle(c.byLink[k], h)
+		c.recomputeLink(k)
 	}
-	c.hostInj[r.src] -= r.bw
-	return nil
+	c.byHost[r.src] = dropHandle(c.byHost[r.src], h)
+	var sum units.Bandwidth
+	for _, fh := range c.byHost[r.src] {
+		sum += c.flows[fh].bw
+	}
+	c.hostInj[r.src] = sum
 }
 
 // ActiveFlows returns the number of admitted, unreleased reservations.
@@ -199,6 +254,23 @@ func (c *Controller) Reserved(sw, port int) units.Bandwidth {
 
 // HostReserved returns the bandwidth reserved on host h's injection link.
 func (c *Controller) HostReserved(h int) units.Bandwidth { return c.hostInj[h] }
+
+// HandlesOn returns the handles of every live reservation crossing switch
+// sw's output port, in admission order (ascending handle). The slice is a
+// copy; the caller may keep it. The session manager uses it to pick
+// revocation victims when a link is derated below its reserved load.
+func (c *Controller) HandlesOn(sw, port int) []FlowHandle {
+	hs := c.byLink[linkKey{sw, port}]
+	out := make([]FlowHandle, len(hs))
+	copy(out, hs)
+	return out
+}
+
+// LinkLimit returns the reservable bandwidth of switch sw's output port
+// under the current derating (maxUtil x linkBW x derate scale).
+func (c *Controller) LinkLimit(sw, port int) units.Bandwidth {
+	return c.limitFor(linkKey{sw, port})
+}
 
 // MaxLinkUtilisation returns the highest reserved fraction across all
 // switch links (diagnostics for experiment configurations).

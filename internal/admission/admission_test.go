@@ -233,9 +233,7 @@ func TestReleaseReturnsBandwidth(t *testing.T) {
 	if _, _, err := c.Reserve(0, 1, 0.5); err == nil {
 		t.Fatal("oversubscription accepted before release")
 	}
-	if err := c.Release(h); err != nil {
-		t.Fatal(err)
-	}
+	c.Release(h)
 	if c.ActiveFlows() != 0 {
 		t.Fatalf("ActiveFlows = %d after release", c.ActiveFlows())
 	}
@@ -247,20 +245,125 @@ func TestReleaseReturnsBandwidth(t *testing.T) {
 	}
 }
 
-func TestReleaseUnknownHandle(t *testing.T) {
+// mustPanic runs f and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestReleaseBadHandlePanics(t *testing.T) {
 	c, _ := newController(t, 1.0)
-	if err := c.Release(42); err == nil {
-		t.Fatal("release of unknown handle accepted")
-	}
+	mustPanic(t, "release of never-issued handle", func() { c.Release(42) })
 	_, h, err := c.Reserve(0, 1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Release(h); err != nil {
+	c.Release(h)
+	mustPanic(t, "double release", func() { c.Release(h) })
+}
+
+// ledger snapshots every observable reservation value: all switch output
+// links plus all host injection links. Comparison is byte-exact (==), not
+// approximate — churn must restore the ledger bit-for-bit.
+func ledger(c *Controller, topo *topology.FoldedClos) []units.Bandwidth {
+	var out []units.Bandwidth
+	for sw := 0; sw < topo.Switches(); sw++ {
+		for p := 0; p < topo.Radix(sw); p++ {
+			out = append(out, c.Reserved(sw, p))
+		}
+	}
+	for h := 0; h < topo.Hosts(); h++ {
+		out = append(out, c.HostReserved(h))
+	}
+	return out
+}
+
+func TestReleaseRestoresLedgerExactly(t *testing.T) {
+	c, topo := newController(t, 1.0)
+	// Background load with float-unfriendly bandwidths: repeated
+	// adds/subtracts of these values do not round-trip in float64, which is
+	// exactly what the canonical-order ledger must absorb.
+	bws := []units.Bandwidth{0.1, 1.0 / 3, 0.07, 0.123456789, 0.2}
+	for i, bw := range bws {
+		if _, _, err := c.Reserve(i, 64+i*7, bw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := ledger(c, topo)
+
+	// Reserve -> Release must restore the ledger byte-identically...
+	_, h, err := c.Reserve(3, 99, 0.3)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Release(h); err == nil {
-		t.Fatal("double release accepted")
+	after := ledger(c, topo)
+	c.Release(h)
+	restored := ledger(c, topo)
+	for i := range before {
+		if before[i] != restored[i] {
+			t.Fatalf("ledger entry %d not restored: %v != %v", i, restored[i], before[i])
+		}
+	}
+	// ...and Reserve again must land on the identical post-reserve state
+	// (same route choice, same sums).
+	_, h2, err := c.Reserve(3, 99, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := ledger(c, topo)
+	for i := range after {
+		if after[i] != again[i] {
+			t.Fatalf("ledger entry %d differs after re-reserve: %v != %v", i, again[i], after[i])
+		}
+	}
+	// Releasing in the middle of later admissions must still restore
+	// exactly: the recompute replays admission order, not release order.
+	_, h3, err := c.Reserve(5, 77, 0.11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release(h2)
+	c.Release(h3)
+	final := ledger(c, topo)
+	for i := range before {
+		if before[i] != final[i] {
+			t.Fatalf("ledger entry %d not restored after interleaved releases: %v != %v",
+				i, final[i], before[i])
+		}
+	}
+}
+
+func TestHandlesOnTracksAdmissionOrder(t *testing.T) {
+	c, _ := newController(t, 1.0)
+	// Same-leaf flows share the single delivery link of host 1: switch 0,
+	// port 1.
+	_, h1, err := c.Reserve(0, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, h2, err := c.Reserve(2, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := c.HandlesOn(0, 1)
+	if len(hs) != 2 || hs[0] != h1 || hs[1] != h2 {
+		t.Fatalf("HandlesOn = %v, want [%d %d]", hs, h1, h2)
+	}
+	c.Release(h1)
+	if hs := c.HandlesOn(0, 1); len(hs) != 1 || hs[0] != h2 {
+		t.Fatalf("HandlesOn after release = %v, want [%d]", hs, h2)
+	}
+	if got := c.LinkLimit(0, 1); got != 1.0 {
+		t.Fatalf("LinkLimit = %v, want 1.0", got)
+	}
+	c.DerateLink(0, 1, 0.25)
+	if got := c.LinkLimit(0, 1); got != 0.25 {
+		t.Fatalf("derated LinkLimit = %v, want 0.25", got)
 	}
 }
 

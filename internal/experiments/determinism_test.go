@@ -104,6 +104,24 @@ func detScenarios() []detScenario {
 			}
 			return cfg
 		}},
+		{"churn", func() network.Config {
+			// Saturating session churn at full load: the CAC rejects, clients
+			// retry and downgrade, and every decision (and its in-band round
+			// trip) must land identically at any shard count.
+			cfg := detBase()
+			cfg.Load = 1.0
+			cfg.Sessions = ChurnSessions(100 * units.Microsecond)
+			return cfg
+		}},
+		{"churn-faults-probes", func() network.Config {
+			// Churn with runtime derates (revocation path) and the session
+			// telemetry series on.
+			cfg := detBase()
+			cfg.Sessions = ChurnSessions(60 * units.Microsecond)
+			cfg.Faults = ChurnPlan(cfg.Seed+11, cfg.Topology, cfg.WarmUp+cfg.Measure)
+			cfg.ProbeInterval = 100 * units.Microsecond
+			return cfg
+		}},
 	}
 }
 
@@ -145,6 +163,7 @@ func runFingerprint(t *testing.T, cfg network.Config, shards int, withTracer boo
 		uint64(res.PendingAtHorizon), res.LostOnLink, res.CorruptedInFlight,
 		res.FaultEvents, uint64(res.OutstandingAtStop),
 	})
+	section("sessions", res.Sessions)
 	if tr != nil {
 		buf.WriteString("== trace-jsonl ==\n")
 		if err := tr.WriteJSONL(&buf); err != nil {
@@ -157,6 +176,10 @@ func runFingerprint(t *testing.T, cfg network.Config, shards int, withTracer boo
 	if res.Telemetry != nil {
 		buf.WriteString("== telemetry-ports ==\n")
 		if err := res.Telemetry.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString("== telemetry-sessions ==\n")
+		if err := res.Telemetry.WriteSessionsCSV(&buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,6 +247,7 @@ func TestShardDeterminismTraced(t *testing.T) {
 		cfg.Faults = ChaosPlan(cfg.Seed+7, cfg.Topology, cfg.WarmUp+cfg.Measure)
 		cfg.Reliability = hostif.Reliability{Enabled: true}
 		cfg.ProbeInterval = 200 * units.Microsecond
+		cfg.Sessions = ChurnSessions(150 * units.Microsecond)
 		return cfg
 	}
 	ref := runFingerprint(t, cfgFn(), 1, true)

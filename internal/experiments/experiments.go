@@ -22,6 +22,7 @@ import (
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/report"
+	"deadlineqos/internal/session"
 	"deadlineqos/internal/stats"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
@@ -807,6 +808,82 @@ func Chaos(opt Options) (*report.Table, error) {
 				fmt.Sprintf("%d", res.Conservation.ArrivedCorrupt),
 				fmt.Sprintf("%d", res.Reliability.Retransmitted),
 				fmt.Sprintf("%d", res.Reliability.Demoted))
+		}
+	}
+	return t, nil
+}
+
+// --- E5: dynamic session churn --------------------------------------------------
+
+// ChurnPlan returns the fault plan the churn experiment's faulty runs use:
+// derate/restore epochs only, no flaps or bit errors, so every fault
+// exercises the CAC's revocation path (revoke, re-admit over surviving
+// capacity, or downgrade) rather than the reliability layer.
+func ChurnPlan(seed uint64, topo topology.Topology, horizon units.Time) *faults.Plan {
+	return faults.RandomPlan(seed, chaosLinkIDs(topo), horizon, faults.RandomConfig{
+		Derates:  4,
+		MinScale: 0.3,
+	})
+}
+
+// ChurnSessions returns the session configuration the churn experiment
+// offers at a given mean per-host inter-arrival time. The 3 ms hold keeps
+// tens of sessions concurrently active per host at the aggressive arrival
+// rates, pushing reserved bandwidth past the admission limits.
+func ChurnSessions(inter units.Time) *session.Config {
+	return &session.Config{InterArrival: inter, HoldMean: 3 * units.Millisecond}
+}
+
+// Churn measures the dynamic session subsystem: per-host Poisson session
+// arrivals negotiate admission with the centralised CAC over in-band
+// Control-class messages while the Table 1 mix loads the fabric. The table
+// reports, per (background load, offered session rate, faults): the CAC
+// accept ratio, the measured in-band setup latency (p50/p99 of the
+// client-observed Setup->Grant round trip), reserved vs achieved session
+// utilisation, and the revocation/downgrade activity. At saturating
+// arrival rates the accept ratio must fall below 1 — the ledger, not the
+// fabric, is what says no.
+func Churn(opt Options) (*report.Table, error) {
+	inters := []units.Time{400 * units.Microsecond, 150 * units.Microsecond, 60 * units.Microsecond}
+	t := report.NewTable(
+		"Extension: session churn — online admission over in-band signalling (Advanced 2 VCs)",
+		"load", "inter-arrival", "faults", "started", "accept",
+		"setup p50 (us)", "setup p99 (us)", "reserved util (%)", "achieved util (%)",
+		"revoked", "downgraded")
+	for _, load := range []float64{0.6, 1.0} {
+		for _, ia := range inters {
+			for _, faulty := range []bool{false, true} {
+				cfg := opt.Base
+				cfg.Arch = arch.Advanced2VC
+				cfg.Load = load
+				cfg.Sessions = ChurnSessions(ia)
+				cfg.CheckInvariants = true
+				if faulty {
+					cfg.Faults = ChurnPlan(cfg.Seed+11, cfg.Topology, cfg.WarmUp+cfg.Measure)
+				}
+				res, err := network.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if err := res.Conservation.Check(); err != nil {
+					return nil, fmt.Errorf("experiments: churn load=%v ia=%v faults=%v: %w",
+						load, ia, faulty, err)
+				}
+				label := "off"
+				if faulty {
+					label = "on"
+				}
+				s := res.Sessions
+				t.Add(loadPct(load), ia.String(), label,
+					fmt.Sprintf("%d", s.Started),
+					fmt.Sprintf("%.3f", s.AcceptRatio),
+					fmt.Sprintf("%.2f", s.SetupP50.Microseconds()),
+					fmt.Sprintf("%.2f", s.SetupP99.Microseconds()),
+					fmt.Sprintf("%.1f", 100*s.ReservedUtil),
+					fmt.Sprintf("%.1f", 100*s.AchievedUtil),
+					fmt.Sprintf("%d", s.Revoked),
+					fmt.Sprintf("%d", s.Downgraded+s.RevokeDowngrades))
+			}
 		}
 	}
 	return t, nil

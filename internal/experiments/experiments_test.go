@@ -260,6 +260,27 @@ func TestCollectiveCompletion(t *testing.T) {
 	}
 }
 
+func TestChurn(t *testing.T) {
+	tb, err := Churn(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("churn rows = %d, want 12 (2 loads x 3 rates x faults off/on)", len(tb.Rows))
+	}
+	// The most aggressive arrival rate at 100% load must overload the CAC:
+	// its accept column cannot read 1.000.
+	saturated := tb.Rows[len(tb.Rows)-2]
+	if saturated[4] == "1.000" {
+		t.Errorf("accept ratio 1.000 at saturating churn:\n%s", tb.String())
+	}
+	for _, row := range tb.Rows {
+		if row[5] == "0.00" {
+			t.Errorf("setup p50 reads zero — in-band latency not measured: %v", row)
+		}
+	}
+}
+
 func TestChaos(t *testing.T) {
 	opt := tinyOpt()
 	opt.Archs = []arch.Arch{arch.Advanced2VC}

@@ -162,6 +162,9 @@ type Host struct {
 	rel    *relState
 	rx     map[packet.FlowID]*rxFlow
 	relCnt RelCounters
+
+	// onCtl receives delivered in-band control payloads (SetCtlHandler).
+	onCtl func(p *packet.Packet)
 }
 
 // New returns a host NIC. Connect it with ConnectOut before submitting.
@@ -222,7 +225,6 @@ func (h *Host) SubmitMessage(flowID packet.FlowID, payload units.Size) {
 		panic(fmt.Sprintf("hostif: non-positive message size %v", payload))
 	}
 	now := h.cfg.Clock.Now()
-	oracleNow := h.cfg.Eng.Now()
 
 	maxPayload := h.cfg.MTU - packet.HeaderSize
 	parts := int((payload + maxPayload - 1) / maxPayload)
@@ -235,53 +237,90 @@ func (h *Host) SubmitMessage(flowID packet.FlowID, payload units.Size) {
 			chunk = remaining
 		}
 		remaining -= chunk
-		p := &packet.Packet{
-			ID:         h.cfg.IDs.NextPacket(),
-			Flow:       f.ID,
-			Class:      f.Class,
-			VC:         h.cfg.Arch.VCFor(f.Class),
-			Src:        f.Src,
-			Dst:        f.Dst,
-			Size:       chunk + packet.HeaderSize,
-			Seq:        f.seq,
-			Route:      f.Route,
-			CreatedAt:  oracleNow,
-			FrameID:    frameID,
-			FrameParts: parts,
-		}
-		f.seq++
-
-		// Deadline calculus (§3.1).
-		base := f.lastDeadline
-		if now > base {
-			base = now
-		}
-		switch f.Mode {
-		case ByBandwidth:
-			p.Deadline = base + f.BW.TxTime(p.Size)
-		case FrameLatency:
-			p.Deadline = base + f.Target/units.Time(parts)
-		default:
-			panic("hostif: unknown deadline mode")
-		}
-		f.lastDeadline = p.Deadline
-
-		if f.UseEligible && h.cfg.EligibleLead > 0 {
-			p.Eligible = p.Deadline - h.cfg.EligibleLead
-		}
-
-		if tr := h.cfg.Tracer; tr != nil {
-			p.Sampled = tr.SampleID(p.ID)
-			if p.Sampled {
-				h.traceEvt(trace.KindGenerated, p)
-			}
-		}
-		if h.cfg.Hooks.Generated != nil {
-			h.cfg.Hooks.Generated(p)
-		}
-		h.stage(p, now)
+		h.emit(f, chunk, frameID, parts, nil, now)
 	}
 	h.tryInject()
+}
+
+// SubmitCtl submits an in-band control-plane message: a single packet on
+// the given flow whose header rides the normal data path (deadline
+// calculus, VC mapping, injection queues, reliability) and whose opaque
+// payload ctl is handed to the destination host's control handler (see
+// SetCtlHandler) on delivery. The message must fit one packet — control
+// messages are small by design (the paper's §3.1 gives Control traffic
+// maximum priority precisely because it is short).
+func (h *Host) SubmitCtl(flowID packet.FlowID, payload units.Size, ctl any) {
+	f := h.flows[flowID]
+	if f == nil {
+		panic(fmt.Sprintf("hostif: submit on unknown flow %d", flowID))
+	}
+	if ctl == nil {
+		panic("hostif: nil control payload")
+	}
+	if payload <= 0 || payload > h.cfg.MTU-packet.HeaderSize {
+		panic(fmt.Sprintf("hostif: control payload %v does not fit one packet (MTU %v)",
+			payload, h.cfg.MTU))
+	}
+	h.emit(f, payload, h.cfg.IDs.NextFrame(), 1, ctl, h.cfg.Clock.Now())
+	h.tryInject()
+}
+
+// SetCtlHandler registers the callback that receives delivered in-band
+// control payloads (packets submitted with SubmitCtl). The handler runs at
+// event time on this host's engine, after the normal delivery accounting.
+func (h *Host) SetCtlHandler(fn func(p *packet.Packet)) { h.onCtl = fn }
+
+// emit stamps one packet of a message — deadline calculus (§3.1),
+// eligible time, tracing, generation hook — and stages it for injection.
+// ctl, when non-nil, rides the packet as an in-band control payload.
+// Callers follow up with tryInject.
+func (h *Host) emit(f *Flow, chunk units.Size, frameID uint64, parts int, ctl any, now units.Time) {
+	p := &packet.Packet{
+		ID:         h.cfg.IDs.NextPacket(),
+		Flow:       f.ID,
+		Class:      f.Class,
+		VC:         h.cfg.Arch.VCFor(f.Class),
+		Src:        f.Src,
+		Dst:        f.Dst,
+		Size:       chunk + packet.HeaderSize,
+		Seq:        f.seq,
+		Route:      f.Route,
+		CreatedAt:  h.cfg.Eng.Now(),
+		FrameID:    frameID,
+		FrameParts: parts,
+		Ctl:        ctl,
+	}
+	f.seq++
+
+	// Deadline calculus (§3.1).
+	base := f.lastDeadline
+	if now > base {
+		base = now
+	}
+	switch f.Mode {
+	case ByBandwidth:
+		p.Deadline = base + f.BW.TxTime(p.Size)
+	case FrameLatency:
+		p.Deadline = base + f.Target/units.Time(parts)
+	default:
+		panic("hostif: unknown deadline mode")
+	}
+	f.lastDeadline = p.Deadline
+
+	if f.UseEligible && h.cfg.EligibleLead > 0 {
+		p.Eligible = p.Deadline - h.cfg.EligibleLead
+	}
+
+	if tr := h.cfg.Tracer; tr != nil {
+		p.Sampled = tr.SampleID(p.ID)
+		if p.Sampled {
+			h.traceEvt(trace.KindGenerated, p)
+		}
+	}
+	if h.cfg.Hooks.Generated != nil {
+		h.cfg.Hooks.Generated(p)
+	}
+	h.stage(p, now)
 }
 
 // stage places a freshly stamped packet into the eligibility or ready
@@ -441,6 +480,14 @@ func (h *Host) Receive(p *packet.Packet) {
 	}
 	if h.rel != nil {
 		h.sendReport(p, p.Seq, true)
+	}
+	// In-band control payloads dispatch last, after delivery accounting:
+	// the handler may submit new packets (a CAC grant, a reply), and those
+	// must observe this delivery as already counted. The reliability
+	// layer's duplicate check above guarantees at-most-once dispatch even
+	// when the control packet itself was retransmitted.
+	if p.Ctl != nil && h.onCtl != nil {
+		h.onCtl(p)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/session"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/trace"
 	"deadlineqos/internal/traffic"
@@ -95,6 +96,15 @@ type Config struct {
 	// admission control does NOT route around planned faults — they are
 	// unplanned from the fabric manager's point of view.
 	Faults *faults.Plan
+
+	// Sessions, when non-nil, enables the dynamic session subsystem
+	// (internal/session): every host generates Poisson (optionally
+	// flash-crowd) session arrivals, negotiates admission with the
+	// centralised CAC at Sessions.Manager over in-band Control-class
+	// messages, retries or downgrades on reject, and tears down on
+	// departure. Fault-plan derates revoke affected reservations at
+	// runtime. Zero fields of the pointed-to Config take their defaults.
+	Sessions *session.Config
 
 	// Reliability configures the hosts' end-to-end retransmission layer
 	// (CRC drop at the receiver, seq-gap NAKs, timeout/backoff
@@ -309,6 +319,16 @@ func (cfg *Config) validate() error {
 	}
 	if err := cfg.Reliability.Validate(); err != nil {
 		return fmt.Errorf("network: %w", err)
+	}
+	if cfg.Sessions != nil {
+		scfg := cfg.Sessions.WithDefaults()
+		if err := scfg.Validate(cfg.Topology.Hosts()); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
+		if scfg.SigMsgSize > cfg.MTU-packet.HeaderSize {
+			return fmt.Errorf("network: signalling message %v does not fit one MTU %v packet",
+				scfg.SigMsgSize, cfg.MTU)
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/parsim"
+	"deadlineqos/internal/session"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/stats"
 	"deadlineqos/internal/switchsim"
@@ -69,6 +70,11 @@ type Results struct {
 	// is the simulator's end-to-end conservation invariant.
 	Conservation faults.Conservation
 
+	// Sessions summarises the dynamic session subsystem (nil unless
+	// Config.Sessions was set): CAC accept ratio, in-band setup latency,
+	// reserved-vs-achieved utilisation, revocations, downgrades.
+	Sessions *session.Results
+
 	// Telemetry holds the periodic per-port and engine probe series (nil
 	// unless Config.ProbeInterval was positive).
 	Telemetry *trace.Telemetry
@@ -90,6 +96,7 @@ type netShard struct {
 	injector      faults.Injector
 	deliveredOnce map[deliveryKey]struct{}
 	telemetry     *trace.Telemetry
+	sess          *session.Counters // nil unless Config.Sessions is set
 }
 
 // Network is a fully wired simulation. Build one with New, then call Run,
@@ -104,6 +111,10 @@ type Network struct {
 	collect      *stats.Collector // shard 0's; all shards merged into it at Run end
 	adm          *admission.Controller
 	videoPerHost int
+
+	// Dynamic session subsystem (nil / zero unless cfg.Sessions is set).
+	sessMgr *session.Manager
+	sessCfg session.Config
 
 	// Sharded execution state (see internal/parsim). nshards == 1 is the
 	// sequential layout: one shard, no mailbox queues.
@@ -298,11 +309,15 @@ func New(cfg Config) (*Network, error) {
 	if err := n.provisionFlows(rng); err != nil {
 		return nil, err
 	}
+	if err := n.provisionSessions(rng); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
 // hooksFor builds the instrumentation hooks for hosts living on sh.
 func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
+	warmUp, horizon := n.cfg.WarmUp, n.cfg.WarmUp+n.cfg.Measure
 	hooks := hostif.Hooks{
 		Generated: func(p *packet.Packet) {
 			sh.cons.Generated++
@@ -322,6 +337,19 @@ func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
 				sh.deliveredOnce[key] = struct{}{}
 			}
 			sh.collect.PacketDelivered(p, now)
+			// Session traffic accounting inside the measurement window
+			// (sh.sess is set by provisionSessions after the hooks are
+			// built; the closure reads it at event time).
+			if sc := sh.sess; sc != nil && now >= warmUp && now < horizon {
+				switch {
+				case session.IsSessionData(p.Flow):
+					sc.DataBytes += p.Size
+					sc.DataPackets++
+				case session.IsSignalling(p.Flow):
+					sc.SigBytes += p.Size
+					sc.SigPackets++
+				}
+			}
 		},
 		Corrupted: func(p *packet.Packet, now units.Time) {
 			sh.cons.ArrivedCorrupt++
@@ -888,6 +916,13 @@ func (n *Network) Run() *Results {
 	for _, l := range n.links {
 		cons.InNetworkAtStop += l.InFlight()
 		res.CorruptedInFlight += l.Corrupted()
+	}
+	if n.sessMgr != nil {
+		sessCnt := n.shards[0].sess
+		for _, sh := range n.shards[1:] {
+			sessCnt.Merge(sh.sess)
+		}
+		res.Sessions = n.sessMgr.BuildResults(sessCnt)
 	}
 	res.LostOnLink = cons.LostOnLink
 	res.Conservation = cons

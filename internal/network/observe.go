@@ -106,6 +106,17 @@ func (p *prober) sample(t units.Time) {
 			p.sh.telemetry.Ports = append(p.sh.telemetry.Ports, smp)
 		}
 	}
+	// Session probe, on the manager's shard only: everything sampled (the
+	// manager's session table, reserved sum, and the manager-side counters)
+	// is written exclusively by that shard's events, so the series is
+	// identical at every shard count.
+	if m := p.n.sessMgr; m != nil && p.n.hostShard[p.n.sessCfg.Manager] == p.shard {
+		sc := p.sh.sess
+		p.sh.telemetry.Sessions = append(p.sh.telemetry.Sessions, trace.SessionSample{
+			T: t, Active: m.ActiveSessions(), ReservedBW: m.ReservedNow(),
+			Accepted: sc.Accepted, Rejected: sc.Rejected, Revoked: sc.Revoked,
+		})
+	}
 	ev := p.sh.eng.Fired()
 	p.sh.telemetry.Engine = append(p.sh.telemetry.Engine, trace.EngineSample{
 		T: t, Events: ev, Pending: p.sh.eng.Pending(),

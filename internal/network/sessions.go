@@ -1,0 +1,103 @@
+package network
+
+import (
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/xrand"
+)
+
+// provisionSessions wires the dynamic session subsystem (no-op unless
+// cfg.Sessions is set): signalling flows between every client host and the
+// manager, the centralised CAC endpoint on the manager's shard, one
+// session client per remaining host, and the fault-plan coupling that
+// revokes reservations stranded by a link derate.
+//
+// The session random stream is split off after provisionFlows consumed
+// its splits, so enabling sessions leaves all static traffic streams
+// byte-identical.
+func (n *Network) provisionSessions(rng *xrand.Rand) error {
+	if n.cfg.Sessions == nil {
+		return nil
+	}
+	scfg := n.cfg.Sessions.WithDefaults()
+	n.sessCfg = scfg
+	hosts := n.topo.Hosts()
+	mgr := scfg.Manager
+
+	for _, sh := range n.shards {
+		sh.sess = session.NewCounters()
+	}
+
+	// Signalling flows, one per direction per client host: Control class
+	// with BWavg = link bandwidth — the paper's maximum-priority deadline
+	// stamp for in-band management traffic (§3.1). Routes are fixed
+	// hash-balanced paths; no reservation (Control is not regulated here,
+	// its priority comes from the deadline rule).
+	for h := 0; h < hosts; h++ {
+		if h == mgr {
+			continue
+		}
+		up := session.SigUp(h)
+		n.hosts[h].AddFlow(&hostif.Flow{
+			ID: up, Class: packet.Control, Src: h, Dst: mgr,
+			Route: n.adm.RouteBestEffort(h, mgr, uint64(up)),
+			Mode:  hostif.ByBandwidth, BW: n.cfg.LinkBW,
+		})
+		down := session.SigDown(h)
+		n.hosts[mgr].AddFlow(&hostif.Flow{
+			ID: down, Class: packet.Control, Src: mgr, Dst: h,
+			Route: n.adm.RouteBestEffort(mgr, h, uint64(down)),
+			Mode:  hostif.ByBandwidth, BW: n.cfg.LinkBW,
+		})
+	}
+
+	// The CAC endpoint lives on the manager host's shard; every admission
+	// mutation happens in its event handlers, totally ordered by the
+	// manager's single ejection link — identical at any shard count.
+	mgrShard := n.shards[n.hostShard[mgr]]
+	m := session.NewManager(session.ManagerConfig{
+		Host: n.hosts[mgr], Eng: mgrShard.eng, Adm: n.adm, Cfg: scfg,
+		Cnt: mgrShard.sess, Hosts: hosts, LinkBW: n.cfg.LinkBW,
+		WarmUp: n.cfg.WarmUp, Horizon: n.cfg.WarmUp + n.cfg.Measure,
+	})
+	n.sessMgr = m
+	n.hosts[mgr].SetCtlHandler(m.HandleCtl)
+
+	// One client per non-manager host, each on a private split of the
+	// session stream, keyed by host index.
+	sessRng := rng.Split(0x5e55)
+	for h := 0; h < hosts; h++ {
+		if h == mgr {
+			continue
+		}
+		sh := n.shards[n.hostShard[h]]
+		cl := session.NewClient(session.ClientConfig{
+			Host: n.hosts[h], Eng: sh.eng, Rng: sessRng.Split(uint64(h) + 1),
+			Cfg: scfg, Hosts: hosts, Cnt: sh.sess,
+			RouteBE: n.adm.RouteBestEffort,
+		})
+		n.hosts[h].SetCtlHandler(cl.HandleCtl)
+		n.sources = append(n.sources, cl)
+	}
+
+	// Fault-plan derates feed the CAC: RevokeDelay after each capacity
+	// change the manager revokes whatever reservations the link can no
+	// longer carry. The plan is static, so this schedule — installed on the
+	// manager's shard before any runtime event — is identical at any shard
+	// count. Scale-1 (restore) events pass through to the ledger and
+	// revoke nothing.
+	if plan := n.cfg.Faults; !plan.Empty() {
+		for _, ev := range plan.Normalized() {
+			if ev.Kind != faults.Derate {
+				continue
+			}
+			ev := ev
+			mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
+				m.OnLinkDerated(ev.Link.Switch, ev.Link.Port, ev.Scale)
+			})
+		}
+	}
+	return nil
+}

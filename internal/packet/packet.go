@@ -117,6 +117,13 @@ type Packet struct {
 	// packets untouched — only the destination NIC's end-to-end CRC check
 	// detects and drops them.
 	Corrupted bool
+	// Ctl is an opaque in-band control-plane payload (session
+	// setup/teardown signalling, internal/session). It stands for the
+	// message body a real control packet would carry: switches and links
+	// never inspect it, and the destination NIC hands it to its control
+	// handler after the normal delivery path. Never mutated once the
+	// packet is created, so retransmit copies may share it.
+	Ctl any
 
 	// Host-only field (not transmitted, §3.1).
 	Eligible units.Time // earliest cycle the packet may enter the network

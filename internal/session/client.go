@@ -1,0 +1,293 @@
+package session
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+	"deadlineqos/internal/xrand"
+)
+
+// cState is a client session's lifecycle state.
+type cState uint8
+
+const (
+	stSignalling cState = iota // Setup sent, awaiting Grant/Reject
+	stActive                   // data flowing until stopAt
+	stDone
+)
+
+// cSession is the client-side record of one session.
+type cSession struct {
+	id      uint64
+	dst     int
+	class   packet.Class
+	bw      units.Bandwidth
+	msgSize units.Size
+	hold    units.Time
+	flowID  packet.FlowID
+
+	state      cState
+	attempt    int
+	firstSetup units.Time // when the first Setup was sent (latency base)
+	granted    bool       // holds a CAC record (teardown must release it)
+	stopAt     units.Time
+	interval   units.Time
+	timer      sim.Handle // pending response-timeout or retry-backoff event
+}
+
+// ClientConfig wires one Client into its host's shard.
+type ClientConfig struct {
+	Host  *hostif.Host
+	Eng   *sim.Engine // the engine of the shard owning Host
+	Rng   *xrand.Rand // private stream, split per host by the network
+	Cfg   Config      // defaulted and validated
+	Hosts int
+	Cnt   *Counters // the owning shard's counter instance
+	// RouteBE assigns a fixed best-effort route (admission.RouteBestEffort;
+	// reads only immutable topology, so clients on any shard may call it).
+	RouteBE func(src, dst int, key uint64) []int
+}
+
+// Client generates session arrivals at one host and drives each session
+// through the setup / data / teardown lifecycle. All its work happens in
+// events on the owning host's engine.
+type Client struct {
+	c        ClientConfig
+	id       int
+	totalW   float64
+	sessions map[uint64]*cSession
+	seq      uint32
+}
+
+// NewClient returns a client for cc.Host. Call Start to begin arrivals.
+func NewClient(cc ClientConfig) *Client {
+	var total float64
+	for _, p := range cc.Cfg.Profiles {
+		total += p.Weight
+	}
+	return &Client{
+		c:        cc,
+		id:       cc.Host.ID(),
+		totalW:   total,
+		sessions: make(map[uint64]*cSession),
+	}
+}
+
+// Name identifies the client in source listings.
+func (c *Client) Name() string { return fmt.Sprintf("sessions@%d", c.id) }
+
+// Start schedules the first session arrival.
+func (c *Client) Start() { c.scheduleArrival() }
+
+// inFlash reports whether t falls inside the flash-crowd window.
+func (c *Client) inFlash(t units.Time) bool {
+	f := &c.c.Cfg
+	return f.FlashFactor > 1 && f.FlashLen > 0 && t >= f.FlashAt && t < f.FlashAt+f.FlashLen
+}
+
+// scheduleArrival draws the next exponential inter-arrival gap (shortened
+// by FlashFactor inside the flash window) and schedules the arrival.
+func (c *Client) scheduleArrival() {
+	mean := float64(c.c.Cfg.InterArrival)
+	if c.inFlash(c.c.Eng.Now()) {
+		mean /= c.c.Cfg.FlashFactor
+	}
+	gap := units.Time(c.c.Rng.Exp(mean)) + 1
+	c.c.Eng.After(gap, c.arrive)
+}
+
+// pickProfile draws one profile by weight.
+func (c *Client) pickProfile() Profile {
+	r := c.c.Rng.Float64() * c.totalW
+	for _, p := range c.c.Cfg.Profiles {
+		if r < p.Weight {
+			return p
+		}
+		r -= p.Weight
+	}
+	return c.c.Cfg.Profiles[len(c.c.Cfg.Profiles)-1]
+}
+
+// arrive creates a new session and sends its first Setup.
+func (c *Client) arrive() {
+	c.scheduleArrival()
+	c.seq++
+	if c.seq == 0 || int(c.seq) >= maxSessionsPerHost {
+		panic(fmt.Sprintf("session: host %d exhausted its per-host session id space", c.id))
+	}
+	prof := c.pickProfile()
+	dst := c.c.Rng.Intn(c.c.Hosts - 1)
+	if dst >= c.id {
+		dst++
+	}
+	holdMean := c.c.Cfg.HoldMean
+	if prof.HoldMean > 0 {
+		holdMean = prof.HoldMean
+	}
+	s := &cSession{
+		id:         sessionID(c.id, c.seq),
+		dst:        dst,
+		class:      prof.Class,
+		bw:         prof.BW,
+		msgSize:    prof.MsgSize,
+		hold:       units.Time(c.c.Rng.Exp(float64(holdMean))) + 1,
+		flowID:     DataFlowID(c.id, c.seq),
+		firstSetup: c.c.Eng.Now(),
+	}
+	c.sessions[s.id] = s
+	c.c.Cnt.Started++
+	c.sendSetup(s)
+}
+
+// sendSetup emits one in-band Setup message and arms the response timer.
+func (c *Client) sendSetup(s *cSession) {
+	c.c.Cnt.SetupsSent++
+	c.c.Host.SubmitCtl(SigUp(c.id), c.c.Cfg.SigMsgSize, &Msg{
+		Op: OpSetup, Session: s.id, Attempt: s.attempt,
+		Src: c.id, Dst: s.dst, BW: s.bw, Class: s.class,
+	})
+	s.timer = c.c.Eng.After(c.c.Cfg.RespTimeout, func() {
+		if s.state != stSignalling {
+			return
+		}
+		c.c.Cnt.Timeouts++
+		c.retryOrDowngrade(s)
+	})
+}
+
+// cancelTimer drops any pending response/backoff event of s.
+func (c *Client) cancelTimer(s *cSession) {
+	if s.timer.Pending() {
+		c.c.Eng.Cancel(s.timer)
+	}
+}
+
+// retryOrDowngrade advances the retry policy after a reject or timeout:
+// exponential backoff (RetryBackoff << attempt) up to MaxRetries, then the
+// session gives up its reservation request and runs best effort.
+func (c *Client) retryOrDowngrade(s *cSession) {
+	s.attempt++
+	if s.attempt > c.c.Cfg.MaxRetries {
+		c.downgrade(s)
+		return
+	}
+	backoff := c.c.Cfg.RetryBackoff << uint(s.attempt-1)
+	s.timer = c.c.Eng.After(backoff, func() {
+		if s.state != stSignalling {
+			return // a late Grant won the race against this retry
+		}
+		c.c.Cnt.Retries++
+		c.sendSetup(s)
+	})
+}
+
+// downgrade starts the session as best effort on a hashed fixed route,
+// without a CAC record.
+func (c *Client) downgrade(s *cSession) {
+	c.c.Cnt.Downgraded++
+	c.c.Host.AddFlow(&hostif.Flow{
+		ID: s.flowID, Class: packet.BestEffort, Src: c.id, Dst: s.dst,
+		Route: c.c.RouteBE(c.id, s.dst, uint64(s.flowID)),
+		Mode:  hostif.ByBandwidth, BW: s.bw,
+	})
+	s.granted = false
+	c.activate(s)
+}
+
+// HandleCtl processes control-plane messages delivered to this host
+// (wired as the host's SetCtlHandler).
+func (c *Client) HandleCtl(p *packet.Packet) {
+	m, ok := p.Ctl.(*Msg)
+	if !ok {
+		panic(fmt.Sprintf("session: host %d received foreign control payload %T", c.id, p.Ctl))
+	}
+	s := c.sessions[m.Session]
+	if s == nil {
+		return // reply for a session that already finished
+	}
+	switch m.Op {
+	case OpGrant:
+		if s.state != stSignalling {
+			return // duplicate grant after a retried Setup
+		}
+		c.cancelTimer(s)
+		c.c.Cnt.Granted++
+		lat := c.c.Eng.Now() - s.firstSetup
+		c.c.Cnt.SetupLatency.Add(lat)
+		c.c.Cnt.SetupLatHist.Add(lat)
+		c.c.Host.AddFlow(&hostif.Flow{
+			ID: s.flowID, Class: s.class, Src: c.id, Dst: s.dst,
+			Route: m.Route, Mode: hostif.ByBandwidth, BW: s.bw,
+		})
+		s.granted = true
+		c.activate(s)
+	case OpReject:
+		if s.state != stSignalling {
+			return
+		}
+		c.cancelTimer(s)
+		c.c.Cnt.RejectsSeen++
+		c.retryOrDowngrade(s)
+	case OpRevoke:
+		if s.state != stActive || !s.granted {
+			// The revoke raced our setup handshake; if the manager dropped
+			// the record, the eventual teardown is counted stale there.
+			return
+		}
+		f := c.c.Host.Flow(s.flowID)
+		if m.Downgrade {
+			// No surviving path: continue best effort. The CAC already
+			// dropped its record, so no teardown Release later.
+			f.Class = packet.BestEffort
+			f.Route = c.c.RouteBE(c.id, s.dst, uint64(s.flowID))
+			s.granted = false
+		} else {
+			// Re-admitted elsewhere: switch to the fresh route slice.
+			// Already-staged packets keep the old slice, which stays valid
+			// for their in-flight lifetime.
+			f.Route = m.Route
+		}
+	}
+}
+
+// activate starts CBR data emission for the session's hold time.
+func (c *Client) activate(s *cSession) {
+	s.state = stActive
+	s.stopAt = c.c.Eng.Now() + s.hold
+	s.interval = s.bw.TxTime(s.msgSize + packet.HeaderSize)
+	if s.interval < 1 {
+		s.interval = 1
+	}
+	c.emitData(s)
+}
+
+// emitData sends one data message and re-arms itself until the hold time
+// expires.
+func (c *Client) emitData(s *cSession) {
+	if s.state != stActive {
+		return
+	}
+	if c.c.Eng.Now() >= s.stopAt {
+		c.finish(s)
+		return
+	}
+	c.c.Host.SubmitMessage(s.flowID, s.msgSize)
+	c.c.Eng.After(s.interval, func() { c.emitData(s) })
+}
+
+// finish ends the session, sending an in-band Teardown when a CAC record
+// must be released.
+func (c *Client) finish(s *cSession) {
+	s.state = stDone
+	delete(c.sessions, s.id)
+	c.c.Cnt.Finished++
+	if s.granted {
+		c.c.Cnt.TeardownsSent++
+		c.c.Host.SubmitCtl(SigUp(c.id), c.c.Cfg.SigMsgSize, &Msg{
+			Op: OpTeardown, Session: s.id, Src: c.id, Dst: s.dst,
+		})
+	}
+}

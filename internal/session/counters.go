@@ -1,0 +1,128 @@
+package session
+
+import (
+	"deadlineqos/internal/stats"
+	"deadlineqos/internal/units"
+)
+
+// Counters accumulates session-subsystem events. Every simulation shard
+// owns one instance (clients and the manager add to the instance of the
+// shard they run on); all fields are sums or exact mergeable aggregates,
+// so folding per-shard counters together is order-independent and a
+// sharded run reports bit-identical values to a sequential one.
+type Counters struct {
+	// Client side.
+	Started       uint64 // sessions generated
+	SetupsSent    uint64 // Setup messages emitted (including retries)
+	Retries       uint64 // Setup re-sends after a reject or timeout
+	Timeouts      uint64 // response timeouts
+	Granted       uint64 // sessions admitted by the CAC
+	RejectsSeen   uint64 // Reject messages received
+	Downgraded    uint64 // sessions that gave up and went best effort
+	Finished      uint64 // sessions that reached the end of their hold time
+	TeardownsSent uint64 // Teardown messages emitted
+
+	// Manager (CAC) side.
+	Accepted         uint64 // Setups granted
+	Rejected         uint64 // Setups rejected (no capacity)
+	DupSetups        uint64 // duplicate Setups re-granted idempotently
+	Released         uint64 // Teardowns that released a reservation record
+	StaleTeardowns   uint64 // Teardowns for unknown (already-revoked) sessions
+	Revoked          uint64 // reservations revoked after a link derate
+	Rerouted         uint64 // revoked reservations re-admitted on another path
+	RevokeDowngrades uint64 // revoked reservations with no surviving path
+
+	// Setup latency: first Setup sent to Grant received, measured by the
+	// client across the in-band round trip (fabric queueing included).
+	SetupLatency stats.TimeSeries
+	SetupLatHist *stats.Histogram
+
+	// Delivered session traffic inside the measurement window.
+	DataBytes   units.Size
+	DataPackets uint64
+	SigBytes    units.Size
+	SigPackets  uint64
+}
+
+// NewCounters returns an empty Counters.
+func NewCounters() *Counters {
+	return &Counters{SetupLatHist: stats.NewHistogram()}
+}
+
+// Merge folds other into c (exact, order-independent).
+func (c *Counters) Merge(other *Counters) {
+	c.Started += other.Started
+	c.SetupsSent += other.SetupsSent
+	c.Retries += other.Retries
+	c.Timeouts += other.Timeouts
+	c.Granted += other.Granted
+	c.RejectsSeen += other.RejectsSeen
+	c.Downgraded += other.Downgraded
+	c.Finished += other.Finished
+	c.TeardownsSent += other.TeardownsSent
+	c.Accepted += other.Accepted
+	c.Rejected += other.Rejected
+	c.DupSetups += other.DupSetups
+	c.Released += other.Released
+	c.StaleTeardowns += other.StaleTeardowns
+	c.Revoked += other.Revoked
+	c.Rerouted += other.Rerouted
+	c.RevokeDowngrades += other.RevokeDowngrades
+	c.SetupLatency.Merge(&other.SetupLatency)
+	c.SetupLatHist.Merge(other.SetupLatHist)
+	c.DataBytes += other.DataBytes
+	c.DataPackets += other.DataPackets
+	c.SigBytes += other.SigBytes
+	c.SigPackets += other.SigPackets
+}
+
+// Results is the session subsystem's run summary, reported in
+// network.Results and fingerprinted by the determinism cross-checks (all
+// fields are deterministic at any shard count).
+type Results struct {
+	Started       uint64 `json:"started"`
+	SetupsSent    uint64 `json:"setups_sent"`
+	Retries       uint64 `json:"retries"`
+	Timeouts      uint64 `json:"timeouts"`
+	Granted       uint64 `json:"granted"`
+	Accepted      uint64 `json:"accepted"`
+	Rejected      uint64 `json:"rejected"`
+	RejectsSeen   uint64 `json:"rejects_seen"`
+	Downgraded    uint64 `json:"downgraded"`
+	Finished      uint64 `json:"finished"`
+	TeardownsSent uint64 `json:"teardowns_sent"`
+	Released      uint64 `json:"released"`
+	StaleTears    uint64 `json:"stale_teardowns"`
+	DupSetups     uint64 `json:"dup_setups"`
+
+	Revoked          uint64 `json:"revoked"`
+	Rerouted         uint64 `json:"rerouted"`
+	RevokeDowngrades uint64 `json:"revoke_downgrades"`
+
+	// AcceptRatio is granted / (granted + downgraded): the fraction of
+	// decided sessions that ended up with a reservation (or a best-effort
+	// grant for unregulated profiles) instead of giving up.
+	AcceptRatio float64 `json:"accept_ratio"`
+
+	// Setup latency over the in-band round trip.
+	SetupCount  uint64     `json:"setup_count"`
+	SetupMeanNs float64    `json:"setup_mean_ns"`
+	SetupP50    units.Time `json:"setup_p50"`
+	SetupP99    units.Time `json:"setup_p99"`
+
+	// ReservedUtil is the time integral of CAC-reserved session bandwidth
+	// over the measurement window, as a fraction of total injection
+	// capacity; AchievedUtil is what the granted sessions actually
+	// delivered in the same window.
+	ReservedUtil float64 `json:"reserved_util"`
+	AchievedUtil float64 `json:"achieved_util"`
+
+	DataBytes   units.Size `json:"data_bytes"`
+	DataPackets uint64     `json:"data_packets"`
+	SigBytes    units.Size `json:"sig_bytes"`
+	SigPackets  uint64     `json:"sig_packets"`
+
+	// State at the simulation horizon.
+	ActiveAtStop   int     `json:"active_at_stop"`
+	ReservedAtStop float64 `json:"reserved_bw_at_stop"`
+}

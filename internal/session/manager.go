@@ -1,0 +1,261 @@
+package session
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/admission"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
+)
+
+// mSession is the CAC-side record of one granted session.
+type mSession struct {
+	src, dst int
+	bw       units.Bandwidth
+	class    packet.Class
+	route    []int
+	handle   admission.FlowHandle
+	reserved bool // false for best-effort grants (no ledger entry)
+}
+
+// ManagerConfig wires the Manager into its host's shard.
+type ManagerConfig struct {
+	Host *hostif.Host
+	Eng  *sim.Engine // the engine of the shard owning Host
+	// Adm is the centralised admission controller. All mutations happen in
+	// this manager's event handlers, i.e. on one shard; the admission order
+	// is the arrival order on the manager's single ejection link, which is
+	// identical in sequential and sharded runs.
+	Adm *admission.Controller
+	Cfg Config
+	Cnt *Counters // the manager shard's counter instance
+
+	Hosts  int
+	LinkBW units.Bandwidth
+	// WarmUp and Horizon bound the reserved-bandwidth integral window.
+	WarmUp, Horizon units.Time
+}
+
+// Manager is the centralised CAC endpoint: it serves in-band Setup and
+// Teardown messages arriving at its host, and revokes reservations that a
+// fault-plan derate has stranded on an oversubscribed link.
+type Manager struct {
+	c        ManagerConfig
+	sessions map[uint64]*mSession
+	byHandle map[admission.FlowHandle]uint64
+
+	// Reserved-bandwidth integral over [WarmUp, Horizon]: cur is the sum
+	// of currently reserved session bandwidth, integrated piecewise at
+	// every change. Single-writer (manager events only), so the float
+	// operation sequence is identical at any shard count.
+	cur       float64
+	lastT     units.Time
+	integral  float64
+	finalized bool
+}
+
+// NewManager returns the CAC endpoint for mc.Host.
+func NewManager(mc ManagerConfig) *Manager {
+	return &Manager{
+		c:        mc,
+		sessions: make(map[uint64]*mSession),
+		byHandle: make(map[admission.FlowHandle]uint64),
+	}
+}
+
+// advanceTo integrates the current reserved bandwidth up to now, clipped
+// to the measurement window.
+func (m *Manager) advanceTo(now units.Time) {
+	lo, hi := m.lastT, now
+	if lo < m.c.WarmUp {
+		lo = m.c.WarmUp
+	}
+	if hi > m.c.Horizon {
+		hi = m.c.Horizon
+	}
+	if hi > lo {
+		m.integral += m.cur * float64(hi-lo)
+	}
+	m.lastT = now
+}
+
+// addReserved applies a reservation change at the current event time.
+func (m *Manager) addReserved(delta units.Bandwidth) {
+	m.advanceTo(m.c.Eng.Now())
+	m.cur += float64(delta)
+}
+
+// reply sends an in-band control message back to client host dst.
+func (m *Manager) reply(dst int, msg *Msg) {
+	m.c.Host.SubmitCtl(SigDown(dst), m.c.Cfg.SigMsgSize, msg)
+}
+
+// HandleCtl serves control-plane messages delivered to the manager host
+// (wired as the host's SetCtlHandler).
+func (m *Manager) HandleCtl(p *packet.Packet) {
+	msg, ok := p.Ctl.(*Msg)
+	if !ok {
+		panic(fmt.Sprintf("session: manager received foreign control payload %T", p.Ctl))
+	}
+	switch msg.Op {
+	case OpSetup:
+		m.handleSetup(msg)
+	case OpTeardown:
+		m.handleTeardown(msg)
+	default:
+		// Client-bound opcodes can only appear here through a wiring bug.
+		panic(fmt.Sprintf("session: manager received %v", msg.Op))
+	}
+}
+
+// handleSetup admits or rejects one session request.
+func (m *Manager) handleSetup(msg *Msg) {
+	if s := m.sessions[msg.Session]; s != nil {
+		// A retried Setup whose original grant is still in flight (or was
+		// lost): re-grant idempotently, the client ignores duplicates.
+		m.c.Cnt.DupSetups++
+		m.reply(msg.Src, &Msg{Op: OpGrant, Session: msg.Session, Route: s.route})
+		return
+	}
+	if msg.Class.Regulated() {
+		route, h, err := m.c.Adm.Reserve(msg.Src, msg.Dst, msg.BW)
+		if err != nil {
+			m.c.Cnt.Rejected++
+			m.reply(msg.Src, &Msg{Op: OpReject, Session: msg.Session, Attempt: msg.Attempt})
+			return
+		}
+		m.sessions[msg.Session] = &mSession{
+			src: msg.Src, dst: msg.Dst, bw: msg.BW, class: msg.Class,
+			route: route, handle: h, reserved: true,
+		}
+		m.byHandle[h] = msg.Session
+		m.addReserved(msg.BW)
+		m.c.Cnt.Accepted++
+		m.reply(msg.Src, &Msg{Op: OpGrant, Session: msg.Session, Route: route})
+		return
+	}
+	// Unregulated classes get a hashed fixed route, no reservation.
+	route := m.c.Adm.RouteBestEffort(msg.Src, msg.Dst, msg.Session)
+	m.sessions[msg.Session] = &mSession{
+		src: msg.Src, dst: msg.Dst, bw: msg.BW, class: msg.Class, route: route,
+	}
+	m.c.Cnt.Accepted++
+	m.reply(msg.Src, &Msg{Op: OpGrant, Session: msg.Session, Route: route})
+}
+
+// handleTeardown releases one session's reservation.
+func (m *Manager) handleTeardown(msg *Msg) {
+	s := m.sessions[msg.Session]
+	if s == nil {
+		// The session was revoke-downgraded after a fault; its record is
+		// already gone and its bandwidth already released.
+		m.c.Cnt.StaleTeardowns++
+		return
+	}
+	if s.reserved {
+		m.c.Adm.Release(s.handle)
+		delete(m.byHandle, s.handle)
+		m.addReserved(-s.bw)
+	}
+	delete(m.sessions, msg.Session)
+	m.c.Cnt.Released++
+}
+
+// OnLinkDerated applies a fault-plan capacity change to the admission
+// ledger and revokes session reservations until the link's reserved load
+// fits its new limit. Victims are the most recently admitted sessions on
+// the link (static provisioned flows are never revoked); each is
+// re-admitted over surviving paths when possible, otherwise its client is
+// told to continue best effort. The network schedules this on the manager
+// shard's engine RevokeDelay after the fault event.
+func (m *Manager) OnLinkDerated(sw, port int, scale float64) {
+	m.c.Adm.DerateLink(sw, port, scale)
+	if scale >= 1 {
+		return // restored capacity: nothing to revoke
+	}
+	for m.c.Adm.Reserved(sw, port) > m.c.Adm.LinkLimit(sw, port) {
+		handles := m.c.Adm.HandlesOn(sw, port)
+		victim := uint64(0)
+		found := false
+		for i := len(handles) - 1; i >= 0; i-- {
+			if id, ok := m.byHandle[handles[i]]; ok {
+				victim, found = id, true
+				break
+			}
+		}
+		if !found {
+			return // only static reservations remain above the limit
+		}
+		m.revoke(victim)
+	}
+}
+
+// revoke tears one session's reservation out of the ledger and either
+// re-admits it over surviving paths or downgrades it.
+func (m *Manager) revoke(id uint64) {
+	s := m.sessions[id]
+	m.c.Adm.Release(s.handle)
+	delete(m.byHandle, s.handle)
+	m.addReserved(-s.bw)
+	m.c.Cnt.Revoked++
+	route, h, err := m.c.Adm.Reserve(s.src, s.dst, s.bw)
+	if err != nil {
+		delete(m.sessions, id)
+		m.c.Cnt.RevokeDowngrades++
+		m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Downgrade: true})
+		return
+	}
+	s.handle, s.route = h, route
+	m.byHandle[h] = id
+	m.addReserved(s.bw)
+	m.c.Cnt.Rerouted++
+	m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Route: route})
+}
+
+// ActiveSessions returns the number of granted, not-yet-released sessions
+// (telemetry).
+func (m *Manager) ActiveSessions() int { return len(m.sessions) }
+
+// ReservedNow returns the currently reserved session bandwidth in
+// bytes/ns (telemetry).
+func (m *Manager) ReservedNow() float64 { return m.cur }
+
+// BuildResults finalises the reserved-bandwidth integral and summarises
+// the merged counters into the run's session Results.
+func (m *Manager) BuildResults(cnt *Counters) *Results {
+	if !m.finalized {
+		m.advanceTo(m.c.Horizon)
+		m.finalized = true
+	}
+	r := &Results{
+		Started: cnt.Started, SetupsSent: cnt.SetupsSent, Retries: cnt.Retries,
+		Timeouts: cnt.Timeouts, Granted: cnt.Granted,
+		Accepted: cnt.Accepted, Rejected: cnt.Rejected,
+		RejectsSeen: cnt.RejectsSeen, Downgraded: cnt.Downgraded,
+		Finished: cnt.Finished, TeardownsSent: cnt.TeardownsSent,
+		Released: cnt.Released, StaleTears: cnt.StaleTeardowns,
+		DupSetups: cnt.DupSetups, Revoked: cnt.Revoked, Rerouted: cnt.Rerouted,
+		RevokeDowngrades: cnt.RevokeDowngrades,
+		SetupCount:       cnt.SetupLatency.Count(),
+		SetupMeanNs:      cnt.SetupLatency.Mean(),
+		DataBytes:        cnt.DataBytes, DataPackets: cnt.DataPackets,
+		SigBytes: cnt.SigBytes, SigPackets: cnt.SigPackets,
+		ActiveAtStop:   len(m.sessions),
+		ReservedAtStop: m.cur,
+	}
+	if cnt.SetupLatHist.Count() > 0 {
+		r.SetupP50 = cnt.SetupLatHist.Quantile(0.50)
+		r.SetupP99 = cnt.SetupLatHist.Quantile(0.99)
+	}
+	if decided := cnt.Granted + cnt.Downgraded; decided > 0 {
+		r.AcceptRatio = float64(cnt.Granted) / float64(decided)
+	}
+	window := m.c.Horizon - m.c.WarmUp
+	if cap := float64(window) * float64(m.c.LinkBW) * float64(m.c.Hosts); cap > 0 {
+		r.ReservedUtil = m.integral / cap
+		r.AchievedUtil = float64(cnt.DataBytes) / cap
+	}
+	return r
+}

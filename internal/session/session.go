@@ -1,0 +1,269 @@
+// Package session implements the dynamic flow-lifecycle subsystem: flows
+// no longer exist only as static reservations made in network setup, but
+// arrive, hold, and depart at runtime, negotiating admission with the
+// centralised CAC (internal/admission) over the simulated fabric itself.
+//
+// Each host runs a Client that generates Poisson (optionally flash-crowd)
+// session arrivals. A session setup or teardown is an in-band
+// control-plane message: a Control-class packet stamped with the paper's
+// maximum-priority deadline rule (BWavg = link bandwidth, §3.1) that
+// travels through the switches to the Manager host and back. Admission
+// latency is therefore a measured quantity — it includes real queueing in
+// the fabric — not a modelling assumption.
+//
+// Protocol (see DESIGN.md §10):
+//
+//	Client                        Manager (CAC)
+//	  |------- Setup ---------------->|   Reserve (regulated classes)
+//	  |<------ Grant{Route} ----------|   or
+//	  |<------ Reject ----------------|   retry with exponential backoff,
+//	  |                               |   then downgrade to best effort
+//	  |------- Teardown ------------->|   Release
+//	  |<------ Revoke{Route} ---------|   link derated: re-admitted path
+//	  |<------ Revoke{Downgrade} -----|   link derated: no surviving path
+//
+// Determinism: clients and the manager run entirely inside host engine
+// events (arrival timers, packet deliveries), so the subsystem inherits
+// the sharded-execution guarantees of internal/parsim — a churn run is
+// byte-identical at any shard count.
+package session
+
+import (
+	"fmt"
+	"math"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// Op is the control-plane message opcode.
+type Op uint8
+
+// Control-plane opcodes.
+const (
+	OpSetup    Op = iota + 1 // client -> CAC: admit this session
+	OpGrant                  // CAC -> client: admitted, route enclosed
+	OpReject                 // CAC -> client: no capacity, retry or downgrade
+	OpTeardown               // client -> CAC: session over, release bandwidth
+	OpRevoke                 // CAC -> client: reservation moved (Route) or dropped (Downgrade)
+)
+
+var opNames = [...]string{"?", "Setup", "Grant", "Reject", "Teardown", "Revoke"}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Msg is the in-band control-plane message body. It rides a Control-class
+// packet's Ctl field through the fabric; SigMsgSize models its wire size.
+type Msg struct {
+	Op      Op
+	Session uint64 // session identity, unique network-wide
+	Attempt int    // setup attempt number (0 = first try)
+
+	// Setup fields (client -> CAC).
+	Src, Dst int
+	BW       units.Bandwidth
+	Class    packet.Class
+
+	// Grant/Revoke fields (CAC -> client).
+	Route []int // admitted route for the data flow
+	// Downgrade on a Revoke tells the client its reservation could not be
+	// re-admitted after a fault: continue as best effort.
+	Downgrade bool
+}
+
+// Profile describes one entry of the per-class session mix.
+type Profile struct {
+	// Weight is the relative arrival share of this profile (weights need
+	// not sum to 1).
+	Weight float64
+	// Class is the data traffic's class. Regulated classes (Control,
+	// Multimedia) reserve bandwidth through the CAC; best-effort classes
+	// are granted a hashed fixed route without reservation.
+	Class packet.Class
+	// BW is the requested average bandwidth (bytes per ns); the data
+	// source emits CBR at exactly this rate once granted.
+	BW units.Bandwidth
+	// MsgSize is the payload of each data message.
+	MsgSize units.Size
+	// HoldMean overrides Config.HoldMean for this profile when positive.
+	HoldMean units.Time
+}
+
+// Config parameterises the session subsystem. The zero value of each
+// field selects the default noted on it (see WithDefaults); Profiles
+// defaults to DefaultProfiles.
+type Config struct {
+	// Manager is the host index running the centralised CAC endpoint
+	// (default 0). It generates no sessions of its own.
+	Manager int
+	// InterArrival is the mean per-host session inter-arrival time
+	// (Poisson arrivals, exponential gaps; default 500 µs).
+	InterArrival units.Time
+	// HoldMean is the mean session hold time, exponential, measured from
+	// the grant (default 2 ms).
+	HoldMean units.Time
+	// Profiles is the session mix (default DefaultProfiles).
+	Profiles []Profile
+	// SigMsgSize is the signalling message payload size (default 64 B).
+	SigMsgSize units.Size
+	// MaxRetries bounds setup retries after a reject or timeout before
+	// the session downgrades to best effort (default 3; negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the base retry delay, doubled per attempt
+	// (default 50 µs).
+	RetryBackoff units.Time
+	// RespTimeout is how long a client waits for a setup response before
+	// treating the attempt as lost (default 500 µs).
+	RespTimeout units.Time
+	// RevokeDelay models the fabric-management latency between a fault
+	// plan derating a link and the CAC revoking the affected
+	// reservations (default 1 µs).
+	RevokeDelay units.Time
+	// FlashFactor, when > 1, multiplies the arrival rate during the
+	// window [FlashAt, FlashAt+FlashLen) — a flash crowd.
+	FlashFactor float64
+	FlashAt     units.Time
+	FlashLen    units.Time
+}
+
+// DefaultProfiles is the default session mix: mostly multimedia streams,
+// some small control sessions, and a best-effort tail. Bandwidths are in
+// bytes/ns (0.05 = 5% of the default 8 Gb/s link).
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{Weight: 0.5, Class: packet.Multimedia, BW: 0.05, MsgSize: 1466},
+		{Weight: 0.3, Class: packet.Control, BW: 0.01, MsgSize: 256},
+		{Weight: 0.2, Class: packet.BestEffort, BW: 0.03, MsgSize: 1000},
+	}
+}
+
+// WithDefaults returns a copy with zero fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.InterArrival == 0 {
+		c.InterArrival = 500 * units.Microsecond
+	}
+	if c.HoldMean == 0 {
+		c.HoldMean = 2 * units.Millisecond
+	}
+	if c.SigMsgSize == 0 {
+		c.SigMsgSize = 64
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * units.Microsecond
+	}
+	if c.RespTimeout == 0 {
+		c.RespTimeout = 500 * units.Microsecond
+	}
+	if c.RevokeDelay == 0 {
+		c.RevokeDelay = units.Microsecond
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = DefaultProfiles()
+	}
+	return c
+}
+
+// Validate checks an already-defaulted Config against a host count.
+func (c Config) Validate(hosts int) error {
+	if hosts < 2 {
+		return fmt.Errorf("session: need at least 2 hosts, have %d", hosts)
+	}
+	if hosts > maxHosts {
+		return fmt.Errorf("session: %d hosts exceed the flow-id plan's limit %d", hosts, maxHosts)
+	}
+	if c.Manager < 0 || c.Manager >= hosts {
+		return fmt.Errorf("session: manager host %d out of range [0,%d)", c.Manager, hosts)
+	}
+	if c.InterArrival <= 0 || c.HoldMean <= 0 {
+		return fmt.Errorf("session: non-positive inter-arrival %v or hold %v", c.InterArrival, c.HoldMean)
+	}
+	if c.SigMsgSize <= 0 {
+		return fmt.Errorf("session: non-positive signalling size %v", c.SigMsgSize)
+	}
+	if c.RetryBackoff <= 0 || c.RespTimeout <= 0 {
+		return fmt.Errorf("session: non-positive backoff %v or timeout %v", c.RetryBackoff, c.RespTimeout)
+	}
+	if c.RevokeDelay < 0 {
+		return fmt.Errorf("session: negative revoke delay %v", c.RevokeDelay)
+	}
+	if c.FlashFactor != 0 && c.FlashFactor < 1 {
+		return fmt.Errorf("session: flash factor %v must be 0 (off) or >= 1", c.FlashFactor)
+	}
+	if c.FlashLen < 0 {
+		return fmt.Errorf("session: negative flash window %v", c.FlashLen)
+	}
+	if len(c.Profiles) == 0 {
+		return fmt.Errorf("session: empty profile mix")
+	}
+	var total float64
+	for i, p := range c.Profiles {
+		if !(p.Weight > 0) || math.IsInf(p.Weight, 0) {
+			return fmt.Errorf("session: profile %d weight %v must be positive and finite", i, p.Weight)
+		}
+		if p.BW <= 0 {
+			return fmt.Errorf("session: profile %d non-positive bandwidth %v", i, p.BW)
+		}
+		if p.MsgSize <= 0 {
+			return fmt.Errorf("session: profile %d non-positive message size %v", i, p.MsgSize)
+		}
+		if p.HoldMean < 0 {
+			return fmt.Errorf("session: profile %d negative hold mean %v", i, p.HoldMean)
+		}
+		if int(p.Class) >= packet.NumClasses {
+			return fmt.Errorf("session: profile %d unknown class %d", i, p.Class)
+		}
+		total += p.Weight
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		return fmt.Errorf("session: profile weights sum to %v", total)
+	}
+	return nil
+}
+
+// Flow-id plan: session flows live far above the static flow ids the
+// network provisions at setup (small sequential integers) so the two can
+// never collide. Signalling flows are per host pair with the manager;
+// data flows encode (host, per-host session sequence).
+const (
+	sigUpBase   packet.FlowID = 0x4000_0000 // client h -> manager
+	sigDownBase packet.FlowID = 0x4800_0000 // manager -> client h
+	dataBase    packet.FlowID = 0x5000_0000 // session data flows
+
+	// maxHosts bounds host indices so dataBase | h<<16 stays inside the
+	// 32-bit flow-id space.
+	maxHosts = 1 << 14
+	// maxSessionsPerHost bounds the per-host session sequence (16 bits in
+	// the data-flow id).
+	maxSessionsPerHost = 1 << 16
+)
+
+// SigUp returns the id of host h's client->manager signalling flow.
+func SigUp(h int) packet.FlowID { return sigUpBase + packet.FlowID(h) }
+
+// SigDown returns the id of the manager->client-h signalling flow.
+func SigDown(h int) packet.FlowID { return sigDownBase + packet.FlowID(h) }
+
+// DataFlowID returns the data-flow id of host h's seq-th session.
+func DataFlowID(h int, seq uint32) packet.FlowID {
+	return dataBase | packet.FlowID(h)<<16 | packet.FlowID(seq)
+}
+
+// IsSignalling reports whether id is a session signalling flow.
+func IsSignalling(id packet.FlowID) bool { return id >= sigUpBase && id < dataBase }
+
+// IsSessionData reports whether id is a dynamic session data flow.
+func IsSessionData(id packet.FlowID) bool { return id >= dataBase }
+
+// sessionID builds the network-unique session identity of host h's seq-th
+// session.
+func sessionID(h int, seq uint32) uint64 { return uint64(h+1)<<32 | uint64(seq) }

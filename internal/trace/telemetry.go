@@ -56,11 +56,27 @@ type EngineSample struct {
 	EventRate float64 `json:"events_per_sim_sec"`
 }
 
+// SessionSample is one probe of the dynamic session subsystem, taken on
+// the session manager's shard (all sampled state lives there, so the
+// series is identical at every shard count).
+type SessionSample struct {
+	T units.Time `json:"t"`
+	// Active is the number of granted, not-yet-released sessions;
+	// ReservedBW their reserved bandwidth sum in bytes/ns.
+	Active     int     `json:"active"`
+	ReservedBW float64 `json:"reserved_bw"`
+	// Cumulative CAC decisions up to the probe.
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Revoked  uint64 `json:"revoked"`
+}
+
 // Telemetry holds a run's time series.
 type Telemetry struct {
-	Interval units.Time     `json:"interval_ns"`
-	Ports    []PortSample   `json:"ports,omitempty"`
-	Engine   []EngineSample `json:"engine,omitempty"`
+	Interval units.Time      `json:"interval_ns"`
+	Ports    []PortSample    `json:"ports,omitempty"`
+	Engine   []EngineSample  `json:"engine,omitempty"`
+	Sessions []SessionSample `json:"sessions,omitempty"`
 }
 
 // Absorb appends other's samples into t. Used by the sharded network,
@@ -72,6 +88,7 @@ func (t *Telemetry) Absorb(other *Telemetry) {
 	}
 	t.Ports = append(t.Ports, other.Ports...)
 	t.Engine = append(t.Engine, other.Engine...)
+	t.Sessions = append(t.Sessions, other.Sessions...)
 }
 
 // Sort orders the port series by (time, switch, port) — exactly the order
@@ -89,6 +106,36 @@ func (t *Telemetry) Sort() {
 		return a.Port < b.Port
 	})
 	sort.SliceStable(t.Engine, func(i, j int) bool { return t.Engine[i].T < t.Engine[j].T })
+	sort.SliceStable(t.Sessions, func(i, j int) bool { return t.Sessions[i].T < t.Sessions[j].T })
+}
+
+// WriteSessionsCSV writes the session series as CSV.
+func (t *Telemetry) WriteSessionsCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"t_ns,active,reserved_bw,accepted,rejected,revoked\n"); err != nil {
+		return fmt.Errorf("trace: writing session CSV: %w", err)
+	}
+	buf := make([]byte, 0, 96)
+	for i := range t.Sessions {
+		s := &t.Sessions[i]
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(s.T), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.Active), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, s.ReservedBW, 'g', 9, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Accepted, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Rejected, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Revoked, 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("trace: writing session CSV: %w", err)
+		}
+	}
+	return nil
 }
 
 // WriteCSV writes the per-port series as CSV (one row per port per
