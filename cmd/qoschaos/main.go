@@ -60,6 +60,9 @@ func run() error {
 		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (independent of the traffic seed)")
 		flaps     = flag.Int("flaps", 4, "number of link down/up flap pairs to schedule")
 		derates   = flag.Int("derates", 2, "number of bandwidth derate/restore pairs to schedule")
+		swFaults  = flag.Int("switch-faults", 0, "number of whole-switch outage pairs to schedule")
+		swMTTF    = flag.String("switch-mttf", "10ms", "mean time between switch failures")
+		swMTTR    = flag.String("switch-mttr", "500us", "mean switch outage duration")
 		ber       = flag.Float64("ber", 1e-6, "bit-error rate applied to every link")
 		noRel     = flag.Bool("noreliability", false, "disable the end-to-end retransmission layer")
 		showTrace = flag.Bool("trace", false, "print the executed fault trace")
@@ -92,13 +95,24 @@ func run() error {
 	}
 
 	horizon := cfg.WarmUp + cfg.Measure
-	plan := faults.RandomPlan(*faultSeed, linkIDs(topo), horizon, faults.RandomConfig{
+	rcfg := faults.RandomConfig{
 		Flaps:    *flaps,
 		MinDown:  horizon / 200,
 		MaxDown:  horizon / 25,
 		Derates:  *derates,
 		MinScale: 0.3,
-	})
+	}
+	if *swFaults > 0 {
+		rcfg.Switches = topo.Switches()
+		rcfg.SwitchFaults = *swFaults
+		if rcfg.SwitchMTTF, err = cli.ParseDuration(*swMTTF); err != nil {
+			return err
+		}
+		if rcfg.SwitchMTTR, err = cli.ParseDuration(*swMTTR); err != nil {
+			return err
+		}
+	}
+	plan := faults.RandomPlan(*faultSeed, linkIDs(topo), horizon, rcfg)
 	plan.DefaultBER = *ber
 	cfg.Faults = plan
 	cfg.CheckInvariants = true
@@ -151,6 +165,9 @@ func run() error {
 	fmt.Printf("recovery: acked=%d timeouts=%d naks=%d retx=%d demoted=%d dups=%d outstandingAtStop=%d\n",
 		rel.Acked, rel.Timeouts, rel.Naks, rel.Retransmitted, rel.Demoted, rel.RxDup, res.OutstandingAtStop)
 	fmt.Printf("conservation: %v\n", res.Conservation)
+	if res.Availability != nil {
+		fmt.Printf("availability: %v\n", res.Availability)
+	}
 
 	if err := res.Conservation.Check(); err != nil {
 		return err

@@ -151,6 +151,7 @@ func run() error {
 		{"E3", "collective", experiments.CollectiveCompletion},
 		{"E4", "slack", experiments.DeadlineSlack},
 		{"E5", "churn", experiments.Churn},
+		{"E6", "availability", experiments.Availability},
 	} {
 		if !selected(exp.name) {
 			continue

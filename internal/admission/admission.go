@@ -39,6 +39,11 @@ type Controller struct {
 	// capScale derates individual link capacities (degraded links); links
 	// absent from the map have full capacity.
 	capScale map[linkKey]float64
+	// deadSw and deadLink track SwitchDown / PortDown faults: capacity
+	// that is gone entirely (a derate scale cannot express zero). Reserve
+	// refuses paths through them and falls back to repaired detours.
+	deadSw   map[int]bool
+	deadLink map[linkKey]bool
 	// flows records admitted reservations so they can be released.
 	flows  map[FlowHandle]reservation
 	nextFH FlowHandle
@@ -79,6 +84,8 @@ func New(topo topology.Topology, linkBW units.Bandwidth, maxUtil float64) (*Cont
 		reserved: make(map[linkKey]units.Bandwidth),
 		hostInj:  make([]units.Bandwidth, topo.Hosts()),
 		capScale: make(map[linkKey]float64),
+		deadSw:   make(map[int]bool),
+		deadLink: make(map[linkKey]bool),
 		flows:    make(map[FlowHandle]reservation),
 		byLink:   make(map[linkKey][]FlowHandle),
 		byHost:   make([][]FlowHandle, topo.Hosts()),
@@ -95,6 +102,53 @@ func (c *Controller) DerateLink(sw, port int, scale float64) {
 		panic(fmt.Sprintf("admission: derate scale %v out of (0,1]", scale))
 	}
 	c.capScale[linkKey{sw, port}] = scale
+}
+
+// SetSwitchDown records a SwitchDown (or its SwitchUp recovery) in the
+// ledger's view of the fabric. While down, no reservation may route
+// through the switch. The session Manager calls this before revoking the
+// stranded sessions.
+func (c *Controller) SetSwitchDown(sw int, down bool) {
+	if down {
+		c.deadSw[sw] = true
+	} else {
+		delete(c.deadSw, sw)
+	}
+}
+
+// SetPortDown records a PortDown (or PortUp) cable cut. Both directions
+// of the cable die: the addressed output link and, when the peer is a
+// switch, the peer's link back.
+func (c *Controller) SetPortDown(sw, port int, down bool) {
+	set := func(k linkKey) {
+		if down {
+			c.deadLink[k] = true
+		} else {
+			delete(c.deadLink, k)
+		}
+	}
+	set(linkKey{sw, port})
+	if peer := c.topo.Peer(sw, port); !peer.IsHost && peer.ID >= 0 {
+		set(linkKey{peer.ID, peer.Port})
+	}
+}
+
+// linkDead reports whether the directed link (sw, out) is unusable: it or
+// its cable is cut, or either endpoint switch is dead.
+func (c *Controller) linkDead(sw, out int) bool {
+	if c.deadSw[sw] || c.deadLink[linkKey{sw, out}] {
+		return true
+	}
+	peer := c.topo.Peer(sw, out)
+	return !peer.IsHost && peer.ID >= 0 && c.deadSw[peer.ID]
+}
+
+// injDead reports whether host h's injection cable is unusable: its leaf
+// switch is dead, or the cable was cut (the switch-side ejection
+// direction marks the whole cable).
+func (c *Controller) injDead(h int) bool {
+	sw, port := c.topo.HostPort(h)
+	return c.deadSw[sw] || c.deadLink[linkKey{sw, port}]
 }
 
 // limitFor returns the reservable bandwidth of one link.
@@ -128,6 +182,9 @@ func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandl
 	if bw <= 0 {
 		return nil, 0, fmt.Errorf("admission: non-positive bandwidth %v", bw)
 	}
+	if c.injDead(src) || c.injDead(dst) {
+		return nil, 0, fmt.Errorf("admission: host %d or %d is unreachable (dead attachment)", src, dst)
+	}
 	injLimit := units.Bandwidth(c.maxUtil) * c.linkBW
 	if c.hostInj[src]+bw > injLimit {
 		return nil, 0, fmt.Errorf("admission: host %d injection link full (%v reserved, %v requested, %v limit)",
@@ -141,6 +198,10 @@ func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandl
 		worst := 0.0
 		ok := true
 		for _, h := range hops {
+			if c.linkDead(h.Switch, h.OutPort) {
+				ok = false
+				break
+			}
 			k := linkKey{h.Switch, h.OutPort}
 			limit := c.limitFor(k)
 			r := c.reserved[k]
@@ -159,10 +220,12 @@ func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandl
 			bestChoice, bestWorst = choice, worst
 		}
 	}
-	if bestChoice == -1 {
+	var hops []topology.Hop
+	if bestChoice >= 0 {
+		hops = c.topo.Path(src, dst, bestChoice)
+	} else if hops = c.repairCandidate(src, dst, bw); hops == nil {
 		return nil, 0, fmt.Errorf("admission: no path from %d to %d can carry %v more", src, dst, bw)
 	}
-	hops := c.topo.Path(src, dst, bestChoice)
 	c.nextFH++
 	for _, h := range hops {
 		k := linkKey{h.Switch, h.OutPort}
@@ -173,6 +236,58 @@ func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandl
 	c.byHost[src] = append(c.byHost[src], c.nextFH)
 	c.flows[c.nextFH] = reservation{src: src, bw: bw, hops: hops}
 	return ports(hops), c.nextFH, nil
+}
+
+// repairCandidate computes a non-minimal detour around dead fabric when
+// every minimal path was refused. It only engages while something is
+// actually dead (a healthy refusal stays a capacity error), and the
+// detour must still fit capacity-wise on every surviving hop — repaired
+// reservations are charged like any other.
+func (c *Controller) repairCandidate(src, dst int, bw units.Bandwidth) []topology.Hop {
+	if len(c.deadSw) == 0 && len(c.deadLink) == 0 {
+		return nil
+	}
+	hops := topology.RepairPath(c.topo, src, dst, c.linkDead)
+	if hops == nil {
+		return nil
+	}
+	for _, h := range hops {
+		k := linkKey{h.Switch, h.OutPort}
+		if c.reserved[k]+bw > c.limitFor(k) {
+			return nil
+		}
+	}
+	return hops
+}
+
+// RouteDead reports whether a port-list route from host src crosses dead
+// fabric (a dead switch, a severed cable, or a dead src attachment). The
+// session Manager uses it to find the sessions a switch failure stranded.
+func (c *Controller) RouteDead(src int, route []int) bool {
+	if len(c.deadSw) == 0 && len(c.deadLink) == 0 {
+		return false
+	}
+	if c.injDead(src) {
+		return true
+	}
+	for _, h := range topology.RouteHops(c.topo, src, route) {
+		if c.linkDead(h.Switch, h.OutPort) {
+			return true
+		}
+	}
+	return false
+}
+
+// RepairRoute returns a detour route from src to dst that avoids every
+// dead switch and severed cable, without charging the ledger (used for
+// best-effort flows, which never reserve), or nil when the pair is
+// partitioned.
+func (c *Controller) RepairRoute(src, dst int) []int {
+	hops := topology.RepairPath(c.topo, src, dst, c.linkDead)
+	if hops == nil {
+		return nil
+	}
+	return ports(hops)
 }
 
 // dropHandle removes h from an admission-order handle list, preserving
@@ -270,6 +385,52 @@ func (c *Controller) HandlesOn(sw, port int) []FlowHandle {
 // under the current derating (maxUtil x linkBW x derate scale).
 func (c *Controller) LinkLimit(sw, port int) units.Bandwidth {
 	return c.limitFor(linkKey{sw, port})
+}
+
+// AuditLedger verifies the ledger's internal consistency: every link's
+// reserved bandwidth must equal the admission-order sum over its live
+// handles (float-exact by construction — Release recomputes exactly this
+// sum), every host's injection reservation likewise, every listed handle
+// must exist, and no reservation may exceed its link's current limit
+// unless the overload is an acknowledged fault remnant awaiting
+// revocation. The soak harness runs it after every epoch as the
+// ledger-balance invariant.
+func (c *Controller) AuditLedger() error {
+	for k, hs := range c.byLink {
+		var sum units.Bandwidth
+		for _, h := range hs {
+			r, ok := c.flows[h]
+			if !ok {
+				return fmt.Errorf("admission: link %v:%v lists dead handle %d", k.sw, k.port, h)
+			}
+			sum += r.bw
+		}
+		if c.reserved[k] != sum {
+			return fmt.Errorf("admission: link sw%d:p%d reserved %v != handle sum %v",
+				k.sw, k.port, c.reserved[k], sum)
+		}
+	}
+	for k := range c.reserved {
+		if len(c.byLink[k]) == 0 {
+			return fmt.Errorf("admission: link sw%d:p%d reserves %v with no handles",
+				k.sw, k.port, c.reserved[k])
+		}
+	}
+	for host, hs := range c.byHost {
+		var sum units.Bandwidth
+		for _, h := range hs {
+			r, ok := c.flows[h]
+			if !ok {
+				return fmt.Errorf("admission: host %d lists dead handle %d", host, h)
+			}
+			sum += r.bw
+		}
+		if c.hostInj[host] != sum {
+			return fmt.Errorf("admission: host %d reserved %v != handle sum %v",
+				host, c.hostInj[host], sum)
+		}
+	}
+	return nil
 }
 
 // MaxLinkUtilisation returns the highest reserved fraction across all

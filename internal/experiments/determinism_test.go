@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/soak"
 	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
@@ -122,6 +124,26 @@ func detScenarios() []detScenario {
 			cfg.ProbeInterval = 100 * units.Microsecond
 			return cfg
 		}},
+		{"switch-failure", func() network.Config {
+			// Whole-switch outages with route repair, session
+			// reroute-or-revoke, and the reliability layer recovering the
+			// packets the dead switch discarded.
+			cfg := detBase()
+			horizon := cfg.WarmUp + cfg.Measure
+			cfg.Sessions = ChurnSessions(300 * units.Microsecond)
+			cfg.Reliability = hostif.Reliability{Enabled: true}
+			cfg.Faults = SwitchFaultPlan(cfg.Seed+13, cfg.Topology, horizon, horizon/2)
+			return cfg
+		}},
+		{"soak-epoch", func() network.Config {
+			// Exactly what the soak harness runs in one epoch — the full
+			// fault mix plus churn — pinned here so the seed printed by a
+			// failing soak replays byte-identically at any shard count.
+			base := detBase()
+			return soak.EpochConfig(soak.Options{
+				Seed: 5, WarmUp: base.WarmUp, Measure: base.Measure,
+			}, 0)
+		}},
 	}
 }
 
@@ -164,6 +186,7 @@ func runFingerprint(t *testing.T, cfg network.Config, shards int, withTracer boo
 		res.FaultEvents, uint64(res.OutstandingAtStop),
 	})
 	section("sessions", res.Sessions)
+	section("availability", res.Availability)
 	if tr != nil {
 		buf.WriteString("== trace-jsonl ==\n")
 		if err := tr.WriteJSONL(&buf); err != nil {
@@ -243,8 +266,14 @@ func TestShardDeterminismTraced(t *testing.T) {
 	}
 	cfgFn := func() network.Config {
 		cfg := detBase()
+		horizon := cfg.WarmUp + cfg.Measure
 		cfg.TrackOrderErrors = true
-		cfg.Faults = ChaosPlan(cfg.Seed+7, cfg.Topology, cfg.WarmUp+cfg.Measure)
+		cfg.Faults = ChaosPlan(cfg.Seed+7, cfg.Topology, horizon)
+		// A spine outage on top of the link chaos: traced runs must also
+		// agree on every drop inside the dead switch and every repair.
+		cfg.Faults.Events = append(cfg.Faults.Events,
+			faults.Event{At: horizon / 3, Link: faults.SwitchID(5), Kind: faults.SwitchDown},
+			faults.Event{At: 2 * horizon / 3, Link: faults.SwitchID(5), Kind: faults.SwitchUp})
 		cfg.Reliability = hostif.Reliability{Enabled: true}
 		cfg.ProbeInterval = 200 * units.Microsecond
 		cfg.Sessions = ChurnSessions(150 * units.Microsecond)

@@ -888,3 +888,73 @@ func Churn(opt Options) (*report.Table, error) {
 	}
 	return t, nil
 }
+
+// --- E6: availability under switch failures -------------------------------------
+
+// SwitchFaultPlan returns a topological fault plan: whole-switch outage
+// pairs drawn with the given MTTF (outage count scales as horizon/MTTF)
+// and an MTTR of horizon/20, so shorter MTTFs mean both more frequent and
+// cumulatively longer fabric damage.
+func SwitchFaultPlan(seed uint64, topo topology.Topology, horizon, mttf units.Time) *faults.Plan {
+	n := int(horizon / mttf)
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return faults.RandomPlan(seed, chaosLinkIDs(topo), horizon, faults.RandomConfig{
+		Switches:     topo.Switches(),
+		SwitchFaults: n,
+		SwitchMTTF:   mttf,
+		SwitchMTTR:   horizon / 20,
+	})
+}
+
+// Availability measures graceful degradation under whole-switch failures:
+// a switch-MTTF sweep at 80% load with session churn, the reliability
+// layer, and the reroute-or-revoke repair machinery armed. The table
+// reports, per MTTF: executed outages, summed downtime, static-flow repair
+// activity (rerouted / restored / unreachable), session repair activity
+// (rerouted reservations / revocations), the time-to-repair distribution,
+// and the packets discarded inside dead switches — all under an intact
+// conservation invariant.
+func Availability(opt Options) (*report.Table, error) {
+	t := report.NewTable(
+		"Extension: availability under switch failures (Advanced 2 VCs, 80% load, reroute-or-revoke repair)",
+		"switch MTTF", "outages", "downtime", "flows rerouted", "flows restored",
+		"flows unreachable", "sess rerouted", "sess revoked", "ttr p50", "ttr p99", "sw drops")
+	horizon := opt.Base.WarmUp + opt.Base.Measure
+	for _, mttf := range []units.Time{horizon, horizon / 2, horizon / 4} {
+		cfg := opt.Base
+		cfg.Arch = arch.Advanced2VC
+		cfg.Load = 0.8
+		cfg.CheckInvariants = true
+		cfg.Reliability = hostif.Reliability{Enabled: true}
+		cfg.Sessions = ChurnSessions(300 * units.Microsecond)
+		cfg.Faults = SwitchFaultPlan(cfg.Seed+13, cfg.Topology, horizon, mttf)
+		res, err := network.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Conservation.Check(); err != nil {
+			return nil, fmt.Errorf("experiments: availability mttf=%v: %w", mttf, err)
+		}
+		av := res.Availability
+		if av == nil {
+			return nil, fmt.Errorf("experiments: availability mttf=%v: no Availability in results", mttf)
+		}
+		t.Add(mttf.String(),
+			fmt.Sprintf("%d", av.SwitchDowns+av.PortDowns),
+			av.Downtime.String(),
+			fmt.Sprintf("%d", av.FlowsRerouted),
+			fmt.Sprintf("%d", av.FlowsRestored),
+			fmt.Sprintf("%d", av.FlowsUnreachable),
+			fmt.Sprintf("%d", av.SessionsRerouted),
+			fmt.Sprintf("%d", av.SessionsRevoked),
+			av.RepairP50.String(),
+			av.RepairP99.String(),
+			fmt.Sprintf("%d", res.Conservation.DroppedInSwitch))
+	}
+	return t, nil
+}

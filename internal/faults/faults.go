@@ -42,13 +42,23 @@ import (
 
 // LinkID identifies a switch output link, as Config.DegradedLinks does.
 // Host injection links are not individually addressable; the DefaultBER
-// of a plan covers them.
+// of a plan covers them. Switch-scoped events (SwitchDown/SwitchUp) set
+// Port to -1: they address the whole switch, not one of its links.
 type LinkID struct {
 	Switch, Port int
 }
 
+// SwitchID returns the LinkID form addressing a whole switch (Port -1),
+// used by SwitchDown/SwitchUp events.
+func SwitchID(sw int) LinkID { return LinkID{Switch: sw, Port: -1} }
+
 // String renders the link id.
-func (id LinkID) String() string { return fmt.Sprintf("sw%d:p%d", id.Switch, id.Port) }
+func (id LinkID) String() string {
+	if id.Port < 0 {
+		return fmt.Sprintf("sw%d", id.Switch)
+	}
+	return fmt.Sprintf("sw%d:p%d", id.Switch, id.Port)
+}
 
 // Kind enumerates the fault event types.
 type Kind uint8
@@ -65,6 +75,19 @@ const (
 	// Derate sets the link bandwidth to Scale x nominal (Scale 1
 	// restores full capacity).
 	Derate
+	// SwitchDown kills a whole switch (Event.Link = SwitchID(sw), Port
+	// -1): every link into and out of it drops, its queued and
+	// in-crossbar packets are discarded (accounted as DroppedInSwitch),
+	// and the route-repair layer recomputes paths around it.
+	SwitchDown
+	// SwitchUp restores a downed switch and every link attached to it,
+	// overriding any earlier single-link LinkDown on those ports.
+	SwitchUp
+	// PortDown severs one cable bidirectionally: the addressed output
+	// link and its reverse direction both drop.
+	PortDown
+	// PortUp restores a cable downed by PortDown.
+	PortUp
 )
 
 // String names the event kind.
@@ -76,9 +99,28 @@ func (k Kind) String() string {
 		return "up"
 	case Derate:
 		return "derate"
+	case SwitchDown:
+		return "sw-down"
+	case SwitchUp:
+		return "sw-up"
+	case PortDown:
+		return "port-down"
+	case PortUp:
+		return "port-up"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
+}
+
+// SwitchScoped reports whether the kind addresses a whole switch (Port
+// must be -1) rather than a single output link.
+func (k Kind) SwitchScoped() bool { return k == SwitchDown || k == SwitchUp }
+
+// Topological reports whether the kind changes reachability and so drives
+// the route-repair layer (link flaps do not: the reliability layer covers
+// transient loss, and flapped links keep their routes).
+func (k Kind) Topological() bool {
+	return k == SwitchDown || k == SwitchUp || k == PortDown || k == PortUp
 }
 
 // Event is one timed fault of a plan.
@@ -136,6 +178,21 @@ func (p *Plan) Empty() bool {
 	return p == nil || (len(p.Events) == 0 && len(p.BER) == 0 && p.DefaultBER == 0)
 }
 
+// HasTopological reports whether the plan contains any reachability-
+// changing event (switch or port down/up) — the trigger for the network's
+// route-repair layer.
+func (p *Plan) HasTopological() bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Events {
+		if e.Kind.Topological() {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate rejects malformed plans against a topology described by its
 // switch count and per-switch radix.
 func (p *Plan) Validate(switches int, radix func(sw int) int) error {
@@ -152,18 +209,31 @@ func (p *Plan) Validate(switches int, radix func(sw int) int) error {
 		if e.At < 0 {
 			return fmt.Errorf("faults: event %q scheduled before time zero", e)
 		}
-		if err := checkLink(e.Link); err != nil {
-			return err
-		}
 		switch e.Kind {
-		case LinkDown, LinkUp:
+		case LinkDown, LinkUp, PortDown, PortUp:
+			if err := checkLink(e.Link); err != nil {
+				return err
+			}
 		case Derate:
+			if err := checkLink(e.Link); err != nil {
+				return err
+			}
 			if e.Scale <= 0 || e.Scale > 1 {
 				return fmt.Errorf("faults: derate scale %v of %q out of (0,1]", e.Scale, e)
+			}
+		case SwitchDown, SwitchUp:
+			if e.Link.Switch < 0 || e.Link.Switch >= switches {
+				return fmt.Errorf("faults: switch event %q references switch outside [0,%d)", e, switches)
+			}
+			if e.Link.Port != -1 {
+				return fmt.Errorf("faults: switch event %q must use Port -1 (whole switch), got port %d", e, e.Link.Port)
 			}
 		default:
 			return fmt.Errorf("faults: unknown event kind %d", e.Kind)
 		}
+	}
+	if err := p.checkSwitchOverlaps(); err != nil {
+		return err
 	}
 	if p.DefaultBER < 0 || p.DefaultBER >= 1 {
 		return fmt.Errorf("faults: default BER %v out of [0,1)", p.DefaultBER)
@@ -174,6 +244,42 @@ func (p *Plan) Validate(switches int, radix func(sw int) int) error {
 		}
 		if ber < 0 || ber >= 1 {
 			return fmt.Errorf("faults: BER %v of link %v out of [0,1)", ber, id)
+		}
+	}
+	return nil
+}
+
+// checkSwitchOverlaps replays the normalized switch/port event sequence
+// and rejects overlapping outages: a SwitchDown while the switch is
+// already down (or a SwitchUp while up) would make the expanded per-link
+// action sequence — and with it the cross-shard loss predicate —
+// ambiguous, so it is a plan error rather than a runtime no-op. The same
+// rule applies per (switch, port) to PortDown/PortUp.
+func (p *Plan) checkSwitchOverlaps() error {
+	swDown := map[int]bool{}
+	portDown := map[LinkID]bool{}
+	for _, e := range p.Normalized() {
+		switch e.Kind {
+		case SwitchDown:
+			if swDown[e.Link.Switch] {
+				return fmt.Errorf("faults: event %q downs switch %d while it is already down", e, e.Link.Switch)
+			}
+			swDown[e.Link.Switch] = true
+		case SwitchUp:
+			if !swDown[e.Link.Switch] {
+				return fmt.Errorf("faults: event %q restores switch %d while it is already up", e, e.Link.Switch)
+			}
+			swDown[e.Link.Switch] = false
+		case PortDown:
+			if portDown[e.Link] {
+				return fmt.Errorf("faults: event %q downs port %v while it is already down", e, e.Link)
+			}
+			portDown[e.Link] = true
+		case PortUp:
+			if !portDown[e.Link] {
+				return fmt.Errorf("faults: event %q restores port %v while it is already up", e, e.Link)
+			}
+			portDown[e.Link] = false
 		}
 	}
 	return nil
@@ -261,6 +367,12 @@ func (inj *Injector) InstallEvents(evs []Event, indexes []int, eng *sim.Engine, 
 	for i, ev := range evs {
 		ev := ev
 		idx := indexes[i]
+		if ev.Kind.Topological() {
+			// Switch/port events expand to many link actions plus buffer
+			// drains; the network installs those itself (see
+			// network.installFaults), never through the Injector.
+			panic(fmt.Sprintf("faults: topological event %q passed to Injector", ev))
+		}
 		eng.At(ev.At, func() {
 			l := resolve(ev.Link)
 			applied := false
@@ -305,6 +417,21 @@ type RandomConfig struct {
 	BERLinks int
 	// MaxBER bounds the drawn bit-error rates.
 	MaxBER float64
+
+	// Switches is the topology's switch count; required when SwitchFaults
+	// is nonzero so the draw can address whole switches.
+	Switches int
+	// SwitchFaults is the number of SwitchDown/SwitchUp outage pairs to
+	// schedule. Outages never overlap on the same switch (Validate rejects
+	// that), so the generator serialises them per switch.
+	SwitchFaults int
+	// SwitchMTTF is the mean time between switch failures; outage start
+	// times are drawn uniformly in [0, min(MTTF, horizon)) after the
+	// switch's previous recovery. Zero means uniform over the horizon.
+	SwitchMTTF units.Time
+	// SwitchMTTR is the mean outage duration; each outage lasts uniformly
+	// in [MTTR/2, 3*MTTR/2). Zero falls back to the flap bounds.
+	SwitchMTTR units.Time
 }
 
 // RandomPlan draws a deterministic random fault plan over the given links
@@ -348,6 +475,38 @@ func RandomPlan(seed uint64, links []LinkID, horizon units.Time, cfg RandomConfi
 			Event{At: at, Link: id, Kind: Derate, Scale: rng.Uniform(minScale, 1)},
 			Event{At: at + dur, Link: id, Kind: Derate, Scale: 1})
 	}
+	if cfg.SwitchFaults > 0 && cfg.Switches > 0 {
+		mttf := cfg.SwitchMTTF
+		if mttf <= 0 || mttf > horizon {
+			mttf = horizon
+		}
+		mttr := cfg.SwitchMTTR
+		if mttr <= 0 {
+			mttr = (minDown + maxDown) / 2
+		}
+		// Serialise outages per switch so Down/Down never overlaps (a plan
+		// error): each new outage starts after the switch's last recovery.
+		nextFree := make([]units.Time, cfg.Switches)
+		for i := 0; i < cfg.SwitchFaults; i++ {
+			sw := rng.Intn(cfg.Switches)
+			at := nextFree[sw] + units.Time(rng.Int63n(int64(mttf)))
+			lo, hi := mttr/2, mttr+mttr/2
+			if lo <= 0 {
+				lo = 1
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			dur := units.Time(rng.UniformInt(int64(lo), int64(hi)))
+			if at >= horizon {
+				continue // drawn past the run; rng state already advanced
+			}
+			plan.Events = append(plan.Events,
+				Event{At: at, Link: SwitchID(sw), Kind: SwitchDown},
+				Event{At: at + dur, Link: SwitchID(sw), Kind: SwitchUp})
+			nextFree[sw] = at + dur + 1
+		}
+	}
 	if cfg.BERLinks > 0 && cfg.MaxBER > 0 {
 		plan.BER = make(map[LinkID]float64, cfg.BERLinks)
 		for i := 0; i < cfg.BERLinks; i++ {
@@ -381,6 +540,9 @@ type Conservation struct {
 	ArrivedCorrupt uint64
 	// LostOnLink counts copies lost in flight to link flaps.
 	LostOnLink uint64
+	// DroppedInSwitch counts copies discarded from a switch's buffers and
+	// crossbar when a SwitchDown killed it.
+	DroppedInSwitch uint64
 	// InNetworkAtStop counts copies still inside the fabric when the run
 	// stopped: switch buffers, crossbars in transfer, and link wires.
 	InNetworkAtStop uint64
@@ -404,6 +566,7 @@ func (c *Conservation) Add(other Conservation) {
 	c.ArrivedDup += other.ArrivedDup
 	c.ArrivedCorrupt += other.ArrivedCorrupt
 	c.LostOnLink += other.LostOnLink
+	c.DroppedInSwitch += other.DroppedInSwitch
 	c.InNetworkAtStop += other.InNetworkAtStop
 	c.StagedAtStop += other.StagedAtStop
 	c.DoubleDeliveries += other.DoubleDeliveries
@@ -416,16 +579,16 @@ func (c *Conservation) Add(other Conservation) {
 func (c Conservation) Check() error {
 	created := c.Generated + c.Retransmissions
 	accounted := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt +
-		c.LostOnLink + c.InNetworkAtStop + c.StagedAtStop
+		c.LostOnLink + c.DroppedInSwitch + c.InNetworkAtStop + c.StagedAtStop
 	if created != accounted {
-		return fmt.Errorf("faults: conservation violated: created %d (gen %d + retx %d) != accounted %d (delivered %d + dup %d + corrupt %d + lost %d + in-network %d + staged %d)",
+		return fmt.Errorf("faults: conservation violated: created %d (gen %d + retx %d) != accounted %d (delivered %d + dup %d + corrupt %d + lost %d + sw-dropped %d + in-network %d + staged %d)",
 			created, c.Generated, c.Retransmissions, accounted,
 			c.DeliveredUnique, c.ArrivedDup, c.ArrivedCorrupt,
-			c.LostOnLink, c.InNetworkAtStop, c.StagedAtStop)
+			c.LostOnLink, c.DroppedInSwitch, c.InNetworkAtStop, c.StagedAtStop)
 	}
-	injected := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt + c.LostOnLink + c.InNetworkAtStop
+	injected := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt + c.LostOnLink + c.DroppedInSwitch + c.InNetworkAtStop
 	if c.InjectedCopies != injected {
-		return fmt.Errorf("faults: injection accounting violated: injected %d != arrived+lost+in-network %d",
+		return fmt.Errorf("faults: injection accounting violated: injected %d != arrived+lost+sw-dropped+in-network %d",
 			c.InjectedCopies, injected)
 	}
 	if c.DeliveredUnique > c.Generated {
@@ -439,7 +602,8 @@ func (c Conservation) Check() error {
 
 // String renders the record for reports.
 func (c Conservation) String() string {
-	return fmt.Sprintf("gen=%d retx=%d inj=%d dlvr=%d dup=%d corrupt=%d lost=%d net=%d staged=%d",
+	return fmt.Sprintf("gen=%d retx=%d inj=%d dlvr=%d dup=%d corrupt=%d lost=%d swdrop=%d net=%d staged=%d",
 		c.Generated, c.Retransmissions, c.InjectedCopies, c.DeliveredUnique,
-		c.ArrivedDup, c.ArrivedCorrupt, c.LostOnLink, c.InNetworkAtStop, c.StagedAtStop)
+		c.ArrivedDup, c.ArrivedCorrupt, c.LostOnLink, c.DroppedInSwitch,
+		c.InNetworkAtStop, c.StagedAtStop)
 }

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"deadlineqos/internal/units"
+)
+
+// TestValidateSwitchEvents pins the hardened plan validation for the
+// switch- and port-scoped fault kinds: range checks, the Port==-1 rule
+// for whole-switch events, and the no-overlapping-outages replay.
+func TestValidateSwitchEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" = valid
+	}{
+		{"good switch outage", Plan{Events: []Event{
+			{At: 10, Link: SwitchID(2), Kind: SwitchDown},
+			{At: 20, Link: SwitchID(2), Kind: SwitchUp},
+		}}, ""},
+		{"sequential outages same switch", Plan{Events: []Event{
+			{At: 10, Link: SwitchID(1), Kind: SwitchDown},
+			{At: 20, Link: SwitchID(1), Kind: SwitchUp},
+			{At: 30, Link: SwitchID(1), Kind: SwitchDown},
+			{At: 40, Link: SwitchID(1), Kind: SwitchUp},
+		}}, ""},
+		{"concurrent outages different switches", Plan{Events: []Event{
+			{At: 10, Link: SwitchID(0), Kind: SwitchDown},
+			{At: 15, Link: SwitchID(3), Kind: SwitchDown},
+			{At: 20, Link: SwitchID(0), Kind: SwitchUp},
+			{At: 25, Link: SwitchID(3), Kind: SwitchUp},
+		}}, ""},
+		{"switch out of range", Plan{Events: []Event{
+			{At: 0, Link: SwitchID(4), Kind: SwitchDown},
+		}}, "outside [0,4)"},
+		{"negative switch", Plan{Events: []Event{
+			{At: 0, Link: SwitchID(-1), Kind: SwitchUp},
+		}}, "outside [0,4)"},
+		{"switch event with a port", Plan{Events: []Event{
+			{At: 0, Link: LinkID{Switch: 1, Port: 3}, Kind: SwitchDown},
+		}}, "must use Port -1"},
+		{"overlapping down-down", Plan{Events: []Event{
+			{At: 10, Link: SwitchID(1), Kind: SwitchDown},
+			{At: 15, Link: SwitchID(1), Kind: SwitchDown},
+			{At: 20, Link: SwitchID(1), Kind: SwitchUp},
+		}}, "already down"},
+		{"up before down", Plan{Events: []Event{
+			{At: 10, Link: SwitchID(1), Kind: SwitchUp},
+		}}, "already up"},
+		{"overlap found after normalization", Plan{Events: []Event{
+			// Out of plan order: normalized by time the sequence is
+			// Down(5), Down(8) — an overlap.
+			{At: 8, Link: SwitchID(2), Kind: SwitchDown},
+			{At: 5, Link: SwitchID(2), Kind: SwitchDown},
+			{At: 9, Link: SwitchID(2), Kind: SwitchUp},
+		}}, "already down"},
+		{"good port cut", Plan{Events: []Event{
+			{At: 10, Link: LinkID{Switch: 0, Port: 4}, Kind: PortDown},
+			{At: 20, Link: LinkID{Switch: 0, Port: 4}, Kind: PortUp},
+		}}, ""},
+		{"port down out of range", Plan{Events: []Event{
+			{At: 0, Link: LinkID{Switch: 0, Port: 8}, Kind: PortDown},
+		}}, "not in topology"},
+		{"overlapping port down-down", Plan{Events: []Event{
+			{At: 10, Link: LinkID{Switch: 0, Port: 4}, Kind: PortDown},
+			{At: 12, Link: LinkID{Switch: 0, Port: 4}, Kind: PortDown},
+		}}, "already down"},
+		{"port up while up", Plan{Events: []Event{
+			{At: 10, Link: LinkID{Switch: 0, Port: 4}, Kind: PortUp},
+		}}, "already up"},
+		{"same port different switch ok", Plan{Events: []Event{
+			{At: 10, Link: LinkID{Switch: 0, Port: 4}, Kind: PortDown},
+			{At: 12, Link: LinkID{Switch: 1, Port: 4}, Kind: PortDown},
+		}}, ""},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4, radix4)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRandomPlanSwitchFaults pins the switch-outage generator: plans are
+// deterministic, validate (i.e. never overlap on one switch), and respect
+// the horizon.
+func TestRandomPlanSwitchFaults(t *testing.T) {
+	links := []LinkID{{0, 0}, {1, 1}}
+	horizon := 10 * units.Millisecond
+	cfg := RandomConfig{
+		Switches: 4, SwitchFaults: 6,
+		SwitchMTTF: 2 * units.Millisecond, SwitchMTTR: 300 * units.Microsecond,
+	}
+	a := RandomPlan(7, links, horizon, cfg)
+	b := RandomPlan(7, links, horizon, cfg)
+	if len(a.Events) == 0 {
+		t.Fatal("no switch events generated")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same-seed plans differ in size: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same-seed plans differ at %d: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if err := a.Validate(4, radix4); err != nil {
+		t.Fatalf("random switch plan invalid: %v", err)
+	}
+	if !a.HasTopological() {
+		t.Fatal("switch plan not reported topological")
+	}
+	downs := 0
+	for _, e := range a.Events {
+		if e.Kind == SwitchDown {
+			downs++
+			if e.At >= horizon {
+				t.Fatalf("outage %v starts past the horizon", e)
+			}
+		}
+		if e.Kind != SwitchDown && e.Kind != SwitchUp {
+			t.Fatalf("unexpected kind in switch-only plan: %v", e)
+		}
+	}
+	if downs == 0 {
+		t.Fatal("no SwitchDown events survived the horizon clamp")
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 	// unplanned from the fabric manager's point of view.
 	Faults *faults.Plan
 
+	// RepairDelay models the fabric-management latency between a
+	// topological fault event (SwitchDown/SwitchUp/PortDown/PortUp) and
+	// the repaired routes reaching the statically provisioned flows' NICs
+	// (default 1 µs). Session flows are repaired separately, in-band,
+	// through the CAC.
+	RepairDelay units.Time
+
 	// Sessions, when non-nil, enables the dynamic session subsystem
 	// (internal/session): every host generates Poisson (optionally
 	// flash-crowd) session arrivals, negotiates admission with the
@@ -299,6 +306,12 @@ func (cfg *Config) validate() error {
 		if err := cfg.Faults.Validate(cfg.Topology.Switches(), cfg.Topology.Radix); err != nil {
 			return fmt.Errorf("network: %w", err)
 		}
+	}
+	if cfg.RepairDelay < 0 {
+		return fmt.Errorf("network: negative repair delay %v", cfg.RepairDelay)
+	}
+	if cfg.RepairDelay == 0 {
+		cfg.RepairDelay = units.Microsecond
 	}
 	if cfg.Shards < 0 {
 		return fmt.Errorf("network: shard count %d is negative", cfg.Shards)

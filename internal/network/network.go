@@ -75,6 +75,12 @@ type Results struct {
 	// reserved-vs-achieved utilisation, revocations, downgrades.
 	Sessions *session.Results
 
+	// Availability summarises switch/port-failure impact and repair (nil
+	// unless the fault plan contains topological events): fabric downtime,
+	// flows rerouted / restored / partitioned, stranded sessions, and the
+	// time-to-repair distribution.
+	Availability *Availability
+
 	// Telemetry holds the periodic per-port and engine probe series (nil
 	// unless Config.ProbeInterval was positive).
 	Telemetry *trace.Telemetry
@@ -97,6 +103,7 @@ type netShard struct {
 	deliveredOnce map[deliveryKey]struct{}
 	telemetry     *trace.Telemetry
 	sess          *session.Counters // nil unless Config.Sessions is set
+	avail         *availShard       // nil unless the fault plan is topological
 }
 
 // Network is a fully wired simulation. Build one with New, then call Run,
@@ -137,6 +144,12 @@ type Network struct {
 
 	// telemetry holds the merged probe series after Run (ProbeInterval > 0).
 	telemetry *trace.Telemetry
+
+	// Route-repair coordinator state (see repair.go; zero unless the fault
+	// plan contains topological events).
+	repairOn    bool
+	repairFlows []regFlow
+	avail       *Availability
 }
 
 // deliveryKey identifies a unique packet end-to-end for the delivery
@@ -181,6 +194,7 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{cfg: cfg, topo: cfg.Topology}
+	n.repairOn = cfg.Faults.HasTopological()
 	n.swShard, n.hostShard, n.nshards = Partition(n.topo, cfg.Shards)
 	n.lookahead = cfg.PropDelay
 	if cfg.Reliability.Enabled {
@@ -243,6 +257,7 @@ func New(cfg Config) (*Network, error) {
 			TrackOrderErrors: cfg.TrackOrderErrors,
 			VCTable:          cfg.VCArbitrationTable,
 			Tracer:           sh.tracer,
+			OnPktDrop:        n.onSwitchDropFor(sh),
 		}))
 	}
 
@@ -312,6 +327,7 @@ func New(cfg Config) (*Network, error) {
 	if err := n.provisionSessions(rng); err != nil {
 		return nil, err
 	}
+	n.installRepair()
 	return n, nil
 }
 
@@ -411,6 +427,16 @@ func (n *Network) onDropFor(sh *netShard) func(p *packet.Packet) {
 	}
 }
 
+// onSwitchDropFor builds the dead-switch discard observer for switches
+// owned by sh (the switch itself traces the drop; this hook keeps the
+// conservation books and the per-class loss statistics).
+func (n *Network) onSwitchDropFor(sh *netShard) func(p *packet.Packet) {
+	return func(p *packet.Packet) {
+		sh.cons.DroppedInSwitch++
+		sh.collect.PacketLost(p)
+	}
+}
+
 // creditPortal relays a cross-shard credit return: the downstream element
 // calls ReturnCredits on the receiver's shard, and the update lands on the
 // sender's engine after the reverse propagation delay, on the link's
@@ -427,26 +453,78 @@ func (cp *creditPortal) ReturnCredits(vc packet.VC, size units.Size) {
 	cp.q.Put(cp.eng.Now()+cp.prop, cp.ch, func() { cp.l.ApplyCredits(vc, size) })
 }
 
+// linkAction is one directed-link up/down transition a topological fault
+// event expands to. Switch output links are addressed by LinkID; host
+// injection links (which have no LinkID) by the host index.
+type linkAction struct {
+	id   faults.LinkID
+	host int // >= 0: host's injection link instead of id
+	down bool
+}
+
+// expandTopological expands a switch or port event into its ordered list
+// of directed-link transitions: ports ascending, per port the out-link
+// first and the reverse in-link second. Both the live fault installer and
+// downTimeline replay exactly this sequence, so the cross-shard loss
+// predicate always matches the sender-side link epochs.
+func expandTopological(topo topology.Topology, ev faults.Event) []linkAction {
+	down := ev.Kind == faults.SwitchDown || ev.Kind == faults.PortDown
+	sw := ev.Link.Switch
+	lo, hi := ev.Link.Port, ev.Link.Port+1
+	if ev.Kind.SwitchScoped() {
+		lo, hi = 0, topo.Radix(sw)
+	}
+	var acts []linkAction
+	for p := lo; p < hi; p++ {
+		peer := topo.Peer(sw, p)
+		if peer.ID < 0 {
+			continue
+		}
+		acts = append(acts, linkAction{id: faults.LinkID{Switch: sw, Port: p}, host: -1, down: down})
+		if peer.IsHost {
+			acts = append(acts, linkAction{host: peer.ID, down: down})
+		} else {
+			acts = append(acts, linkAction{id: faults.LinkID{Switch: peer.ID, Port: peer.Port}, host: -1, down: down})
+		}
+	}
+	return acts
+}
+
 // downTimeline replays the plan's normalized events through the per-link
 // up/down state machine and returns, per link, the times of the applied
 // down transitions — the exact instants the live link's downEpoch will
 // increment. Cross-shard links use it to decide in-flight loss at send
 // time (the receiver's shard cannot observe the sender-side epoch).
-func downTimeline(plan *faults.Plan) map[faults.LinkID][]units.Time {
+// Topological events are expanded with expandTopological so their member
+// links transition exactly as the live installer applies them.
+func downTimeline(topo topology.Topology, plan *faults.Plan) map[faults.LinkID][]units.Time {
 	if plan.Empty() {
 		return nil
 	}
 	down := make(map[faults.LinkID]bool)
 	out := make(map[faults.LinkID][]units.Time)
+	apply := func(id faults.LinkID, d bool, at units.Time) {
+		if d && !down[id] {
+			down[id] = true
+			out[id] = append(out[id], at)
+		}
+		if !d {
+			down[id] = false
+		}
+	}
 	for _, ev := range plan.Normalized() {
-		switch ev.Kind {
-		case faults.LinkDown:
-			if !down[ev.Link] {
-				down[ev.Link] = true
-				out[ev.Link] = append(out[ev.Link], ev.At)
+		switch {
+		case ev.Kind == faults.LinkDown:
+			apply(ev.Link, true, ev.At)
+		case ev.Kind == faults.LinkUp:
+			apply(ev.Link, false, ev.At)
+		case ev.Kind.Topological():
+			for _, a := range expandTopological(topo, ev) {
+				if a.host >= 0 {
+					continue // host links never cross shards
+				}
+				apply(a.id, a.down, ev.At)
 			}
-		case faults.LinkUp:
-			down[ev.Link] = false
 		}
 	}
 	return out
@@ -489,7 +567,7 @@ func (n *Network) wire() {
 		}
 		return cfg.LinkBW
 	}
-	timeline := downTimeline(cfg.Faults)
+	timeline := downTimeline(n.topo, cfg.Faults)
 	nextCh := uint32(1)
 	channels := func(l *link.Link) {
 		l.SetChannels(nextCh, nextCh+1)
@@ -583,21 +661,87 @@ func (n *Network) installFaults() {
 	evs := plan.Normalized()
 	n.faultSlots = make([]faults.TraceEntry, len(evs))
 	n.faultDone = make([]bool, len(evs))
-	perShardEvs := make([][]faults.Event, n.nshards)
-	perShardIdx := make([][]int, n.nshards)
-	for i, ev := range evs {
-		s := n.swShard[ev.Link.Switch]
-		perShardEvs[s] = append(perShardEvs[s], ev)
-		perShardIdx[s] = append(perShardIdx[s], i)
-	}
 	resolve := func(id faults.LinkID) *link.Link { return n.linkByID[id] }
-	for s, sh := range n.shards {
-		sh.injector.InstallEvents(perShardEvs[s], perShardIdx[s], sh.eng, resolve,
-			func(idx int, entry faults.TraceEntry) {
-				n.faultSlots[idx] = entry
-				n.faultDone[idx] = true
-			})
+	record := func(idx int, entry faults.TraceEntry) {
+		n.faultSlots[idx] = entry
+		n.faultDone[idx] = true
 	}
+	// Install events one at a time in normalized order so each shard
+	// engine's insertion order — which breaks ties at equal times — is the
+	// normalized order, matching downTimeline's replay exactly even when a
+	// link event and a topological expansion touch the same link in the
+	// same cycle.
+	for i, ev := range evs {
+		if ev.Kind.Topological() {
+			n.installTopological(i, ev, record)
+			continue
+		}
+		sh := n.shards[n.swShard[ev.Link.Switch]]
+		sh.injector.InstallEvents([]faults.Event{ev}, []int{i}, sh.eng, resolve, record)
+	}
+}
+
+// installTopological schedules one switch or port event: its expanded
+// directed-link transitions run on each link's owning shard, and the
+// event's home shard (the addressed switch's) additionally applies the
+// switch kill/restore and writes the event's global trace slot.
+func (n *Network) installTopological(idx int, ev faults.Event, record func(int, faults.TraceEntry)) {
+	acts := expandTopological(n.topo, ev)
+	byShard := make([][]linkAction, n.nshards)
+	for _, a := range acts {
+		s := n.swShard[a.id.Switch]
+		if a.host >= 0 {
+			s = n.hostShard[a.host]
+		}
+		byShard[s] = append(byShard[s], a)
+	}
+	home := n.swShard[ev.Link.Switch]
+	for s := range n.shards {
+		if s != home && len(byShard[s]) == 0 {
+			continue
+		}
+		s, acts := s, byShard[s]
+		n.shards[s].eng.At(ev.At, func() {
+			applied := false
+			if s == home && ev.Kind == faults.SwitchUp {
+				// Clear the kill before reopening links, so the senders the
+				// link restore re-arbitrates meet a live switch.
+				applied = n.switches[ev.Link.Switch].SetDown(false)
+			}
+			for _, a := range acts {
+				was := n.applyLinkAction(a)
+				// A port event's trace entry reports the addressed
+				// direction (the reverse may independently no-op).
+				if s == home && !ev.Kind.SwitchScoped() && a.host < 0 && a.id == ev.Link {
+					applied = was
+				}
+			}
+			if s == home {
+				if ev.Kind == faults.SwitchDown {
+					// Kill after the links dropped: the buffer drain's
+					// upstream credit returns land on already-down links,
+					// which relay credits out-of-band like live ones.
+					applied = n.switches[ev.Link.Switch].SetDown(true)
+				}
+				record(idx, faults.TraceEntry{Event: ev, Applied: applied})
+			}
+		})
+	}
+}
+
+// applyLinkAction applies one expanded link transition, reporting whether
+// the link state changed.
+func (n *Network) applyLinkAction(a linkAction) bool {
+	var l *link.Link
+	if a.host >= 0 {
+		l = n.hostUp[a.host]
+	} else {
+		l = n.linkByID[a.id]
+	}
+	if l == nil {
+		return false
+	}
+	return l.SetDown(a.down)
 }
 
 // destinations returns count destinations for host h, spread
@@ -691,6 +835,7 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 					Route: n.adm.RouteBestEffort(h, d, uint64(nextFlow)),
 					Mode:  hostif.ByBandwidth, BW: cfg.LinkBW,
 				})
+				n.registerRepairFlow(h, nextFlow, h, d)
 				ctl = append(ctl, nextFlow)
 			}
 			n.sources = append(n.sources, traffic.NewControl(traffic.ControlConfig{
@@ -713,6 +858,7 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 				Route: route, Mode: hostif.FrameLatency, Target: cfg.VideoTarget,
 				UseEligible: true,
 			})
+			n.registerRepairFlow(h, nextFlow, h, d)
 			if len(cfg.VideoTraceFrames) > 0 {
 				n.sources = append(n.sources, traffic.NewVideoTrace(traffic.VideoTraceConfig{
 					Eng: hostEng, Host: host, Rng: hostRng.Split(uint64(100 + v)),
@@ -762,6 +908,7 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 					Mode:  hostif.ByBandwidth,
 					BW:    units.Bandwidth(weight * float64(rate) / float64(cfg.BEDests)),
 				})
+				n.registerRepairFlow(h, nextFlow, h, d)
 				flows = append(flows, nextFlow)
 				if d == cfg.HotspotHost {
 					hotFlow = nextFlow
@@ -926,10 +1073,13 @@ func (n *Network) Run() *Results {
 	}
 	res.LostOnLink = cons.LostOnLink
 	res.Conservation = cons
-	for _, sh := range n.shards {
-		res.FaultEvents += sh.injector.Executed()
+	for _, done := range n.faultDone {
+		if done {
+			res.FaultEvents++
+		}
 	}
 	res.FaultTrace = n.FaultTrace()
+	n.buildAvailability(res)
 	return res
 }
 

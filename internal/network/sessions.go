@@ -45,12 +45,14 @@ func (n *Network) provisionSessions(rng *xrand.Rand) error {
 			Route: n.adm.RouteBestEffort(h, mgr, uint64(up)),
 			Mode:  hostif.ByBandwidth, BW: n.cfg.LinkBW,
 		})
+		n.registerRepairFlow(h, up, h, mgr)
 		down := session.SigDown(h)
 		n.hosts[mgr].AddFlow(&hostif.Flow{
 			ID: down, Class: packet.Control, Src: mgr, Dst: h,
 			Route: n.adm.RouteBestEffort(mgr, h, uint64(down)),
 			Mode:  hostif.ByBandwidth, BW: n.cfg.LinkBW,
 		})
+		n.registerRepairFlow(mgr, down, mgr, h)
 	}
 
 	// The CAC endpoint lives on the manager host's shard; every admission
@@ -82,21 +84,39 @@ func (n *Network) provisionSessions(rng *xrand.Rand) error {
 		n.sources = append(n.sources, cl)
 	}
 
-	// Fault-plan derates feed the CAC: RevokeDelay after each capacity
-	// change the manager revokes whatever reservations the link can no
-	// longer carry. The plan is static, so this schedule — installed on the
-	// manager's shard before any runtime event — is identical at any shard
-	// count. Scale-1 (restore) events pass through to the ledger and
-	// revoke nothing.
+	// Fault-plan derates and topological events feed the CAC: RevokeDelay
+	// after each capacity change the manager revokes whatever reservations
+	// the link can no longer carry, and after each switch/port failure it
+	// repairs (reroute-or-revoke) the sessions the failure strands. The
+	// plan is static, so this schedule — installed on the manager's shard
+	// before any runtime event — is identical at any shard count. Scale-1
+	// (restore) and up events pass through to the ledger and revoke
+	// nothing.
 	if plan := n.cfg.Faults; !plan.Empty() {
 		for _, ev := range plan.Normalized() {
-			if ev.Kind != faults.Derate {
-				continue
-			}
 			ev := ev
-			mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
-				m.OnLinkDerated(ev.Link.Switch, ev.Link.Port, ev.Scale)
-			})
+			switch ev.Kind {
+			case faults.Derate:
+				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
+					m.OnLinkDerated(ev.Link.Switch, ev.Link.Port, ev.Scale)
+				})
+			case faults.SwitchDown:
+				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
+					m.OnSwitchDown(ev.Link.Switch, ev.At)
+				})
+			case faults.SwitchUp:
+				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
+					m.OnSwitchUp(ev.Link.Switch)
+				})
+			case faults.PortDown:
+				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
+					m.OnPortDown(ev.Link.Switch, ev.Link.Port, ev.At)
+				})
+			case faults.PortUp:
+				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
+					m.OnPortUp(ev.Link.Switch, ev.Link.Port)
+				})
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,127 @@
+package network
+
+import (
+	"encoding/json"
+	"testing"
+
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/units"
+)
+
+// switchFailConfig builds the acceptance scenario for switch failure with
+// route repair: a switch outage and a port cut land mid-run on a fabric
+// carrying static traffic and dynamic sessions, with the reliability layer
+// recovering the losses.
+func switchFailConfig(shards int) Config {
+	cfg := chaosBase()
+	cfg.Shards = shards
+	cfg.Sessions = &session.Config{
+		InterArrival: 300 * units.Microsecond,
+		HoldMean:     1500 * units.Microsecond,
+	}
+	// SmallConfig's folded Clos has leaves 0..3 and spines 4..7: killing
+	// spine 4 leaves three alternate spines for route repair, and the port
+	// cut severs leaf 0's uplink to spine 5.
+	cfg.Faults = &faults.Plan{
+		Seed: 7,
+		Events: []faults.Event{
+			{At: 2 * units.Millisecond, Link: faults.SwitchID(4), Kind: faults.SwitchDown},
+			{At: 4 * units.Millisecond, Link: faults.SwitchID(4), Kind: faults.SwitchUp},
+			{At: 5 * units.Millisecond, Link: faults.LinkID{Switch: 0, Port: 5}, Kind: faults.PortDown},
+			{At: 7 * units.Millisecond, Link: faults.LinkID{Switch: 0, Port: 5}, Kind: faults.PortUp},
+		},
+	}
+	return cfg
+}
+
+// TestSwitchFailureRecovery is the tentpole acceptance check: a
+// SwitchDown/SwitchUp scenario must keep the conservation books balanced
+// with the dead switch's discarded packets accounted, reroute at least one
+// reserved flow through the session manager, repair static routes, and
+// report availability.
+func TestSwitchFailureRecovery(t *testing.T) {
+	res, err := Run(switchFailConfig(1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Conservation.Check(); err != nil {
+		t.Fatalf("conservation: %v\n%v", err, res.Conservation)
+	}
+	av := res.Availability
+	if av == nil {
+		t.Fatal("topological fault plan produced no Availability")
+	}
+	if av.SwitchDowns != 1 || av.SwitchUps != 1 || av.PortDowns != 1 {
+		t.Fatalf("event counts: %+v", av)
+	}
+	if want := 2 * units.Millisecond; av.Downtime != want {
+		t.Fatalf("downtime %v, want %v", av.Downtime, want)
+	}
+	if res.Conservation.DroppedInSwitch == 0 {
+		t.Fatalf("dead switch discarded nothing: %v", res.Conservation)
+	}
+	if av.FlowsRerouted == 0 {
+		t.Fatalf("no static flow rerouted: %v", av)
+	}
+	if av.SessionsRevoked == 0 || av.SessionsRerouted == 0 {
+		t.Fatalf("no reserved session rerouted: %v", av)
+	}
+	if av.RepairCount == 0 || av.RepairP99 < av.RepairP50 {
+		t.Fatalf("repair latency distribution empty or inverted: %v", av)
+	}
+	if res.Sessions.Granted == 0 || res.Conservation.DeliveredUnique == 0 {
+		t.Fatal("scenario carried no session traffic")
+	}
+}
+
+// TestSwitchFailureShardDeterminism pins byte-identical results for the
+// switch-failure scenario at 1, 2 and 4 shards: conservation, fault trace,
+// availability, and session results all must match exactly.
+func TestSwitchFailureShardDeterminism(t *testing.T) {
+	type snap struct {
+		Cons    faults.Conservation
+		Trace   []faults.TraceEntry
+		Avail   *Availability
+		Sess    *session.Results
+		Dropped uint64
+	}
+	var base []byte
+	for _, shards := range []int{1, 2, 4} {
+		res, err := Run(switchFailConfig(shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		b, err := json.Marshal(snap{
+			Cons: res.Conservation, Trace: res.FaultTrace,
+			Avail: res.Availability, Sess: res.Sessions,
+			Dropped: res.Conservation.DroppedInSwitch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = b
+			continue
+		}
+		if string(b) != string(base) {
+			t.Fatalf("shards=%d diverges:\n%s\nvs sequential:\n%s", shards, b, base)
+		}
+	}
+}
+
+// TestAuditInvariantsAfterFailure runs the failure scenario and then
+// audits the structural invariants the soak harness relies on.
+func TestAuditInvariantsAfterFailure(t *testing.T) {
+	n, err := New(switchFailConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run()
+	if err := res.Conservation.Check(); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+	if err := n.AuditInvariants(); err != nil {
+		t.Fatalf("invariant audit: %v", err)
+	}
+}

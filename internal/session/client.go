@@ -238,11 +238,23 @@ func (c *Client) HandleCtl(p *packet.Packet) {
 			return
 		}
 		f := c.c.Host.Flow(s.flowID)
+		if m.DownAt > 0 && m.Route != nil {
+			// Switch/port-failure repair: the service interruption ran
+			// from the fault instant to this in-band route delivery.
+			c.c.Cnt.RepairLatHist.Add(c.c.Eng.Now() - m.DownAt)
+		}
 		if m.Downgrade {
-			// No surviving path: continue best effort. The CAC already
-			// dropped its record, so no teardown Release later.
+			// Reservation gone: continue best effort. The CAC already
+			// dropped its record, so no teardown Release later. After a
+			// switch failure the manager encloses a repaired route; with
+			// none (derate revoke, or partitioned pair) fall back to the
+			// hashed fixed route and let the fabric account the drops.
 			f.Class = packet.BestEffort
-			f.Route = c.c.RouteBE(c.id, s.dst, uint64(s.flowID))
+			if m.Route != nil {
+				f.Route = m.Route
+			} else {
+				f.Route = c.c.RouteBE(c.id, s.dst, uint64(s.flowID))
+			}
 			s.granted = false
 		} else {
 			// Re-admitted elsewhere: switch to the fresh route slice.

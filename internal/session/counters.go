@@ -32,10 +32,22 @@ type Counters struct {
 	Rerouted         uint64 // revoked reservations re-admitted on another path
 	RevokeDowngrades uint64 // revoked reservations with no surviving path
 
+	// Switch/port-failure repair activity (subset of the above where the
+	// trigger was a SwitchDown or PortDown rather than a derate).
+	SwitchRevoked     uint64 // sessions stranded by a dead switch or cut cable
+	SwitchRerouted    uint64 // stranded sessions moved to a surviving route
+	SwitchDowngraded  uint64 // stranded reservations downgraded to best effort
+	SwitchUnreachable uint64 // stranded sessions whose host pair is partitioned
+
 	// Setup latency: first Setup sent to Grant received, measured by the
 	// client across the in-band round trip (fabric queueing included).
 	SetupLatency stats.TimeSeries
 	SetupLatHist *stats.Histogram
+
+	// RepairLatHist is the client-observed time-to-repair distribution:
+	// switch/port fault time to the in-band arrival of the replacement
+	// route.
+	RepairLatHist *stats.Histogram
 
 	// Delivered session traffic inside the measurement window.
 	DataBytes   units.Size
@@ -46,7 +58,10 @@ type Counters struct {
 
 // NewCounters returns an empty Counters.
 func NewCounters() *Counters {
-	return &Counters{SetupLatHist: stats.NewHistogram()}
+	return &Counters{
+		SetupLatHist:  stats.NewHistogram(),
+		RepairLatHist: stats.NewHistogram(),
+	}
 }
 
 // Merge folds other into c (exact, order-independent).
@@ -68,8 +83,13 @@ func (c *Counters) Merge(other *Counters) {
 	c.Revoked += other.Revoked
 	c.Rerouted += other.Rerouted
 	c.RevokeDowngrades += other.RevokeDowngrades
+	c.SwitchRevoked += other.SwitchRevoked
+	c.SwitchRerouted += other.SwitchRerouted
+	c.SwitchDowngraded += other.SwitchDowngraded
+	c.SwitchUnreachable += other.SwitchUnreachable
 	c.SetupLatency.Merge(&other.SetupLatency)
 	c.SetupLatHist.Merge(other.SetupLatHist)
+	c.RepairLatHist.Merge(other.RepairLatHist)
 	c.DataBytes += other.DataBytes
 	c.DataPackets += other.DataPackets
 	c.SigBytes += other.SigBytes
@@ -98,6 +118,18 @@ type Results struct {
 	Revoked          uint64 `json:"revoked"`
 	Rerouted         uint64 `json:"rerouted"`
 	RevokeDowngrades uint64 `json:"revoke_downgrades"`
+
+	// Switch/port-failure repair activity.
+	SwitchRevoked     uint64 `json:"switch_revoked"`
+	SwitchRerouted    uint64 `json:"switch_rerouted"`
+	SwitchDowngraded  uint64 `json:"switch_downgraded"`
+	SwitchUnreachable uint64 `json:"switch_unreachable"`
+
+	// Client-observed time-to-repair after switch/port failures (fault
+	// instant to in-band arrival of the replacement route).
+	RepairCount uint64     `json:"repair_count"`
+	RepairP50   units.Time `json:"repair_p50"`
+	RepairP99   units.Time `json:"repair_p99"`
 
 	// AcceptRatio is granted / (granted + downgraded): the fraction of
 	// decided sessions that ended up with a reservation (or a best-effort

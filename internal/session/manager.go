@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"sort"
 
 	"deadlineqos/internal/admission"
 	"deadlineqos/internal/hostif"
@@ -214,6 +215,100 @@ func (m *Manager) revoke(id uint64) {
 	m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Route: route})
 }
 
+// OnSwitchDown marks a whole switch dead in the admission ledger and
+// repairs every session whose route the failure strands. downAt is the
+// fault's event time (carried to clients for time-to-repair telemetry).
+// The network schedules this on the manager shard's engine RevokeDelay
+// after the fault, mirroring OnLinkDerated.
+func (m *Manager) OnSwitchDown(sw int, downAt units.Time) {
+	m.c.Adm.SetSwitchDown(sw, true)
+	m.repairStranded(downAt)
+}
+
+// OnSwitchUp clears a switch's dead marking. Already-repaired sessions
+// keep their detour routes; new admissions may use the switch again.
+func (m *Manager) OnSwitchUp(sw int) {
+	m.c.Adm.SetSwitchDown(sw, false)
+}
+
+// OnPortDown marks both directions of one cable dead and repairs the
+// sessions it strands.
+func (m *Manager) OnPortDown(sw, port int, downAt units.Time) {
+	m.c.Adm.SetPortDown(sw, port, true)
+	m.repairStranded(downAt)
+}
+
+// OnPortUp clears a cable's dead marking.
+func (m *Manager) OnPortUp(sw, port int) {
+	m.c.Adm.SetPortDown(sw, port, false)
+}
+
+// repairStranded sweeps the session table for routes that now cross dead
+// fabric and repairs each: reroute-or-revoke for reservations, repair-or-
+// abandon for best-effort grants. Victims are processed in ascending
+// session-id order — map iteration order is not deterministic, the repair
+// order (and thus the admission ledger's float sequence) must be.
+func (m *Manager) repairStranded(downAt units.Time) {
+	var victims []uint64
+	for id, s := range m.sessions {
+		if m.c.Adm.RouteDead(s.src, s.route) {
+			victims = append(victims, id)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, id := range victims {
+		m.c.Cnt.SwitchRevoked++
+		m.revokeFault(id, downAt)
+	}
+}
+
+// revokeFault repairs one session stranded by a switch or port failure.
+// Unlike revoke (derates), the session may be a best-effort grant with no
+// ledger entry, and the host pair may be partitioned outright.
+func (m *Manager) revokeFault(id uint64, downAt units.Time) {
+	s := m.sessions[id]
+	if !s.reserved {
+		// Best-effort grant: just hand the client a repaired route, or tell
+		// it the pair is partitioned (it keeps transmitting into the void;
+		// the conservation ledger accounts the drops).
+		if route := m.c.Adm.RepairRoute(s.src, s.dst); route != nil {
+			s.route = route
+			m.c.Cnt.SwitchRerouted++
+			m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Route: route, DownAt: downAt})
+			return
+		}
+		delete(m.sessions, id)
+		m.c.Cnt.SwitchUnreachable++
+		m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Downgrade: true, DownAt: downAt})
+		return
+	}
+	m.c.Adm.Release(s.handle)
+	delete(m.byHandle, s.handle)
+	m.addReserved(-s.bw)
+	m.c.Cnt.Revoked++
+	route, h, err := m.c.Adm.Reserve(s.src, s.dst, s.bw)
+	if err == nil {
+		s.handle, s.route = h, route
+		m.byHandle[h] = id
+		m.addReserved(s.bw)
+		m.c.Cnt.Rerouted++
+		m.c.Cnt.SwitchRerouted++
+		m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Route: route, DownAt: downAt})
+		return
+	}
+	// No re-admission: downgrade to best effort over a repaired route when
+	// one exists, or report the pair unreachable.
+	delete(m.sessions, id)
+	m.c.Cnt.RevokeDowngrades++
+	route = m.c.Adm.RepairRoute(s.src, s.dst)
+	if route != nil {
+		m.c.Cnt.SwitchDowngraded++
+	} else {
+		m.c.Cnt.SwitchUnreachable++
+	}
+	m.reply(s.src, &Msg{Op: OpRevoke, Session: id, Downgrade: true, Route: route, DownAt: downAt})
+}
+
 // ActiveSessions returns the number of granted, not-yet-released sessions
 // (telemetry).
 func (m *Manager) ActiveSessions() int { return len(m.sessions) }
@@ -237,10 +332,15 @@ func (m *Manager) BuildResults(cnt *Counters) *Results {
 		Finished: cnt.Finished, TeardownsSent: cnt.TeardownsSent,
 		Released: cnt.Released, StaleTears: cnt.StaleTeardowns,
 		DupSetups: cnt.DupSetups, Revoked: cnt.Revoked, Rerouted: cnt.Rerouted,
-		RevokeDowngrades: cnt.RevokeDowngrades,
-		SetupCount:       cnt.SetupLatency.Count(),
-		SetupMeanNs:      cnt.SetupLatency.Mean(),
-		DataBytes:        cnt.DataBytes, DataPackets: cnt.DataPackets,
+		RevokeDowngrades:  cnt.RevokeDowngrades,
+		SwitchRevoked:     cnt.SwitchRevoked,
+		SwitchRerouted:    cnt.SwitchRerouted,
+		SwitchDowngraded:  cnt.SwitchDowngraded,
+		SwitchUnreachable: cnt.SwitchUnreachable,
+		RepairCount:       cnt.RepairLatHist.Count(),
+		SetupCount:        cnt.SetupLatency.Count(),
+		SetupMeanNs:       cnt.SetupLatency.Mean(),
+		DataBytes:         cnt.DataBytes, DataPackets: cnt.DataPackets,
 		SigBytes: cnt.SigBytes, SigPackets: cnt.SigPackets,
 		ActiveAtStop:   len(m.sessions),
 		ReservedAtStop: m.cur,
@@ -248,6 +348,10 @@ func (m *Manager) BuildResults(cnt *Counters) *Results {
 	if cnt.SetupLatHist.Count() > 0 {
 		r.SetupP50 = cnt.SetupLatHist.Quantile(0.50)
 		r.SetupP99 = cnt.SetupLatHist.Quantile(0.99)
+	}
+	if cnt.RepairLatHist.Count() > 0 {
+		r.RepairP50 = cnt.RepairLatHist.Quantile(0.50)
+		r.RepairP99 = cnt.RepairLatHist.Quantile(0.99)
 	}
 	if decided := cnt.Granted + cnt.Downgraded; decided > 0 {
 		r.AcceptRatio = float64(cnt.Granted) / float64(decided)

@@ -75,6 +75,12 @@ type Msg struct {
 	// Downgrade on a Revoke tells the client its reservation could not be
 	// re-admitted after a fault: continue as best effort.
 	Downgrade bool
+	// DownAt, on a Revoke caused by a switch or port failure, carries the
+	// fault's event time. The client measures time-to-repair as the
+	// in-band delivery time of the new route minus DownAt — the real
+	// service-interruption window, fabric queueing included. Zero on
+	// derate-driven revokes.
+	DownAt units.Time
 }
 
 // Profile describes one entry of the per-class session mix.

@@ -1,0 +1,228 @@
+// Package soak drives the simulator through randomized fault-and-churn
+// epochs and audits hard invariants after each one.
+//
+// Each epoch is an independent network build-and-run whose every random
+// choice derives from (master seed, epoch index): the fault plan mixes
+// switch outages, port cuts, link flaps, derates and bit errors from
+// faults.RandomPlan, while a dynamic session workload churns reservations
+// through the CAC on top of the static traffic matrix. After the run the
+// harness checks the packet-conservation books, the structural invariants
+// (switch buffer pools, link credit bounds, admission ledger), and basic
+// deadline-statistics sanity. A violation aborts the soak with the epoch's
+// seed and an exact replay command, and because epochs are pure functions
+// of their seed — at any shard count — the replay is byte-identical.
+package soak
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/network"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/topology"
+	"deadlineqos/internal/units"
+)
+
+// Options configures a soak run. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Seed is the master seed; epoch e runs with EpochSeed(Seed, e).
+	Seed uint64
+	// Epochs is the number of epochs to run (default 4).
+	Epochs int
+	// FirstEpoch offsets the epoch index (for replaying a single failed
+	// epoch out of a longer schedule without re-running its predecessors).
+	FirstEpoch int
+	// Shards is the simulation shard count (default 1).
+	Shards int
+	// Load is the offered load (default 0.8).
+	Load float64
+	// WarmUp and Measure set each epoch's windows (defaults 1 ms / 8 ms).
+	WarmUp, Measure units.Time
+	// SwitchFaults, Flaps and Derates size each epoch's fault plan
+	// (defaults 2 / 3 / 2).
+	SwitchFaults, Flaps, Derates int
+	// Log, when non-nil, receives one progress line per epoch.
+	Log func(format string, args ...any)
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Epochs <= 0 {
+		o.Epochs = 4
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Load <= 0 {
+		o.Load = 0.8
+	}
+	if o.WarmUp <= 0 {
+		o.WarmUp = units.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 8 * units.Millisecond
+	}
+	if o.SwitchFaults <= 0 {
+		o.SwitchFaults = 2
+	}
+	if o.Flaps <= 0 {
+		o.Flaps = 3
+	}
+	if o.Derates <= 0 {
+		o.Derates = 2
+	}
+	return o
+}
+
+// EpochSeed derives the epoch's seed from the master seed with a
+// splitmix64 finalizer, so neighbouring epochs share no stream structure.
+func EpochSeed(master uint64, epoch int) uint64 {
+	z := master + 0x9e3779b97f4a7c15*uint64(epoch+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// EpochConfig builds the complete network configuration for one epoch: a
+// 16-host folded Clos under the advanced 2-VC architecture with the
+// reliability layer, runtime invariant checks, session churn, and a
+// seed-derived fault plan. Exported so the determinism cross-checks can
+// replay exactly what the soak loop runs.
+func EpochConfig(opt Options, epoch int) network.Config {
+	opt = opt.withDefaults()
+	seed := EpochSeed(opt.Seed, epoch)
+
+	cfg := network.SmallConfig()
+	cfg.WarmUp = opt.WarmUp
+	cfg.Measure = opt.Measure
+	cfg.Load = opt.Load
+	cfg.Seed = seed
+	cfg.Shards = opt.Shards
+	cfg.Reliability = hostif.Reliability{Enabled: true}
+	cfg.CheckInvariants = true
+	cfg.Sessions = &session.Config{
+		InterArrival: 300 * units.Microsecond,
+		HoldMean:     1500 * units.Microsecond,
+	}
+
+	horizon := cfg.WarmUp + cfg.Measure
+	plan := faults.RandomPlan(seed, soakLinkIDs(cfg.Topology), horizon, faults.RandomConfig{
+		Flaps:    opt.Flaps,
+		MinDown:  horizon / 200,
+		MaxDown:  horizon / 25,
+		Derates:  opt.Derates,
+		MinScale: 0.3,
+
+		Switches:     cfg.Topology.Switches(),
+		SwitchFaults: opt.SwitchFaults,
+		SwitchMTTF:   horizon / 2,
+		SwitchMTTR:   horizon / 20,
+	})
+	plan.DefaultBER = 1e-7
+	cfg.Faults = plan
+	return cfg
+}
+
+// soakLinkIDs enumerates every wired switch output link of a topology.
+func soakLinkIDs(topo topology.Topology) []faults.LinkID {
+	var ids []faults.LinkID
+	for sw := 0; sw < topo.Switches(); sw++ {
+		for p := 0; p < topo.Radix(sw); p++ {
+			if topo.Peer(sw, p).ID != -1 {
+				ids = append(ids, faults.LinkID{Switch: sw, Port: p})
+			}
+		}
+	}
+	return ids
+}
+
+// EpochReport is one audited epoch's outcome.
+type EpochReport struct {
+	Epoch   int
+	Seed    uint64
+	Results *network.Results
+}
+
+// Report summarises a completed soak run.
+type Report struct {
+	Options Options
+	Epochs  []EpochReport
+}
+
+// Run executes the soak schedule. The first invariant violation aborts the
+// run with an error naming the epoch, its seed and an exact single-epoch
+// replay command; the partial report accompanies the error.
+func Run(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Options: opt}
+	for i := 0; i < opt.Epochs; i++ {
+		epoch := opt.FirstEpoch + i
+		cfg := EpochConfig(opt, epoch)
+		n, err := network.New(cfg)
+		if err != nil {
+			return rep, epochErr(opt, epoch, cfg.Seed, err)
+		}
+		res := n.Run()
+		if err := Audit(n, res); err != nil {
+			return rep, epochErr(opt, epoch, cfg.Seed, err)
+		}
+		rep.Epochs = append(rep.Epochs, EpochReport{Epoch: epoch, Seed: cfg.Seed, Results: res})
+		av := res.Availability
+		logf("epoch %d ok: seed %#016x delivered=%d dropped-in-switch=%d availability[%v]",
+			epoch, cfg.Seed, res.Conservation.DeliveredUnique,
+			res.Conservation.DroppedInSwitch, av)
+	}
+	return rep, nil
+}
+
+// epochErr wraps an epoch failure with its seed and replay recipe.
+func epochErr(opt Options, epoch int, seed uint64, err error) error {
+	return fmt.Errorf("soak: epoch %d (seed %#016x): %w\nreplay: go run ./cmd/qossoak -seed %d -first-epoch %d -epochs 1 -shards %d",
+		epoch, seed, err, opt.Seed, epoch, opt.Shards)
+}
+
+// Audit runs every post-epoch invariant: packet conservation, structural
+// network invariants (switch pools, credit bounds, admission ledger), and
+// deadline-statistics sanity.
+func Audit(n *network.Network, res *network.Results) error {
+	if err := res.Conservation.Check(); err != nil {
+		return fmt.Errorf("conservation: %w\n%v", err, res.Conservation)
+	}
+	if err := n.AuditInvariants(); err != nil {
+		return fmt.Errorf("structural audit: %w", err)
+	}
+	return SanityCheck(res)
+}
+
+// SanityCheck validates the per-class deadline statistics: no class
+// delivers more measured packets than it generated, latency quantiles are
+// monotone, and miss rates stay in [0, 1].
+func SanityCheck(res *network.Results) error {
+	for c := 0; c < packet.NumClasses; c++ {
+		cl := packet.Class(c)
+		cs := &res.PerClass[c]
+		if cs.DeliveredPackets > cs.GeneratedPackets {
+			return fmt.Errorf("sanity: class %v delivered %d > generated %d",
+				cl, cs.DeliveredPackets, cs.GeneratedPackets)
+		}
+		if cs.LatencyHist.Count() > 0 {
+			p50, p99 := cs.LatencyHist.Quantile(0.50), cs.LatencyHist.Quantile(0.99)
+			if p99 < p50 {
+				return fmt.Errorf("sanity: class %v latency p99 %v < p50 %v", cl, p99, p50)
+			}
+		}
+		if mr := res.MissRate(cl); mr < 0 || mr > 1 {
+			return fmt.Errorf("sanity: class %v miss rate %v outside [0, 1]", cl, mr)
+		}
+	}
+	return nil
+}

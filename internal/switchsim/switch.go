@@ -66,6 +66,12 @@ type Config struct {
 	// off). When set, buffer observers are installed so take-overs and
 	// order errors surface as per-packet events.
 	Tracer *trace.Tracer
+	// OnPktDrop observes every packet the switch discards when a
+	// SwitchDown fault kills it (queued, output-buffered, and
+	// mid-crossbar packets alike). The network wires it to the
+	// conservation accounting; nil means drops are silently lost, so any
+	// run with switch faults must set it.
+	OnPktDrop func(p *packet.Packet)
 }
 
 // Stats are the instrumentation counters of one switch.
@@ -84,7 +90,9 @@ type Switch struct {
 
 	xbarTransfers uint64
 	linkSends     uint64
-	inXbar        int // packets mid-crossbar (popped from a VOQ, not yet in an output buffer)
+	inXbar        int  // packets mid-crossbar (popped from a VOQ, not yet in an output buffer)
+	down          bool // a SwitchDown fault killed the switch
+	dropped       uint64
 }
 
 type inputPort struct {
@@ -96,6 +104,12 @@ type inputPort struct {
 	pool     [packet.NumVCs]units.Size
 	busy     bool
 	upstream link.CreditReturner
+
+	// The (single) crossbar transfer in flight from this port, tracked so
+	// Audit can reconcile the pool and SetDown knows what finishTransfer
+	// will still free. Valid only while busy.
+	xferVC   packet.VC
+	xferSize units.Size
 }
 
 type outputPort struct {
@@ -187,6 +201,16 @@ type portReceiver struct {
 func (r *portReceiver) Receive(p *packet.Packet) { r.sw.receive(r.port, p) }
 
 func (s *Switch) receive(in int, p *packet.Packet) {
+	if s.down {
+		// Reachable when a flap's LinkUp restores a link into a still-dead
+		// switch: the dead switch discards the arrival, returning the
+		// credits the sender consumed (the packet never enters a pool).
+		if up := s.in[in].upstream; up != nil {
+			up.ReturnCredits(p.VC, p.Size)
+		}
+		s.drop(p, in, -1)
+		return
+	}
 	p.UnpackTTD(s.cfg.Clock.Now())
 	o := p.NextPort()
 	p.Advance()
@@ -267,6 +291,7 @@ func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
 		s.traceEvt(trace.KindVOQDequeue, p, ip.idx, op.idx)
 	}
 	ip.busy = true
+	ip.xferVC, ip.xferSize = vc, p.Size
 	op.busy = true
 	s.xbarTransfers++
 	s.inXbar++
@@ -284,6 +309,12 @@ func (s *Switch) finishTransfer(ip *inputPort, op *outputPort, vc packet.VC, p *
 	if ip.upstream != nil {
 		ip.upstream.ReturnCredits(vc, p.Size)
 	}
+	if s.down {
+		// The switch died mid-transfer: the pool and upstream credits are
+		// already reconciled above, the packet itself is discarded.
+		s.drop(p, ip.idx, op.idx)
+		return
+	}
 	if s.cfg.Tracer != nil && p.Sampled {
 		s.traceEvt(trace.KindOutputEnqueue, p, op.idx, -1)
 	}
@@ -291,6 +322,100 @@ func (s *Switch) finishTransfer(ip *inputPort, op *outputPort, vc packet.VC, p *
 	s.tryLinkTx(op.idx)
 	s.tryXbar(op.idx)
 	s.retryInput(ip)
+}
+
+// drop discards one packet under a SwitchDown fault, feeding the
+// conservation accounting and the lifecycle trace.
+func (s *Switch) drop(p *packet.Packet, port, out int) {
+	s.dropped++
+	if s.cfg.Tracer != nil && p.Sampled {
+		s.traceEvt(trace.KindSwitchDrop, p, port, out)
+	}
+	if s.cfg.OnPktDrop != nil {
+		s.cfg.OnPktDrop(p)
+	}
+}
+
+// SetDown applies or clears a SwitchDown fault. Going down discards every
+// queued packet — input VOQs (pool freed, upstream credits returned) and
+// output buffers — in deterministic port/VC order; a transfer mid-crossbar
+// is discarded when it completes (finishTransfer). The caller (the
+// network's fault installer) is responsible for also downing every link
+// attached to the switch in the same event. Returns whether the state
+// changed.
+func (s *Switch) SetDown(down bool) bool {
+	if s.down == down {
+		return false
+	}
+	s.down = down
+	if !down {
+		return true // buffers were drained on the way down; nothing to restore
+	}
+	for _, ip := range s.in {
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			for o := 0; o < s.cfg.Radix; o++ {
+				for {
+					p := ip.voq[vc][o].Pop()
+					if p == nil {
+						break
+					}
+					ip.pool[vc] -= p.Size
+					if ip.upstream != nil {
+						ip.upstream.ReturnCredits(packet.VC(vc), p.Size)
+					}
+					s.drop(p, ip.idx, o)
+				}
+			}
+		}
+	}
+	for _, op := range s.out {
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			for {
+				p := op.buf[vc].Pop()
+				if p == nil {
+					break
+				}
+				s.drop(p, op.idx, -1)
+			}
+		}
+	}
+	return true
+}
+
+// Down reports whether the switch is currently killed by a SwitchDown
+// fault.
+func (s *Switch) Down() bool { return s.down }
+
+// Dropped returns the number of packets discarded by SwitchDown faults.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// Audit verifies the switch's internal buffer accounting: every input
+// port's per-VC pool must equal the bytes actually queued in its VOQs plus
+// the in-flight crossbar transfer it still holds. The soak harness calls
+// this after every epoch as the switch-level credit-leak check.
+func (s *Switch) Audit() error {
+	for _, ip := range s.in {
+		var want [packet.NumVCs]units.Size
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			for o := 0; o < s.cfg.Radix; o++ {
+				want[vc] += ip.voq[vc][o].Bytes()
+			}
+		}
+		if ip.busy {
+			want[ip.xferVC] += ip.xferSize
+		}
+		for vc := 0; vc < packet.NumVCs; vc++ {
+			if ip.pool[vc] != want[vc] {
+				return fmt.Errorf("switch %d input %d vc %d: pool %v != queued+in-flight %v",
+					s.cfg.ID, ip.idx, vc, ip.pool[vc], want[vc])
+			}
+			if ip.pool[vc] > s.cfg.BufPerVC {
+				return fmt.Errorf("switch %d input %d vc %d: pool %v above capacity %v",
+					s.cfg.ID, ip.idx, vc, ip.pool[vc], s.cfg.BufPerVC)
+			}
+		}
+	}
+	return nil
 }
 
 // retryInput re-arbitrates the outputs the freed input has traffic for.

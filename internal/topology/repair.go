@@ -1,0 +1,136 @@
+package topology
+
+// Route repair: recomputing paths around dead switches and severed cables.
+//
+// The paper's source routing fixes a minimal path per flow at admission
+// time (§3). When a SwitchDown or PortDown fault removes part of the
+// fabric, those fixed routes blackhole, so the repair layer recomputes a
+// deterministic alternate path over the surviving links. RepairPath is a
+// breadth-first search over the switch graph that expands neighbours in
+// ascending port order: it returns the first-found shortest surviving
+// path, which is a pure function of (topology, blocked set) — the same
+// inputs always yield the same route, keeping repaired runs replayable at
+// any shard count. On a Mesh2D the ascending port order (+X, -X, +Y, -Y
+// after the host ports) makes the search prefer dimension-order-style
+// detours, so repaired mesh routes stay as close to X-then-Y as the dead
+// set allows.
+
+// RepairPath returns a shortest path from src to dst (host indices) over
+// the links the blocked predicate allows, or nil when the pair is
+// partitioned. blocked(sw, out) must report true for every unusable
+// directed link: the out-links of dead switches, the in-links toward dead
+// switches (i.e. the neighbour-side ports facing them), and both
+// directions of severed cables. The result is loop-free by construction
+// (the search visits each switch at most once) and need not be minimal in
+// the healthy topology — a detour longer than Topology.Path's routes is
+// exactly what repair is for.
+func RepairPath(t Topology, src, dst int, blocked func(sw, out int) bool) []Hop {
+	if src == dst {
+		panic("topology: repair path to self")
+	}
+	srcSw, srcPort := t.HostPort(src)
+	dstSw, dstPort := t.HostPort(dst)
+	// The ejection link to dst and the injection cable from src are the
+	// only attachment points; if either is blocked no detour can help.
+	// (A cut host cable blocks both directions, and blocked(srcSw,
+	// srcPort) is the switch-side half of src's cable.)
+	if blocked(dstSw, dstPort) || blocked(srcSw, srcPort) {
+		return nil
+	}
+	if srcSw == dstSw {
+		return []Hop{{Switch: srcSw, OutPort: dstPort}}
+	}
+	// BFS over switches, expanding ports in ascending order so the
+	// first-found shortest path is deterministic.
+	type cameFrom struct {
+		sw  int // previous switch
+		out int // output port taken on it
+	}
+	parent := make(map[int]cameFrom, t.Switches())
+	parent[srcSw] = cameFrom{sw: -1}
+	queue := []int{srcSw}
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		if sw == dstSw {
+			break
+		}
+		for p := 0; p < t.Radix(sw); p++ {
+			if blocked(sw, p) {
+				continue
+			}
+			peer := t.Peer(sw, p)
+			if peer.IsHost || peer.ID < 0 {
+				continue
+			}
+			if _, seen := parent[peer.ID]; seen {
+				continue
+			}
+			parent[peer.ID] = cameFrom{sw: sw, out: p}
+			queue = append(queue, peer.ID)
+		}
+	}
+	if _, ok := parent[dstSw]; !ok {
+		return nil
+	}
+	var rev []Hop
+	for sw := dstSw; ; {
+		from := parent[sw]
+		if from.sw < 0 {
+			break
+		}
+		rev = append(rev, Hop{Switch: from.sw, OutPort: from.out})
+		sw = from.sw
+	}
+	hops := make([]Hop, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		hops = append(hops, rev[i])
+	}
+	return append(hops, Hop{Switch: dstSw, OutPort: dstPort})
+}
+
+// Ports flattens a hop sequence into the per-switch output-port list that
+// packet headers carry (the same encoding admission.Controller uses).
+func Ports(hops []Hop) []int {
+	if hops == nil {
+		return nil
+	}
+	route := make([]int, len(hops))
+	for i, h := range hops {
+		route[i] = h.OutPort
+	}
+	return route
+}
+
+// RouteSwitches returns the switches a port-list route from host src
+// traverses, by walking the wiring. Used to decide whether a fixed route
+// crosses a switch that just died.
+func RouteSwitches(t Topology, src int, route []int) []int {
+	sw, _ := t.HostPort(src)
+	switches := make([]int, 0, len(route))
+	for _, p := range route {
+		switches = append(switches, sw)
+		peer := t.Peer(sw, p)
+		if peer.IsHost || peer.ID < 0 {
+			break
+		}
+		sw = peer.ID
+	}
+	return switches
+}
+
+// RouteHops reconstructs the hop sequence of a port-list route from host
+// src (the inverse of Ports given the source host).
+func RouteHops(t Topology, src int, route []int) []Hop {
+	sw, _ := t.HostPort(src)
+	hops := make([]Hop, 0, len(route))
+	for _, p := range route {
+		hops = append(hops, Hop{Switch: sw, OutPort: p})
+		peer := t.Peer(sw, p)
+		if peer.IsHost || peer.ID < 0 {
+			break
+		}
+		sw = peer.ID
+	}
+	return hops
+}

@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+
+	"deadlineqos/internal/xrand"
+)
+
+// blockedForDead returns the directed-link predicate for a dead-switch
+// set: every out-link of a dead switch and every link toward one is
+// unusable (the same expansion the network's fault installer applies).
+func blockedForDead(t Topology, dead map[int]bool) func(sw, out int) bool {
+	return func(sw, out int) bool {
+		if dead[sw] {
+			return true
+		}
+		peer := t.Peer(sw, out)
+		return !peer.IsHost && peer.ID >= 0 && dead[peer.ID]
+	}
+}
+
+// validateRepairedRoute checks one repaired path: it starts at src's leaf,
+// follows real wiring, never revisits a switch, avoids every dead switch,
+// and ends at dst's NIC.
+func validateRepairedRoute(t *testing.T, topo Topology, src, dst int, dead map[int]bool, hops []Hop) {
+	t.Helper()
+	sw, _ := topo.HostPort(src)
+	seen := map[int]bool{}
+	for i, h := range hops {
+		if h.Switch != sw {
+			t.Fatalf("%s src=%d dst=%d hop %d at switch %d, route expects %d",
+				topo.Name(), src, dst, i, h.Switch, sw)
+		}
+		if dead[sw] {
+			t.Fatalf("%s src=%d dst=%d: repaired route traverses dead switch %d",
+				topo.Name(), src, dst, sw)
+		}
+		if seen[sw] {
+			t.Fatalf("%s src=%d dst=%d: repaired route loops through switch %d",
+				topo.Name(), src, dst, sw)
+		}
+		seen[sw] = true
+		peer := topo.Peer(sw, h.OutPort)
+		if peer.ID < 0 {
+			t.Fatalf("%s src=%d dst=%d: hop %d uses unwired port %d of switch %d",
+				topo.Name(), src, dst, i, h.OutPort, sw)
+		}
+		if peer.IsHost {
+			if i != len(hops)-1 {
+				t.Fatalf("%s src=%d dst=%d: route reaches a host mid-path at hop %d",
+					topo.Name(), src, dst, i)
+			}
+			if peer.ID != dst {
+				t.Fatalf("%s src=%d dst=%d: route delivers to host %d",
+					topo.Name(), src, dst, peer.ID)
+			}
+			return
+		}
+		sw = peer.ID
+	}
+	t.Fatalf("%s src=%d dst=%d: route ends without reaching the destination NIC",
+		topo.Name(), src, dst)
+}
+
+// reachable answers ground truth by an independent breadth-first search
+// over the surviving switch graph (undirected: switch links come in
+// wired pairs).
+func reachable(topo Topology, src, dst int, dead map[int]bool) bool {
+	srcSw, _ := topo.HostPort(src)
+	dstSw, _ := topo.HostPort(dst)
+	if dead[srcSw] || dead[dstSw] {
+		return false
+	}
+	if srcSw == dstSw {
+		return true
+	}
+	seen := map[int]bool{srcSw: true}
+	queue := []int{srcSw}
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		for p := 0; p < topo.Radix(sw); p++ {
+			peer := topo.Peer(sw, p)
+			if peer.IsHost || peer.ID < 0 || dead[peer.ID] || seen[peer.ID] {
+				continue
+			}
+			if peer.ID == dstSw {
+				return true
+			}
+			seen[peer.ID] = true
+			queue = append(queue, peer.ID)
+		}
+	}
+	return false
+}
+
+// TestRepairPathFuzz draws random topologies and random dead-switch sets
+// and checks, for a sample of host pairs, that RepairPath either returns a
+// loop-free route over surviving switches or correctly reports the pair
+// unreachable.
+func TestRepairPathFuzz(t *testing.T) {
+	rng := xrand.New(0x5e9a11)
+	build := func(round int) Topology {
+		switch round % 4 {
+		case 0:
+			topo, err := NewFoldedClos(2+rng.Intn(5), 1+rng.Intn(4), 1+rng.Intn(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return topo
+		case 1:
+			topo, err := NewKAryNTree(2+rng.Intn(2), 2+rng.Intn(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return topo
+		case 2:
+			topo, err := NewMesh2D(2+rng.Intn(3), 2+rng.Intn(3), 1+rng.Intn(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return topo
+		default:
+			return &SingleSwitch{N: 2 + rng.Intn(6)}
+		}
+	}
+	for round := 0; round < 60; round++ {
+		topo := build(round)
+		dead := map[int]bool{}
+		for i := rng.Intn(topo.Switches()); i > 0; i-- {
+			dead[rng.Intn(topo.Switches())] = true
+		}
+		blocked := blockedForDead(topo, dead)
+		hosts := topo.Hosts()
+		for trial := 0; trial < 20; trial++ {
+			src, dst := rng.Intn(hosts), rng.Intn(hosts)
+			if src == dst {
+				continue
+			}
+			hops := RepairPath(topo, src, dst, blocked)
+			want := reachable(topo, src, dst, dead)
+			if hops == nil {
+				if want {
+					t.Fatalf("round %d %s: RepairPath reports %d->%d unreachable with dead=%v, but a path exists",
+						round, topo.Name(), src, dst, dead)
+				}
+				continue
+			}
+			if !want {
+				t.Fatalf("round %d %s: RepairPath found a route %d->%d although the pair is partitioned (dead=%v)",
+					round, topo.Name(), src, dst, dead)
+			}
+			validateRepairedRoute(t, topo, src, dst, dead, hops)
+		}
+	}
+}
+
+// TestRepairPathDeterministic pins that repeated calls with the same
+// inputs yield identical routes, and that the healthy repair route of a
+// mesh matches dimension-order preference (no gratuitous detours).
+func TestRepairPathDeterministic(t *testing.T) {
+	topo, err := NewMesh2D(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{4: true} // centre switch
+	blocked := blockedForDead(topo, dead)
+	a := RepairPath(topo, 0, 17, blocked)
+	b := RepairPath(topo, 0, 17, blocked)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("repeated repair differs:\n%v\n%v", a, b)
+	}
+	if a == nil {
+		t.Fatal("corner-to-corner pair reported unreachable around centre switch")
+	}
+	// Healthy mesh: the repaired route must be a shortest path, i.e. the
+	// same length as dimension-order routing.
+	healthy := RepairPath(topo, 0, 17, func(int, int) bool { return false })
+	if got, want := len(healthy), len(topo.Path(0, 17, 0)); got != want {
+		t.Fatalf("healthy repair length %d, dimension-order length %d", got, want)
+	}
+}
+
+// TestRouteSwitchesAndHops pins the route-walking helpers against the
+// topology's own Path output.
+func TestRouteSwitchesAndHops(t *testing.T) {
+	topo := PaperMIN()
+	src, dst := 3, 77
+	hops := topo.Path(src, dst, 2)
+	route := Ports(hops)
+	sws := RouteSwitches(topo, src, route)
+	if len(sws) != len(hops) {
+		t.Fatalf("RouteSwitches length %d, want %d", len(sws), len(hops))
+	}
+	for i := range hops {
+		if sws[i] != hops[i].Switch {
+			t.Fatalf("hop %d: switch %d, want %d", i, sws[i], hops[i].Switch)
+		}
+	}
+	back := RouteHops(topo, src, route)
+	if fmt.Sprint(back) != fmt.Sprint(hops) {
+		t.Fatalf("RouteHops mismatch:\n%v\n%v", back, hops)
+	}
+}

@@ -72,6 +72,9 @@ const (
 	KindCRCDrop
 	// KindLinkDrop: a copy was lost in flight to a link flap.
 	KindLinkDrop
+	// KindSwitchDrop: a copy was discarded from a switch's buffers or
+	// crossbar when a SwitchDown fault killed the switch (switch event).
+	KindSwitchDrop
 	// KindRetransmit: a retransmit copy was queued at the source (host).
 	KindRetransmit
 	// KindDupDrop: the destination dropped a duplicate copy (host event).
@@ -86,8 +89,8 @@ const (
 
 var kindLabels = [numKinds]string{
 	"gen", "elig-hold", "inject", "voq-enq", "voq-deq", "out-enq",
-	"link-tx", "takeover", "order-err", "crc-drop", "link-drop", "retx",
-	"dup-drop", "demote", "deliver",
+	"link-tx", "takeover", "order-err", "crc-drop", "link-drop",
+	"switch-drop", "retx", "dup-drop", "demote", "deliver",
 }
 
 // String returns the short label used in JSONL output.
