@@ -12,6 +12,7 @@
 //	qoschurn -load 1.0 -inter 60us -hold 3ms          # saturate the CAC
 //	qoschurn -derates 4 -faultseed 3                  # revocation under faults
 //	qoschurn -flash 8 -flashat 2ms -flashlen 2ms      # flash crowd
+//	qoschurn -delegate -local 0.7 -flash 6            # per-pod CAC delegates
 package main
 
 import (
@@ -48,6 +49,10 @@ func run() error {
 		inter     = flag.String("inter", "200us", "mean per-host session inter-arrival time")
 		hold      = flag.String("hold", "2ms", "mean session hold time")
 		manager   = flag.Int("manager", 0, "host index running the CAC endpoint")
+		delegate  = flag.Bool("delegate", false, "run per-pod CAC delegates under the root (survivable control plane)")
+		local     = flag.Float64("local", 0, "fraction of session destinations kept intra-pod (needs -delegate)")
+		ctlSvc    = flag.String("ctlservice", "", "per-request CAC service time (e.g. 500ns; empty = default)")
+		ctlQueue  = flag.Int("ctlqueue", 0, "CAC control-queue capacity before shedding (0 = default)")
 		flash     = flag.Float64("flash", 0, "flash-crowd arrival-rate multiplier (0 = off)")
 		flashAt   = flag.String("flashat", "2ms", "flash-crowd window start")
 		flashLen  = flag.String("flashlen", "2ms", "flash-crowd window length")
@@ -100,6 +105,18 @@ func run() error {
 			return err
 		}
 	}
+	if *delegate {
+		scfg.Delegation = true
+		scfg.LocalFrac = *local
+	} else if *local != 0 {
+		return fmt.Errorf("-local needs -delegate")
+	}
+	if *ctlSvc != "" {
+		if scfg.CtlService, err = cli.ParseDuration(*ctlSvc); err != nil {
+			return err
+		}
+	}
+	scfg.CtlQueueCap = *ctlQueue
 	cfg.Sessions = &scfg
 
 	horizon := cfg.WarmUp + cfg.Measure
@@ -127,8 +144,8 @@ func run() error {
 
 	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d shards=%d window=[%v, %v]\n",
 		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.Shards, cfg.WarmUp, horizon)
-	fmt.Printf("sessions: inter-arrival=%v hold=%v manager=%d flash=%.1fx derates=%d\n",
-		scfg.InterArrival, scfg.HoldMean, *manager, *flash, *derates)
+	fmt.Printf("sessions: inter-arrival=%v hold=%v manager=%d flash=%.1fx derates=%d delegate=%v\n",
+		scfg.InterArrival, scfg.HoldMean, *manager, *flash, *derates, *delegate)
 
 	res, err := network.Run(cfg)
 	if err != nil {
@@ -152,6 +169,18 @@ func run() error {
 		100*s.ReservedUtil, 100*s.AchievedUtil)
 	fmt.Printf("revocation: revoked=%d rerouted=%d downgraded=%d stale teardowns=%d\n",
 		s.Revoked, s.Rerouted, s.RevokeDowngrades, s.StaleTears)
+	if cp := res.ControlPlane; cp != nil && cp.Delegated {
+		fmt.Printf("control plane: %d pods, %d delegates, local grants %d, escalated %d, shed %d\n",
+			cp.Pods, cp.Delegates, cp.LocalGrants, cp.Escalated, cp.Shed)
+		fmt.Printf("leases: granted=%d requested=%d denied=%d returned=%d renewals=%d\n",
+			cp.LeaseGrants, cp.LeaseRequests, cp.LeaseDenied, cp.LeaseReturns, cp.LeaseRenewals)
+		fmt.Printf("failover: promotions=%d reclaims=%d replays=%d breaker opens=%d breaker rejects=%d\n",
+			cp.Promotions, cp.Reclaims, cp.FailoverReplays, cp.BreakerOpens, cp.BreakerRejects)
+		if cp.FailoverCount > 0 {
+			fmt.Printf("failover TTR: p50 %v p99 %v (%d failovers)\n",
+				cp.FailoverP50, cp.FailoverP99, cp.FailoverCount)
+		}
+	}
 	fmt.Printf("traffic: data %d pkts (%v), signalling %d pkts (%v)\n",
 		s.DataPackets, s.DataBytes, s.SigPackets, s.SigBytes)
 	ctrl := &res.PerClass[packet.Control]

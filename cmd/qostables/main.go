@@ -43,7 +43,7 @@ func run() error {
 		plots   = flag.Bool("plots", true, "print ASCII plots next to the tables")
 		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		archsF  = flag.String("archs", "", "comma-separated architecture subset (traditional,traditional4,ideal,simple,advanced)")
-		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn")
+		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn,availability,survivable")
 	)
 	flag.Parse()
 
@@ -152,6 +152,7 @@ func run() error {
 		{"E4", "slack", experiments.DeadlineSlack},
 		{"E5", "churn", experiments.Churn},
 		{"E6", "availability", experiments.Availability},
+		{"E7", "survivable", experiments.Survivable},
 	} {
 		if !selected(exp.name) {
 			continue

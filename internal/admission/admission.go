@@ -36,6 +36,12 @@ type Controller struct {
 
 	reserved map[linkKey]units.Bandwidth
 	hostInj  []units.Bandwidth // reservation on each host's injection link
+	// leased and leasedHost record the capacity fraction delegated away to
+	// pod CACs: this controller (the root's) must not admit into the
+	// leased share of a link or a host injection cable. Absent entries are
+	// unleased.
+	leased     map[linkKey]float64
+	leasedHost []float64
 	// capScale derates individual link capacities (degraded links); links
 	// absent from the map have full capacity.
 	capScale map[linkKey]float64
@@ -78,17 +84,19 @@ func New(topo topology.Topology, linkBW units.Bandwidth, maxUtil float64) (*Cont
 		return nil, fmt.Errorf("admission: non-positive link bandwidth %v", linkBW)
 	}
 	return &Controller{
-		topo:     topo,
-		linkBW:   linkBW,
-		maxUtil:  maxUtil,
-		reserved: make(map[linkKey]units.Bandwidth),
-		hostInj:  make([]units.Bandwidth, topo.Hosts()),
-		capScale: make(map[linkKey]float64),
-		deadSw:   make(map[int]bool),
-		deadLink: make(map[linkKey]bool),
-		flows:    make(map[FlowHandle]reservation),
-		byLink:   make(map[linkKey][]FlowHandle),
-		byHost:   make([][]FlowHandle, topo.Hosts()),
+		topo:       topo,
+		linkBW:     linkBW,
+		maxUtil:    maxUtil,
+		reserved:   make(map[linkKey]units.Bandwidth),
+		hostInj:    make([]units.Bandwidth, topo.Hosts()),
+		leased:     make(map[linkKey]float64),
+		leasedHost: make([]float64, topo.Hosts()),
+		capScale:   make(map[linkKey]float64),
+		deadSw:     make(map[int]bool),
+		deadLink:   make(map[linkKey]bool),
+		flows:      make(map[FlowHandle]reservation),
+		byLink:     make(map[linkKey][]FlowHandle),
+		byHost:     make([][]FlowHandle, topo.Hosts()),
 	}, nil
 }
 
@@ -151,11 +159,15 @@ func (c *Controller) injDead(h int) bool {
 	return c.deadSw[sw] || c.deadLink[linkKey{sw, port}]
 }
 
-// limitFor returns the reservable bandwidth of one link.
+// limitFor returns the reservable bandwidth of one link: the utilisation
+// cap scaled by any derate, minus the share leased away to a pod CAC.
 func (c *Controller) limitFor(k linkKey) units.Bandwidth {
 	limit := units.Bandwidth(c.maxUtil) * c.linkBW
 	if s, ok := c.capScale[k]; ok {
 		limit = units.Bandwidth(float64(limit) * s)
+	}
+	if f, ok := c.leased[k]; ok {
+		limit = units.Bandwidth(float64(limit) * (1 - f))
 	}
 	return limit
 }
@@ -185,7 +197,7 @@ func (c *Controller) Reserve(src, dst int, bw units.Bandwidth) ([]int, FlowHandl
 	if c.injDead(src) || c.injDead(dst) {
 		return nil, 0, fmt.Errorf("admission: host %d or %d is unreachable (dead attachment)", src, dst)
 	}
-	injLimit := units.Bandwidth(c.maxUtil) * c.linkBW
+	injLimit := units.Bandwidth(c.maxUtil * (1 - c.leasedHost[src]) * float64(c.linkBW))
 	if c.hostInj[src]+bw > injLimit {
 		return nil, 0, fmt.Errorf("admission: host %d injection link full (%v reserved, %v requested, %v limit)",
 			src, c.hostInj[src], bw, injLimit)
@@ -431,6 +443,109 @@ func (c *Controller) AuditLedger() error {
 		}
 	}
 	return nil
+}
+
+// SetMaxUtil resizes the controller's reservable fraction of every link.
+// A pod delegate's lease ledger is a Controller whose maxUtil IS its lease
+// fraction; lease grants and returns resize it here. Existing
+// reservations are untouched (AuditLedger checks balance, not limits), so
+// shrinking below the current load simply blocks new admissions until
+// teardowns drain the excess.
+func (c *Controller) SetMaxUtil(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("admission: max utilisation %v out of (0,1]", f))
+	}
+	c.maxUtil = f
+}
+
+// MaxUtil returns the current reservable fraction.
+func (c *Controller) MaxUtil() float64 { return c.maxUtil }
+
+// SetPodLease records frac of each listed host's attachment capacity —
+// the injection cable and the leaf switch's ejection link — as leased out
+// to a pod CAC. frac 0 reclaims the lease. The root controller stops
+// admitting into the leased share; the delegate's own controller covers
+// exactly that share via SetMaxUtil, so the two ledgers partition the
+// pod's capacity without double-booking.
+func (c *Controller) SetPodLease(hosts []int, frac float64) {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("admission: lease fraction %v out of [0,1)", frac))
+	}
+	for _, h := range hosts {
+		sw, port := c.topo.HostPort(h)
+		k := linkKey{sw, port}
+		if frac == 0 {
+			delete(c.leased, k)
+		} else {
+			c.leased[k] = frac
+		}
+		c.leasedHost[h] = frac
+	}
+}
+
+// CanPodLease reports whether raising the listed hosts' lease to frac
+// would still cover the bandwidth this controller has already reserved on
+// their attachment links — the root's check before granting a lease
+// growth request.
+func (c *Controller) CanPodLease(hosts []int, frac float64) bool {
+	for _, h := range hosts {
+		sw, port := c.topo.HostPort(h)
+		k := linkKey{sw, port}
+		limit := float64(c.maxUtil) * float64(c.linkBW)
+		if s, ok := c.capScale[k]; ok {
+			limit *= s
+		}
+		if float64(c.reserved[k]) > limit*(1-frac) {
+			return false
+		}
+		if float64(c.hostInj[h]) > float64(c.maxUtil)*float64(c.linkBW)*(1-frac) {
+			return false
+		}
+	}
+	return true
+}
+
+// Restore charges an existing reservation into the ledger along its
+// already-fixed route, bypassing admission checks: lease reconciliation
+// after a delegate failover must account every session the failed primary
+// granted, even when it no longer fits the successor's lease (the excess
+// drains through teardowns; AuditLedger checks balance, not limits).
+func (c *Controller) Restore(src int, route []int, bw units.Bandwidth) FlowHandle {
+	if bw <= 0 {
+		panic(fmt.Sprintf("admission: restore of non-positive bandwidth %v", bw))
+	}
+	hops := topology.RouteHops(c.topo, src, route)
+	c.nextFH++
+	for _, h := range hops {
+		k := linkKey{h.Switch, h.OutPort}
+		c.reserved[k] += bw
+		c.byLink[k] = append(c.byLink[k], c.nextFH)
+	}
+	c.hostInj[src] += bw
+	c.byHost[src] = append(c.byHost[src], c.nextFH)
+	c.flows[c.nextFH] = reservation{src: src, bw: bw, hops: hops}
+	return c.nextFH
+}
+
+// HostDead reports whether host h's fabric attachment is currently dead
+// (leaf switch down or injection cable cut) — how the root decides a
+// delegate CAC was taken out.
+func (c *Controller) HostDead(h int) bool { return c.injDead(h) }
+
+// UtilOfLimit returns the worst reserved-to-limit fraction across links
+// carrying reservations — a delegate controller's lease utilisation. A
+// value above 1 marks a fault remnant (or post-failover excess) awaiting
+// drain.
+func (c *Controller) UtilOfLimit() float64 {
+	worst := 0.0
+	for k, r := range c.reserved {
+		if l := c.limitFor(k); l > 0 {
+			if f := float64(r) / float64(l); f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
 }
 
 // MaxLinkUtilisation returns the highest reserved fraction across all

@@ -1,0 +1,146 @@
+package admission
+
+import (
+	"testing"
+)
+
+// leafHosts returns the hosts attached to leaf switch sw.
+func leafHosts(c *Controller, sw int) []int {
+	var hosts []int
+	for h := 0; h < c.topo.Hosts(); h++ {
+		if s, _ := c.topo.HostPort(h); s == sw {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+func TestPodLeasePartitionsCapacity(t *testing.T) {
+	c, _ := newController(t, 1.0)
+	pod := leafHosts(c, 0)
+	if len(pod) == 0 {
+		t.Fatal("leaf 0 has no hosts")
+	}
+	c.SetPodLease(pod, 0.5)
+	// Injection from a leased host may only use the un-leased share.
+	if _, _, err := c.Reserve(pod[0], 127, 0.6); err == nil {
+		t.Error("reserve above the un-leased injection share accepted")
+	}
+	if _, _, err := c.Reserve(pod[0], 127, 0.4); err != nil {
+		t.Errorf("reserve within the un-leased injection share rejected: %v", err)
+	}
+	// Ejection towards a leased host is capped the same way.
+	if _, _, err := c.Reserve(127, pod[1], 0.6); err == nil {
+		t.Error("reserve above the un-leased ejection share accepted")
+	}
+	if _, _, err := c.Reserve(127, pod[1], 0.4); err != nil {
+		t.Errorf("reserve within the un-leased ejection share rejected: %v", err)
+	}
+	if err := c.AuditLedger(); err != nil {
+		t.Fatal(err)
+	}
+	// Reclaiming the lease restores the full limits.
+	c.SetPodLease(pod, 0)
+	if _, _, err := c.Reserve(pod[0], 126, 0.55); err != nil {
+		t.Errorf("reserve after lease reclaim rejected: %v", err)
+	}
+	if err := c.AuditLedger(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanPodLease(t *testing.T) {
+	c, _ := newController(t, 1.0)
+	pod := leafHosts(c, 0)
+	if !c.CanPodLease(pod, 0.9) {
+		t.Error("empty ledger refused a 0.9 lease")
+	}
+	// 0.6 reserved into the pod: only 0.4 of the ejection link is leasable.
+	if _, _, err := c.Reserve(127, pod[0], 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanPodLease(pod, 0.5) {
+		t.Error("lease granted over bandwidth the root already reserved (ejection)")
+	}
+	if !c.CanPodLease(pod, 0.2) {
+		t.Error("lease refused despite sufficient ejection headroom")
+	}
+	// Same check on the injection side.
+	if _, _, err := c.Reserve(pod[1], 127, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanPodLease(pod, 0.5) {
+		t.Error("lease granted over bandwidth the root already reserved (injection)")
+	}
+}
+
+func TestSetMaxUtilBounds(t *testing.T) {
+	c, _ := newController(t, 1.0)
+	c.SetMaxUtil(0.3)
+	if got := c.MaxUtil(); got != 0.3 {
+		t.Fatalf("MaxUtil = %v, want 0.3", got)
+	}
+	for _, bad := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetMaxUtil(%v) did not panic", bad)
+				}
+			}()
+			c.SetMaxUtil(bad)
+		}()
+	}
+}
+
+func TestRestoreBalancesLedger(t *testing.T) {
+	c, _ := newController(t, 1.0)
+	route, h1, err := c.Reserve(0, 127, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconcile a replicated grant along the same fixed route: the ledger
+	// must stay exactly balanced, audit included.
+	h2 := c.Restore(0, route, 0.3)
+	if err := c.AuditLedger(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.HostReserved(0); got != 0.5 {
+		t.Errorf("host 0 reserved %v after restore, want 0.5", got)
+	}
+	if got := c.UtilOfLimit(); got < 0.5-1e-12 {
+		t.Errorf("UtilOfLimit %v after restore, want >= 0.5", got)
+	}
+	c.Release(h1)
+	c.Release(h2)
+	if err := c.AuditLedger(); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveFlows() != 0 {
+		t.Errorf("%d flows left after releases", c.ActiveFlows())
+	}
+	if got := c.UtilOfLimit(); got != 0 {
+		t.Errorf("UtilOfLimit %v after full release, want 0", got)
+	}
+}
+
+// Restore must account even grants that exceed the successor's shrunken
+// lease — the excess drains via teardowns, it is never dropped.
+func TestRestoreAboveLimit(t *testing.T) {
+	c, _ := newController(t, 1.0)
+	route, _, err := c.Reserve(0, 127, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxUtil(0.2)
+	c.Restore(0, route, 0.1)
+	if err := c.AuditLedger(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UtilOfLimit(); got <= 1 {
+		t.Errorf("UtilOfLimit %v, want > 1 (over-committed after shrink)", got)
+	}
+	// New admissions are blocked until the excess drains.
+	if _, _, err := c.Reserve(0, 126, 0.05); err == nil {
+		t.Error("reserve admitted into an over-committed ledger")
+	}
+}

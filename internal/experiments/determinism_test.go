@@ -11,6 +11,7 @@ import (
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/session"
 	"deadlineqos/internal/soak"
 	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
@@ -133,6 +134,51 @@ func detScenarios() []detScenario {
 			cfg.Sessions = ChurnSessions(300 * units.Microsecond)
 			cfg.Reliability = hostif.Reliability{Enabled: true}
 			cfg.Faults = SwitchFaultPlan(cfg.Seed+13, cfg.Topology, horizon, horizon/2)
+			return cfg
+		}},
+		{"delegated-churn", func() network.Config {
+			// Delegated control plane under a flash crowd with bounded
+			// control queues: local grants, escalations, lease growth and
+			// returns, shedding, and the per-entity session telemetry must
+			// all land identically at any shard count.
+			cfg := detBase()
+			s := ChurnSessions(80 * units.Microsecond)
+			s.Delegation = true
+			s.LocalFrac = 0.5
+			s.CtlService = 300 * units.Nanosecond
+			s.CtlQueueCap = 8
+			s.FlashFactor = 6
+			s.FlashAt = cfg.WarmUp
+			s.FlashLen = cfg.Measure / 4
+			cfg.Sessions = s
+			cfg.ProbeInterval = 100 * units.Microsecond
+			return cfg
+		}},
+		{"cac-outage", func() network.Config {
+			// CAC-host outages during delegated churn: one pod's primary
+			// dies (standby promotion, lease reconciliation, retargets) and
+			// another pod loses both delegates (lease reclaim, root
+			// fallback). The failover state machine runs on in-band
+			// messages and static fault hooks only, so every promotion,
+			// replayed setup, and TTR sample must be shard-invariant.
+			cfg := detBase()
+			s := ChurnSessions(120 * units.Microsecond)
+			s.Delegation = true
+			s.LocalFrac = 0.7
+			cfg.Sessions = s
+			cfg.ProbeInterval = 100 * units.Microsecond
+			horizon := cfg.WarmUp + cfg.Measure
+			pods := session.PodPlan(cfg.Topology, s.WithDefaults().Manager)
+			plan := &faults.Plan{}
+			kill := func(at units.Time, host int) {
+				sw, port := cfg.Topology.HostPort(host)
+				plan.Events = append(plan.Events, faults.Event{
+					At: at, Link: faults.LinkID{Switch: sw, Port: port}, Kind: faults.PortDown})
+			}
+			kill(horizon/3, pods[0].Primary)
+			kill(horizon/3, pods[1].Primary)
+			kill(horizon/3+50*units.Microsecond, pods[1].Standby)
+			cfg.Faults = plan
 			return cfg
 		}},
 		{"soak-epoch", func() network.Config {

@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/collective"
@@ -25,6 +26,7 @@ import (
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/stats"
 	"deadlineqos/internal/topology"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
 
@@ -955,6 +957,179 @@ func Availability(opt Options) (*report.Table, error) {
 			av.RepairP50.String(),
 			av.RepairP99.String(),
 			fmt.Sprintf("%d", res.Conservation.DroppedInSwitch))
+	}
+	return t, nil
+}
+
+// --- E7: survivable admission under flash crowds and CAC faults ------------------
+
+// The E7 fault plan cuts the attachment cables of the admission-control
+// hosts themselves: one pod's primary delegate dies first, then the root
+// CAC host, with overlapping repair windows. The same absolute times
+// bound the telemetry window the grants-floor metric is computed over.
+const (
+	e7PrimaryDownAt = 15 * units.Millisecond
+	e7PrimaryUpAt   = 30 * units.Millisecond
+	e7RootDownAt    = 20 * units.Millisecond
+	e7RootUpAt      = 40 * units.Millisecond
+	e7Horizon       = 61 * units.Millisecond
+)
+
+// FlashCrowd returns the E7 session workload: a 40 µs mean per-host
+// inter-arrival with a 6x flash crowd over [5 ms, 55 ms) — on the 16-host
+// quick network that is on the order of 10^5 setup arrivals per run — with
+// short 100 µs holds so the ledger churns, and a 500 ns CAC service time
+// with a 64-entry control queue: the flash peak (one setup per ~2.7 µs
+// fabric-wide) exceeds a single CAC's 2/µs service capacity, so the
+// centralised root must shed where four pod delegates ride it out. With
+// delegation on, 70% of destinations are pod-local so most setups are
+// eligible for one-hop admission, and a 100 µs renewal heartbeat keeps
+// the root-failure detection latency well under the outage length.
+func FlashCrowd(delegated bool) *session.Config {
+	cfg := &session.Config{
+		InterArrival: 40 * units.Microsecond,
+		HoldMean:     100 * units.Microsecond,
+		FlashFactor:  6,
+		FlashAt:      5 * units.Millisecond,
+		FlashLen:     50 * units.Millisecond,
+		CtlService:   500 * units.Nanosecond,
+		CtlQueueCap:  64,
+	}
+	if delegated {
+		cfg.Delegation = true
+		cfg.LocalFrac = 0.7
+		cfg.LeaseRenew = 100 * units.Microsecond
+	}
+	return cfg
+}
+
+// CACOutagePlan kills admission-control hosts by severing their attachment
+// cables: one pod's primary delegate over [15, 30) ms (forcing a standby
+// promotion in delegated mode) and the root CAC host over [20, 40) ms
+// (blacking out centralised admission entirely). The plan is identical in
+// both control-plane modes so their rows are directly comparable.
+func CACOutagePlan(topo topology.Topology, scfg session.Config) *faults.Plan {
+	pods := session.PodPlan(topo, scfg.Manager)
+	victim := -1
+	for _, p := range pods {
+		if p.Primary >= 0 && p.Standby >= 0 && p.Primary != scfg.Manager {
+			victim = p.Primary
+			break
+		}
+	}
+	plan := &faults.Plan{}
+	cut := func(host int, down, up units.Time) {
+		sw, port := topo.HostPort(host)
+		link := faults.LinkID{Switch: sw, Port: port}
+		plan.Events = append(plan.Events,
+			faults.Event{At: down, Link: link, Kind: faults.PortDown},
+			faults.Event{At: up, Link: link, Kind: faults.PortUp})
+	}
+	if victim >= 0 {
+		cut(victim, e7PrimaryDownAt, e7PrimaryUpAt)
+	}
+	cut(scfg.Manager, e7RootDownAt, e7RootUpAt)
+	return plan
+}
+
+// grantsFloor returns the minimum number of admissions granted in any
+// whole probe window inside [from, to], summed across every CAC entity
+// (root and delegates) from the cumulative Accepted telemetry counters.
+// It is the metric that separates the two control planes: with the root's
+// cable cut, the centralised plane's floor drops to zero while delegates
+// keep admitting pod-local setups against their leases.
+func grantsFloor(tel *trace.Telemetry, from, to units.Time) (uint64, bool) {
+	if tel == nil || len(tel.Sessions) == 0 {
+		return 0, false
+	}
+	totals := map[units.Time]uint64{}
+	var times []units.Time
+	for i := range tel.Sessions {
+		s := &tel.Sessions[i]
+		if _, seen := totals[s.T]; !seen {
+			times = append(times, s.T)
+		}
+		totals[s.T] += s.Accepted
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	floor, found := ^uint64(0), false
+	for i := 1; i < len(times); i++ {
+		if times[i-1] < from || times[i] > to {
+			continue
+		}
+		if d := totals[times[i]] - totals[times[i-1]]; !found || d < floor {
+			floor, found = d, true
+		}
+	}
+	return floor, found
+}
+
+// Survivable measures the survivable admission control plane (E7): the
+// same 10^5-arrival flash crowd offered to the centralised root CAC and to
+// the delegated per-pod control plane, each with and without the
+// CAC-killing fault plan. The table reports setups started, the accept
+// ratio, the in-band setup p99, the share of grants issued one hop away by
+// delegates, control-queue sheds, failover activity (promotions/reclaims)
+// with the fault-to-restored-admission TTR distribution, and the
+// grants-floor: the worst per-millisecond admission count while the root
+// CAC host is dark. Delegated mode must keep that floor above zero.
+func Survivable(opt Options) (*report.Table, error) {
+	t := report.NewTable(
+		"Extension: survivable admission — per-pod CAC delegates vs centralised root (6x flash crowd)",
+		"control plane", "CAC faults", "started", "accept", "setup p99 (us)",
+		"local share", "shed", "dark rejects", "promoted/reclaimed", "ttr p50", "ttr p99",
+		"grants floor (root dark)")
+	for _, delegated := range []bool{false, true} {
+		for _, faulty := range []bool{false, true} {
+			cfg := opt.Base
+			cfg.Arch = arch.Advanced2VC
+			cfg.Load = 0.5
+			cfg.WarmUp = units.Millisecond
+			cfg.Measure = e7Horizon - units.Millisecond
+			cfg.CheckInvariants = true
+			cfg.ProbeInterval = units.Millisecond
+			cfg.Sessions = FlashCrowd(delegated)
+			if faulty {
+				cfg.Faults = CACOutagePlan(cfg.Topology, cfg.Sessions.WithDefaults())
+			}
+			res, err := network.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := res.Conservation.Check(); err != nil {
+				return nil, fmt.Errorf("experiments: survivable delegated=%v faults=%v: %w",
+					delegated, faulty, err)
+			}
+			s, cp := res.Sessions, res.ControlPlane
+			mode, label := "centralised", "off"
+			if delegated {
+				mode = "delegated"
+			}
+			if faulty {
+				label = "on"
+			}
+			local, ttr50, ttr99, floor := "-", "-", "-", "-"
+			if delegated && s.Accepted > 0 {
+				local = fmt.Sprintf("%.1f%%", 100*float64(cp.LocalGrants)/float64(s.Accepted))
+			}
+			if cp.FailoverCount > 0 {
+				ttr50, ttr99 = cp.FailoverP50.String(), cp.FailoverP99.String()
+			}
+			if faulty {
+				if f, ok := grantsFloor(res.Telemetry, e7RootDownAt, e7RootUpAt); ok {
+					floor = fmt.Sprintf("%d/ms", f)
+				}
+			}
+			t.Add(mode, label,
+				fmt.Sprintf("%d", s.Started),
+				fmt.Sprintf("%.3f", s.AcceptRatio),
+				fmt.Sprintf("%.2f", s.SetupP99.Microseconds()),
+				local,
+				fmt.Sprintf("%d", cp.Shed),
+				fmt.Sprintf("%d", cp.BreakerRejects),
+				fmt.Sprintf("%d/%d", cp.Promotions, cp.Reclaims),
+				ttr50, ttr99, floor)
+		}
 	}
 	return t, nil
 }

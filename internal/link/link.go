@@ -14,11 +14,18 @@
 // hardware implements, a constant offset that does not change any of the
 // paper's comparisons (all four architectures pay it equally).
 //
-// Fault model (see internal/faults): a link can go down (packets in
-// flight are lost and their credits restored to the sender, since the
-// downstream buffer never sees them), be derated to a fraction of its
-// nominal bandwidth, and corrupt packets in flight according to a
-// per-link bit-error rate. Credit returns model an out-of-band control
+// Fault model (see internal/faults): a link can go down, be derated to
+// a fraction of its nominal bandwidth, and corrupt packets in flight
+// according to a per-link bit-error rate. A down link loses traffic the
+// way a dead cable does: packets in flight at the transition are lost,
+// and packets transmitted while down serialise normally but are
+// discarded at the would-be arrival instant, with the credits they held
+// restored to the sender in both cases (the downstream buffer never
+// sees them). Crucially a down link never refuses transmission —
+// refusing would let sustained traffic toward a dead destination
+// head-of-line-block the upstream queues and, through credit
+// backpressure, wedge the same VC across the whole fabric for the
+// duration of the outage. Credit returns model an out-of-band control
 // channel and keep working while the data path is down — flow-control
 // state must survive a flap without leaking in either direction.
 package link
@@ -89,8 +96,9 @@ type Link struct {
 	OnReady func()
 
 	// Fault state (see internal/faults). downEpoch increments on every
-	// down transition; a packet whose send-time epoch differs at arrival
-	// was in flight across a flap and is lost.
+	// down transition; a packet is lost if it was transmitted while the
+	// link was down, or if its send-time epoch differs at arrival (it was
+	// in flight across a flap).
 	down      bool
 	downEpoch uint64
 	ber       float64
@@ -134,12 +142,14 @@ func (l *Link) TxTime(p *packet.Packet) units.Time { return l.bw.TxTime(p.Size) 
 // Credits returns the available credit bytes for vc.
 func (l *Link) Credits(vc packet.VC) units.Size { return l.credits[vc] }
 
-// CanSend reports whether p can be transmitted right now: the link is up
-// and idle, and the downstream buffer for p's VC has room. Per the paper's
-// appendix, callers must only ever test the single packet their dequeue
-// discipline designates — never "some other packet that happens to fit".
+// CanSend reports whether p can be transmitted right now: the link is
+// idle and the downstream buffer for p's VC has room. A down link still
+// accepts transmissions — they are discarded at the would-be arrival
+// (see the package fault-model notes). Per the paper's appendix, callers
+// must only ever test the single packet their dequeue discipline
+// designates — never "some other packet that happens to fit".
 func (l *Link) CanSend(p *packet.Packet) bool {
-	return !l.down && l.Idle() && l.credits[p.VC] >= p.Size
+	return l.Idle() && l.credits[p.VC] >= p.Size
 }
 
 // Send transmits p. It panics if CanSend is false: the caller's
@@ -168,6 +178,7 @@ func (l *Link) Send(p *packet.Packet) {
 			l.OnReady()
 		}
 	})
+	sentDown := l.down
 	epoch := l.downEpoch
 	l.inFlight++
 	arrive := l.eng.Now() + tx + l.prop
@@ -176,13 +187,13 @@ func (l *Link) Send(p *packet.Packet) {
 		// Cross-shard link: decide loss now from the static fault
 		// timeline, hand the packet to the receiver's shard if it
 		// survives, and keep the sender-side bookkeeping local.
-		lost := l.lostBetween != nil && l.lostBetween(l.eng.Now(), arrive)
+		lost := sentDown || (l.lostBetween != nil && l.lostBetween(l.eng.Now(), arrive))
 		if !lost {
 			l.remoteDeliver(arrive, p)
 		}
 		l.eng.AtChannel(arrive, l.pktCh, func() {
 			l.inFlight--
-			if (epoch != l.downEpoch) != lost {
+			if (sentDown || epoch != l.downEpoch) != lost {
 				panic(fmt.Sprintf("link: static loss predicate %v disagrees with epoch state at %v",
 					lost, l.eng.Now()))
 			}
@@ -202,8 +213,9 @@ func (l *Link) Send(p *packet.Packet) {
 
 	l.eng.AtChannel(arrive, l.pktCh, func() {
 		l.inFlight--
-		if epoch != l.downEpoch {
-			// The link flapped while p was in flight: the packet is lost.
+		if sentDown || epoch != l.downEpoch {
+			// p was transmitted onto a down link, or the link flapped
+			// while it was in flight: either way the packet is lost.
 			// The downstream buffer never sees it, so the credits it held
 			// are restored to the sender — flow control must balance
 			// exactly across the flap.
@@ -278,8 +290,9 @@ func (l *Link) SetRemote(deliver func(at units.Time, p *packet.Packet), lost fun
 
 // SetDown transitions the link's up/down state and reports whether the
 // state changed. Taking the link down loses every packet currently in
-// flight (their credits are restored as their would-be arrival events
-// fire); bringing it up re-fires OnReady so stalled arbitration resumes.
+// flight and every packet transmitted before the link comes back up
+// (their credits are restored as their would-be arrival events fire);
+// bringing it up re-fires OnReady so any stalled arbitration resumes.
 func (l *Link) SetDown(down bool) bool {
 	if l.down == down {
 		return false

@@ -176,9 +176,12 @@ func TestSentCounters(t *testing.T) {
 }
 
 func TestFlapLosesInFlightAndRestoresCredits(t *testing.T) {
-	// A packet in flight when the link goes down is lost: the receiver
-	// never sees it, OnDrop observes it, and its credits return to the
-	// sender at the would-be arrival time — flow control balances exactly.
+	// A packet in flight when the link goes down is lost, and a packet
+	// transmitted while the link is down is lost too: the receiver never
+	// sees either, OnDrop observes them, and their credits return to the
+	// sender at the would-be arrival times — flow control balances
+	// exactly, and a down link never refuses transmission (refusing would
+	// head-of-line-block the upstream queue for the outage's duration).
 	eng := sim.New()
 	s := &sink{eng: eng}
 	l := New(eng, 1, 50, 300, s)
@@ -190,32 +193,44 @@ func TestFlapLosesInFlightAndRestoresCredits(t *testing.T) {
 		if !l.SetDown(true) {
 			t.Error("SetDown(true) reported no change")
 		}
-		if l.CanSend(pkt(2, packet.Control, 50)) {
-			t.Error("CanSend true on a down link")
+		p := pkt(2, packet.Control, 50)
+		if !l.CanSend(p) {
+			t.Fatal("CanSend false on a down link (must transmit into the void, not block)")
 		}
+		// Transmitted onto the dead cable: serialises 210..260, would-be
+		// arrival 310, lost there with its credits restored.
+		l.Send(p)
 	})
 	eng.At(240, func() {
-		if got := l.Credits(packet.VCRegulated); got != 100 {
-			t.Errorf("credits %v before would-be arrival, want 100", got)
+		if got := l.Credits(packet.VCRegulated); got != 50 {
+			t.Errorf("credits %v before any would-be arrival, want 50", got)
 		}
 	})
 	eng.At(260, func() {
+		if got := l.Credits(packet.VCRegulated); got != 250 {
+			t.Errorf("credits %v after in-flight loss accounting, want 250", got)
+		}
+		if l.InFlight() != 1 {
+			t.Errorf("in-flight %d with packet 2 on the dead wire, want 1", l.InFlight())
+		}
+	})
+	eng.At(320, func() {
 		if got := l.Credits(packet.VCRegulated); got != 300 {
-			t.Errorf("credits %v after loss accounting, want 300 (restored)", got)
+			t.Errorf("credits %v after all loss accounting, want 300 (restored)", got)
 		}
 		if l.InFlight() != 0 {
-			t.Errorf("in-flight %d after loss, want 0", l.InFlight())
+			t.Errorf("in-flight %d after losses, want 0", l.InFlight())
 		}
 	})
 	eng.Drain()
 	if len(s.got) != 0 {
 		t.Fatalf("down link delivered %d packets", len(s.got))
 	}
-	if len(dropped) != 1 || dropped[0].ID != 1 {
-		t.Fatalf("OnDrop saw %v, want packet 1", dropped)
+	if len(dropped) != 2 || dropped[0].ID != 1 || dropped[1].ID != 2 {
+		t.Fatalf("OnDrop saw %v, want packets 1 and 2", dropped)
 	}
-	if l.Dropped() != 1 {
-		t.Fatalf("Dropped() = %d, want 1", l.Dropped())
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", l.Dropped())
 	}
 }
 
@@ -244,10 +259,13 @@ func TestFlapRecoveryResumesTraffic(t *testing.T) {
 		if got := l.Credits(packet.VCRegulated); got != 300 {
 			t.Errorf("credits %v while down, want 300 (returns are out-of-band)", got)
 		}
+		// A sender retrying while the link is down transmits into the
+		// void: the packet serialises 420..520, is lost at the would-be
+		// arrival 530, and its credits come back.
 		backlog = append(backlog, pkt(2, packet.Control, 100))
-		l.OnReady() // sender retries: still down, must not send
-		if len(backlog) != 1 {
-			t.Error("packet sent while link down")
+		l.OnReady()
+		if len(backlog) != 0 {
+			t.Error("packet refused while link down (down links must keep draining)")
 		}
 	})
 	eng.At(500, func() {
@@ -255,13 +273,23 @@ func TestFlapRecoveryResumesTraffic(t *testing.T) {
 			t.Error("SetDown(false) reported no change")
 		}
 	})
+	eng.At(540, func() {
+		if got := l.Credits(packet.VCRegulated); got != 300 {
+			t.Errorf("credits %v after void-send loss accounting, want 300", got)
+		}
+		if l.Dropped() != 1 {
+			t.Errorf("Dropped() = %d after void send, want 1", l.Dropped())
+		}
+		// The recovered link carries traffic again: send 540..640, +10.
+		backlog = append(backlog, pkt(3, packet.Control, 100))
+		l.OnReady()
+	})
 	eng.Drain()
 	if len(s.got) != 2 {
 		t.Fatalf("delivered %d packets, want 2 (recovery resumed traffic)", len(s.got))
 	}
-	// Recovery at 500 fires OnReady synchronously: send 500..600, +10 prop.
-	if s.times[1] != 610 {
-		t.Fatalf("post-recovery delivery at %v, want 610", s.times[1])
+	if s.times[1] != 650 {
+		t.Fatalf("post-recovery delivery at %v, want 650", s.times[1])
 	}
 	if got := l.Credits(packet.VCRegulated); got != 200 {
 		t.Fatalf("credits %v after recovery send, want 200", got)

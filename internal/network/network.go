@@ -75,6 +75,11 @@ type Results struct {
 	// reserved-vs-achieved utilisation, revocations, downgrades.
 	Sessions *session.Results
 
+	// ControlPlane mirrors Sessions.ControlPlane at the top level (nil
+	// unless sessions ran): the survivable-CAC summary — delegated
+	// admissions, lease traffic, overload shedding, failover recovery.
+	ControlPlane *session.ControlPlane
+
 	// Availability summarises switch/port-failure impact and repair (nil
 	// unless the fault plan contains topological events): fabric downtime,
 	// flows rerouted / restored / partitioned, stranded sessions, and the
@@ -120,8 +125,10 @@ type Network struct {
 	videoPerHost int
 
 	// Dynamic session subsystem (nil / zero unless cfg.Sessions is set).
-	sessMgr *session.Manager
-	sessCfg session.Config
+	sessMgr       *session.Manager
+	sessCfg       session.Config
+	sessClients   []*session.Client
+	sessDelegates []*session.Delegate
 
 	// Sharded execution state (see internal/parsim). nshards == 1 is the
 	// sequential layout: one shard, no mailbox queues.
@@ -492,11 +499,14 @@ func expandTopological(topo topology.Topology, ev faults.Event) []linkAction {
 
 // downTimeline replays the plan's normalized events through the per-link
 // up/down state machine and returns, per link, the times of the applied
-// down transitions — the exact instants the live link's downEpoch will
-// increment. Cross-shard links use it to decide in-flight loss at send
-// time (the receiver's shard cannot observe the sender-side epoch).
-// Topological events are expanded with expandTopological so their member
-// links transition exactly as the live installer applies them.
+// up/down transitions. Transitions strictly alternate starting with a
+// down (links are built up), so a prefix count's parity gives the link
+// state at any instant, and the down instants are exactly where the live
+// link's downEpoch increments. Cross-shard links use it to decide loss
+// at send time (the receiver's shard cannot observe the sender-side
+// state). Topological events are expanded with expandTopological so
+// their member links transition exactly as the live installer applies
+// them.
 func downTimeline(topo topology.Topology, plan *faults.Plan) map[faults.LinkID][]units.Time {
 	if plan.Empty() {
 		return nil
@@ -504,12 +514,9 @@ func downTimeline(topo topology.Topology, plan *faults.Plan) map[faults.LinkID][
 	down := make(map[faults.LinkID]bool)
 	out := make(map[faults.LinkID][]units.Time)
 	apply := func(id faults.LinkID, d bool, at units.Time) {
-		if d && !down[id] {
-			down[id] = true
+		if d != down[id] {
+			down[id] = d
 			out[id] = append(out[id], at)
-		}
-		if !d {
-			down[id] = false
 		}
 	}
 	for _, ev := range plan.Normalized() {
@@ -530,20 +537,25 @@ func downTimeline(topo topology.Topology, plan *faults.Plan) map[faults.LinkID][
 	return out
 }
 
-// lostBetween turns a link's down-transition timeline into the static loss
-// predicate: a packet sent at tS (link up, or Send would have been
-// refused) and arriving at tA is lost iff a down transition fires in
-// (tS, tA]. The bounds match the event order on the sender's engine: a
-// down at exactly tS runs before the send (fault events are installed
-// before any runtime event and sort first), so it blocks rather than
-// drops; a down at exactly tA runs before the arrival (channel 0 sorts
-// before the link's packet channel) and drops it.
+// lostBetween turns a link's alternating transition timeline into the
+// static loss predicate: a packet sent at tS and arriving at tA is lost
+// iff the link is down at tS (transmitted into a dead cable) or a down
+// transition fires in (tS, tA] (caught in flight by a flap). The bounds
+// match the event order on the sender's engine: a transition at exactly
+// tS runs before the send (fault events are installed before any runtime
+// event and sort first), so it determines the send-time state; a down at
+// exactly tA runs before the arrival (channel 0 sorts before the link's
+// packet channel) and drops it.
 func lostBetween(times []units.Time) func(sent, arrive units.Time) bool {
 	if len(times) == 0 {
 		return nil
 	}
 	return func(sent, arrive units.Time) bool {
 		i := sort.Search(len(times), func(i int) bool { return times[i] > sent })
+		if i%2 == 1 {
+			return true // odd prefix: the link is down at the send instant
+		}
+		// times[i], if present, is the next down transition.
 		return i < len(times) && times[i] <= arrive
 	}
 }
@@ -1070,6 +1082,7 @@ func (n *Network) Run() *Results {
 			sessCnt.Merge(sh.sess)
 		}
 		res.Sessions = n.sessMgr.BuildResults(sessCnt)
+		res.ControlPlane = res.Sessions.ControlPlane
 	}
 	res.LostOnLink = cons.LostOnLink
 	res.Conservation = cons

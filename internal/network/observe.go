@@ -106,15 +106,31 @@ func (p *prober) sample(t units.Time) {
 			p.sh.telemetry.Ports = append(p.sh.telemetry.Ports, smp)
 		}
 	}
-	// Session probe, on the manager's shard only: everything sampled (the
-	// manager's session table, reserved sum, and the manager-side counters)
-	// is written exclusively by that shard's events, so the series is
-	// identical at every shard count.
+	// Session probes, one row per CAC entity, each on the shard owning the
+	// entity's host: every sampled value (session tables, reserved sums,
+	// the entity's own cumulative counters) is written exclusively by that
+	// shard's events, so the merged (T, Pod, Host)-sorted series is
+	// identical at every shard count. Shard counters are deliberately NOT
+	// sampled here — their composition depends on the shard layout.
 	if m := p.n.sessMgr; m != nil && p.n.hostShard[p.n.sessCfg.Manager] == p.shard {
-		sc := p.sh.sess
 		p.sh.telemetry.Sessions = append(p.sh.telemetry.Sessions, trace.SessionSample{
-			T: t, Active: m.ActiveSessions(), ReservedBW: m.ReservedNow(),
-			Accepted: sc.Accepted, Rejected: sc.Rejected, Revoked: sc.Revoked,
+			T: t, Pod: -1, Host: p.n.sessCfg.Manager,
+			Active: m.ActiveSessions(), ReservedBW: m.ReservedNow(),
+			Accepted: m.AcceptedCount(), Rejected: m.RejectedCount(),
+			Revoked: m.RevokedCount(), QueueDepth: m.QueueDepth(),
+			Shed: m.ShedCount(),
+		})
+	}
+	for _, d := range p.n.sessDelegates {
+		if p.n.hostShard[d.HostID()] != p.shard {
+			continue
+		}
+		p.sh.telemetry.Sessions = append(p.sh.telemetry.Sessions, trace.SessionSample{
+			T: t, Pod: d.PodLeaf(), Host: d.HostID(),
+			Active: d.ActiveSessions(), ReservedBW: d.ReservedNow(),
+			Accepted: d.LocalGrantCount(), Revoked: d.RevokedCount(),
+			LeaseFrac: d.LeaseFrac(), LeaseUtil: d.LeaseUtil(),
+			QueueDepth: d.QueueDepth(), Shed: d.ShedCount(),
 		})
 	}
 	ev := p.sh.eng.Fired()

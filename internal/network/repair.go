@@ -301,5 +301,27 @@ func (n *Network) AuditInvariants() error {
 			return err
 		}
 	}
+	for _, d := range n.sessDelegates {
+		if err := d.AuditLedger(); err != nil {
+			return fmt.Errorf("network: pod %d delegate (host %d): %w", d.PodLeaf(), d.HostID(), err)
+		}
+	}
+	// Control-plane liveness: no client may have a setup pending longer
+	// than the protocol's worst case (retries, capped backoff, response
+	// timeouts and queue-drain hints included). A session stuck past the
+	// bound means a Grant/Reject was lost without the retry machinery
+	// recovering it — e.g. Ctl packets discarded by a dying switch with no
+	// timeout armed.
+	if n.sessMgr != nil {
+		bound := n.sessCfg.LivenessBound()
+		now := n.eng.Now()
+		for _, cl := range n.sessClients {
+			if oldest, ok := cl.OldestPending(); ok && now-oldest > bound {
+				return fmt.Errorf(
+					"network: session liveness: host %d has a setup pending since %v (now %v, bound %v)",
+					cl.HostID(), oldest, now, bound)
+			}
+		}
+	}
 	return nil
 }

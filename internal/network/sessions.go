@@ -1,18 +1,40 @@
 package network
 
 import (
+	"fmt"
+
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/session"
+	"deadlineqos/internal/sim"
+	"deadlineqos/internal/units"
 	"deadlineqos/internal/xrand"
 )
+
+// cacHooks is the fault-plan surface shared by the root Manager and the
+// pod Delegates: every CAC endpoint sees every topological event on its
+// own shard so its ledger tracks the fabric.
+type cacHooks interface {
+	OnLinkDerated(sw, port int, scale float64)
+	OnSwitchDown(sw int, downAt units.Time)
+	OnSwitchUp(sw int)
+	OnPortDown(sw, port int, downAt units.Time)
+	OnPortUp(sw, port int)
+}
 
 // provisionSessions wires the dynamic session subsystem (no-op unless
 // cfg.Sessions is set): signalling flows between every client host and the
 // manager, the centralised CAC endpoint on the manager's shard, one
 // session client per remaining host, and the fault-plan coupling that
 // revokes reservations stranded by a link derate.
+//
+// With scfg.Delegation, each pod (the hosts of one leaf switch) also gets
+// a primary and, where the pod is large enough, a standby delegate CAC
+// holding a revocable capacity lease over the pod's links: intra-pod
+// setups are admitted one hop away, everything else escalates to the
+// root, and a fault that kills a CAC host triggers the root's
+// deterministic failover (standby promotion or lease reclaim).
 //
 // The session random stream is split off after provisionFlows consumed
 // its splits, so enabling sessions leaves all static traffic streams
@@ -55,67 +77,171 @@ func (n *Network) provisionSessions(rng *xrand.Rand) error {
 		n.registerRepairFlow(mgr, down, mgr, h)
 	}
 
-	// The CAC endpoint lives on the manager host's shard; every admission
-	// mutation happens in its event handlers, totally ordered by the
-	// manager's single ejection link — identical at any shard count.
+	// Delegated control plane: plan the pods and build the delegate
+	// endpoints before the manager so the root knows its delegates.
+	var pods []session.Pod
+	var delegates []*session.Delegate
+	podOf := make(map[int]int) // host -> index into pods
+	horizon := n.cfg.WarmUp + n.cfg.Measure
+	if scfg.Delegation {
+		pods = session.PodPlan(n.topo, mgr)
+		for pi, p := range pods {
+			for _, h := range p.Hosts {
+				podOf[h] = pi
+			}
+			for _, role := range []struct {
+				cac     int
+				standby bool
+			}{{p.Primary, false}, {p.Standby, true}} {
+				if role.cac < 0 {
+					continue
+				}
+				// Pod signalling flows: one up/down pair between every other
+				// pod host and this CAC, all single-hop through the leaf.
+				for _, h := range p.Hosts {
+					if h == role.cac || h == mgr {
+						continue
+					}
+					up, down := session.SigPodUp(h), session.SigPodDown(h)
+					if role.standby {
+						up, down = session.SigPodAltUp(h), session.SigPodAltDown(h)
+					}
+					n.hosts[h].AddFlow(&hostif.Flow{
+						ID: up, Class: packet.Control, Src: h, Dst: role.cac,
+						Route: n.adm.RouteBestEffort(h, role.cac, uint64(up)),
+						Mode:  hostif.ByBandwidth, BW: n.cfg.LinkBW,
+					})
+					n.registerRepairFlow(h, up, h, role.cac)
+					n.hosts[role.cac].AddFlow(&hostif.Flow{
+						ID: down, Class: packet.Control, Src: role.cac, Dst: h,
+						Route: n.adm.RouteBestEffort(role.cac, h, uint64(down)),
+						Mode:  hostif.ByBandwidth, BW: n.cfg.LinkBW,
+					})
+					n.registerRepairFlow(role.cac, down, role.cac, h)
+				}
+				sh := n.shards[n.hostShard[role.cac]]
+				d, err := session.NewDelegate(session.DelegateConfig{
+					Host: n.hosts[role.cac], Eng: sh.eng, Cfg: scfg,
+					Cnt: sh.sess, Pod: p, Standby: role.standby,
+					Topo: n.topo, LinkBW: n.cfg.LinkBW,
+					RouteBE: n.adm.RouteBestEffort,
+					WarmUp:  n.cfg.WarmUp, Horizon: horizon,
+				})
+				if err != nil {
+					return fmt.Errorf("network: pod %d delegate: %w", p.Leaf, err)
+				}
+				delegates = append(delegates, d)
+			}
+		}
+	}
+	n.sessDelegates = delegates
+	delegateAt := make(map[int]*session.Delegate, len(delegates))
+	for _, d := range delegates {
+		delegateAt[d.HostID()] = d
+	}
+
+	// The root CAC endpoint lives on the manager host's shard; every root
+	// admission mutation happens in its event handlers, totally ordered by
+	// the manager's single ejection link — identical at any shard count.
 	mgrShard := n.shards[n.hostShard[mgr]]
 	m := session.NewManager(session.ManagerConfig{
 		Host: n.hosts[mgr], Eng: mgrShard.eng, Adm: n.adm, Cfg: scfg,
 		Cnt: mgrShard.sess, Hosts: hosts, LinkBW: n.cfg.LinkBW,
-		WarmUp: n.cfg.WarmUp, Horizon: n.cfg.WarmUp + n.cfg.Measure,
+		WarmUp: n.cfg.WarmUp, Horizon: horizon,
+		Pods: pods, Delegates: delegates,
 	})
 	n.sessMgr = m
 	n.hosts[mgr].SetCtlHandler(m.HandleCtl)
+	if scfg.Delegation {
+		// Initial capacity leases ride the signalling flows from t=0.
+		mgrShard.eng.At(0, m.Bootstrap)
+	}
 
 	// One client per non-manager host, each on a private split of the
-	// session stream, keyed by host index.
+	// session stream, keyed by host index. In delegated mode a client's
+	// first CAC target is its pod primary; hosts that themselves run a
+	// delegate share the wire with it through session.Dispatch.
 	sessRng := rng.Split(0x5e55)
 	for h := 0; h < hosts; h++ {
 		if h == mgr {
 			continue
 		}
-		sh := n.shards[n.hostShard[h]]
-		cl := session.NewClient(session.ClientConfig{
-			Host: n.hosts[h], Eng: sh.eng, Rng: sessRng.Split(uint64(h) + 1),
-			Cfg: scfg, Hosts: hosts, Cnt: sh.sess,
-			RouteBE: n.adm.RouteBestEffort,
-		})
-		n.hosts[h].SetCtlHandler(cl.HandleCtl)
+		cc := session.ClientConfig{
+			Host: n.hosts[h], Eng: n.shards[n.hostShard[h]].eng,
+			Rng: sessRng.Split(uint64(h) + 1),
+			Cfg: scfg, Hosts: hosts, Cnt: n.shards[n.hostShard[h]].sess,
+			RouteBE:    n.adm.RouteBestEffort,
+			PodPrimary: -1, PodStandby: -1,
+		}
+		if pi, ok := podOf[h]; ok && scfg.Delegation {
+			p := pods[pi]
+			if p.Primary >= 0 && p.Primary != h {
+				cc.PodPrimary = p.Primary
+			}
+			if p.Standby >= 0 && p.Standby != h {
+				cc.PodStandby = p.Standby
+			}
+			for _, peer := range p.Hosts {
+				if peer != h {
+					cc.PodPeers = append(cc.PodPeers, peer)
+				}
+			}
+		}
+		cl := session.NewClient(cc)
+		if d := delegateAt[h]; d != nil {
+			n.hosts[h].SetCtlHandler(session.Dispatch(cl, d))
+		} else {
+			n.hosts[h].SetCtlHandler(cl.HandleCtl)
+		}
+		n.sessClients = append(n.sessClients, cl)
 		n.sources = append(n.sources, cl)
 	}
 
-	// Fault-plan derates and topological events feed the CAC: RevokeDelay
-	// after each capacity change the manager revokes whatever reservations
-	// the link can no longer carry, and after each switch/port failure it
-	// repairs (reroute-or-revoke) the sessions the failure strands. The
-	// plan is static, so this schedule — installed on the manager's shard
-	// before any runtime event — is identical at any shard count. Scale-1
-	// (restore) and up events pass through to the ledger and revoke
-	// nothing.
+	// Fault-plan derates and topological events feed every CAC: RevokeDelay
+	// after each capacity change a CAC revokes whatever reservations the
+	// link can no longer carry, and after each switch/port failure it
+	// repairs (reroute-or-revoke) the sessions the failure strands; the
+	// root additionally runs delegate failover. The plan is static, so this
+	// schedule — installed on each CAC's own shard before any runtime
+	// event — is identical at any shard count. Scale-1 (restore) and up
+	// events pass through to the ledgers and revoke nothing.
 	if plan := n.cfg.Faults; !plan.Empty() {
+		scheds := []struct {
+			eng *sim.Engine
+			cac cacHooks
+		}{{mgrShard.eng, m}}
+		for _, d := range delegates {
+			scheds = append(scheds, struct {
+				eng *sim.Engine
+				cac cacHooks
+			}{n.shards[n.hostShard[d.HostID()]].eng, d})
+		}
 		for _, ev := range plan.Normalized() {
 			ev := ev
-			switch ev.Kind {
-			case faults.Derate:
-				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
-					m.OnLinkDerated(ev.Link.Switch, ev.Link.Port, ev.Scale)
-				})
-			case faults.SwitchDown:
-				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
-					m.OnSwitchDown(ev.Link.Switch, ev.At)
-				})
-			case faults.SwitchUp:
-				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
-					m.OnSwitchUp(ev.Link.Switch)
-				})
-			case faults.PortDown:
-				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
-					m.OnPortDown(ev.Link.Switch, ev.Link.Port, ev.At)
-				})
-			case faults.PortUp:
-				mgrShard.eng.At(ev.At+scfg.RevokeDelay, func() {
-					m.OnPortUp(ev.Link.Switch, ev.Link.Port)
-				})
+			for _, cs := range scheds {
+				cac := cs.cac
+				switch ev.Kind {
+				case faults.Derate:
+					cs.eng.At(ev.At+scfg.RevokeDelay, func() {
+						cac.OnLinkDerated(ev.Link.Switch, ev.Link.Port, ev.Scale)
+					})
+				case faults.SwitchDown:
+					cs.eng.At(ev.At+scfg.RevokeDelay, func() {
+						cac.OnSwitchDown(ev.Link.Switch, ev.At)
+					})
+				case faults.SwitchUp:
+					cs.eng.At(ev.At+scfg.RevokeDelay, func() {
+						cac.OnSwitchUp(ev.Link.Switch)
+					})
+				case faults.PortDown:
+					cs.eng.At(ev.At+scfg.RevokeDelay, func() {
+						cac.OnPortDown(ev.Link.Switch, ev.Link.Port, ev.At)
+					})
+				case faults.PortUp:
+					cs.eng.At(ev.At+scfg.RevokeDelay, func() {
+						cac.OnPortUp(ev.Link.Switch, ev.Link.Port)
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,67 @@
+package session
+
+import (
+	"testing"
+
+	"deadlineqos/internal/units"
+)
+
+// TestBackoffSchedule pins the capped exponential retry schedule: doubled
+// per attempt, clamped at base << maxBackoffShift so a generous MaxRetries
+// can never shift the base into overflow (or into delays longer than any
+// simulation). Regression for the unclamped RetryBackoff << (attempt-1).
+func TestBackoffSchedule(t *testing.T) {
+	base := 50 * units.Microsecond
+	cases := []struct {
+		attempt int
+		want    units.Time
+	}{
+		{0, base}, // defensive: attempt below 1 clamps to the base
+		{1, 50 * units.Microsecond},
+		{2, 100 * units.Microsecond},
+		{3, 200 * units.Microsecond},
+		{4, 400 * units.Microsecond},
+		{maxBackoffShift, base << (maxBackoffShift - 1)},
+		{maxBackoffShift + 1, base << maxBackoffShift},
+		{maxBackoffShift + 2, base << maxBackoffShift}, // capped
+		{100, base << maxBackoffShift},                 // capped
+		{1 << 30, base << maxBackoffShift},             // would overflow unclamped
+	}
+	for _, tc := range cases {
+		if got := backoffFor(base, tc.attempt); got != tc.want {
+			t.Errorf("backoffFor(%v, %d) = %v, want %v", base, tc.attempt, got, tc.want)
+		}
+	}
+	// The capped schedule stays positive for any attempt count.
+	for attempt := 1; attempt < 200; attempt++ {
+		if got := backoffFor(base, attempt); got <= 0 {
+			t.Fatalf("backoffFor(%v, %d) = %v, not positive", base, attempt, got)
+		}
+	}
+}
+
+// TestLivenessBound checks the watchdog bound covers the full worst-case
+// retry schedule and grows with the protocol's knobs.
+func TestLivenessBound(t *testing.T) {
+	cfg := (Config{}).WithDefaults()
+	bound := cfg.LivenessBound()
+	var worst units.Time
+	worst = units.Time(cfg.MaxRetries+1) * cfg.RespTimeout
+	for a := 1; a <= cfg.MaxRetries; a++ {
+		worst += backoffFor(cfg.RetryBackoff, a)
+	}
+	if bound <= worst {
+		t.Fatalf("liveness bound %v does not exceed the retry schedule %v", bound, worst)
+	}
+	slow := cfg
+	slow.MaxRetries = cfg.MaxRetries + 4
+	if slow.LivenessBound() <= bound {
+		t.Errorf("bound did not grow with MaxRetries: %v vs %v", slow.LivenessBound(), bound)
+	}
+	queued := cfg
+	queued.CtlService = 2 * units.Microsecond
+	if queued.LivenessBound() <= bound {
+		t.Errorf("bound did not grow with the control-queue drain hint: %v vs %v",
+			queued.LivenessBound(), bound)
+	}
+}

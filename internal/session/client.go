@@ -33,9 +33,30 @@ type cSession struct {
 	attempt    int
 	firstSetup units.Time // when the first Setup was sent (latency base)
 	granted    bool       // holds a CAC record (teardown must release it)
+	local      bool       // granted by the pod delegate (teardown goes there)
+	retryAfter units.Time // shed-reject drain hint for the next backoff
 	stopAt     units.Time
 	interval   units.Time
 	timer      sim.Handle // pending response-timeout or retry-backoff event
+}
+
+// maxBackoffShift caps the exponential retry backoff at base << 16; a
+// larger MaxRetries must not shift the base into overflow (or into delays
+// longer than any simulation).
+const maxBackoffShift = 16
+
+// backoffFor returns the capped exponential backoff before retry attempt
+// (attempt >= 1): base doubled per prior attempt, clamped at
+// base << maxBackoffShift.
+func backoffFor(base units.Time, attempt int) units.Time {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	return base << uint(shift)
 }
 
 // ClientConfig wires one Client into its host's shard.
@@ -49,6 +70,16 @@ type ClientConfig struct {
 	// RouteBE assigns a fixed best-effort route (admission.RouteBestEffort;
 	// reads only immutable topology, so clients on any shard may call it).
 	RouteBE func(src, dst int, key uint64) []int
+
+	// Delegated control plane wiring (zero values = centralised mode).
+	//
+	// PodPrimary and PodStandby are the pod's delegate CAC hosts (-1 =
+	// none; the client signals the root). A delegate host's own client
+	// always signals the root.
+	PodPrimary, PodStandby int
+	// PodPeers lists the same-pod hosts this client may pick as local
+	// destinations (ascending, excluding itself).
+	PodPeers []int
 }
 
 // Client generates session arrivals at one host and drives each session
@@ -60,6 +91,9 @@ type Client struct {
 	totalW   float64
 	sessions map[uint64]*cSession
 	seq      uint32
+	// target is the host new signalling goes to: the pod primary, the
+	// promoted standby after an OpRetarget, or -1 for the root manager.
+	target int
 }
 
 // NewClient returns a client for cc.Host. Call Start to begin arrivals.
@@ -68,11 +102,34 @@ func NewClient(cc ClientConfig) *Client {
 	for _, p := range cc.Cfg.Profiles {
 		total += p.Weight
 	}
+	target := -1
+	if cc.PodPrimary >= 0 {
+		target = cc.PodPrimary
+	}
 	return &Client{
 		c:        cc,
 		id:       cc.Host.ID(),
 		totalW:   total,
 		sessions: make(map[uint64]*cSession),
+		target:   target,
+	}
+}
+
+// HostID returns the client's host index.
+func (c *Client) HostID() int { return c.id }
+
+// ctlFlow returns the signalling flow towards the client's current CAC
+// target.
+func (c *Client) ctlFlow() packet.FlowID {
+	switch {
+	case c.target < 0:
+		return SigUp(c.id)
+	case c.target == c.c.PodPrimary:
+		return SigPodUp(c.id)
+	case c.target == c.c.PodStandby:
+		return SigPodAltUp(c.id)
+	default:
+		return SigUp(c.id)
 	}
 }
 
@@ -119,9 +176,16 @@ func (c *Client) arrive() {
 		panic(fmt.Sprintf("session: host %d exhausted its per-host session id space", c.id))
 	}
 	prof := c.pickProfile()
-	dst := c.c.Rng.Intn(c.c.Hosts - 1)
-	if dst >= c.id {
-		dst++
+	var dst int
+	if lf := c.c.Cfg.LocalFrac; lf > 0 && len(c.c.PodPeers) > 0 && c.c.Rng.Float64() < lf {
+		// Locality bias: pick a same-pod destination. Gated on LocalFrac
+		// so the zero value draws exactly the historical random sequence.
+		dst = c.c.PodPeers[c.c.Rng.Intn(len(c.c.PodPeers))]
+	} else {
+		dst = c.c.Rng.Intn(c.c.Hosts - 1)
+		if dst >= c.id {
+			dst++
+		}
 	}
 	holdMean := c.c.Cfg.HoldMean
 	if prof.HoldMean > 0 {
@@ -142,10 +206,11 @@ func (c *Client) arrive() {
 	c.sendSetup(s)
 }
 
-// sendSetup emits one in-band Setup message and arms the response timer.
+// sendSetup emits one in-band Setup message towards the current CAC
+// target and arms the response timer.
 func (c *Client) sendSetup(s *cSession) {
 	c.c.Cnt.SetupsSent++
-	c.c.Host.SubmitCtl(SigUp(c.id), c.c.Cfg.SigMsgSize, &Msg{
+	c.c.Host.SubmitCtl(c.ctlFlow(), c.c.Cfg.SigMsgSize, &Msg{
 		Op: OpSetup, Session: s.id, Attempt: s.attempt,
 		Src: c.id, Dst: s.dst, BW: s.bw, Class: s.class,
 	})
@@ -166,15 +231,28 @@ func (c *Client) cancelTimer(s *cSession) {
 }
 
 // retryOrDowngrade advances the retry policy after a reject or timeout:
-// exponential backoff (RetryBackoff << attempt) up to MaxRetries, then the
-// session gives up its reservation request and runs best effort.
+// capped exponential backoff (backoffFor) up to MaxRetries, then the
+// session gives up its reservation request and runs best effort. A
+// shedding CAC's RetryAfter hint stretches the wait when it is longer than
+// the backoff — retrying into a still-draining control queue is pointless.
 func (c *Client) retryOrDowngrade(s *cSession) {
 	s.attempt++
 	if s.attempt > c.c.Cfg.MaxRetries {
 		c.downgrade(s)
 		return
 	}
-	backoff := c.c.Cfg.RetryBackoff << uint(s.attempt-1)
+	backoff := backoffFor(c.c.Cfg.RetryBackoff, s.attempt)
+	if hint := s.retryAfter; hint > backoff {
+		// Clamp to the worst drain time the queue model can produce, so
+		// the liveness bound stays provable.
+		if max := units.Time(c.c.Cfg.CtlQueueCap+1) * c.c.Cfg.CtlService; hint > max {
+			hint = max
+		}
+		if hint > backoff {
+			backoff = hint
+		}
+	}
+	s.retryAfter = 0
 	s.timer = c.c.Eng.After(backoff, func() {
 		if s.state != stSignalling {
 			return // a late Grant won the race against this retry
@@ -204,6 +282,19 @@ func (c *Client) HandleCtl(p *packet.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("session: host %d received foreign control payload %T", c.id, p.Ctl))
 	}
+	c.handleMsg(m)
+}
+
+// handleMsg processes one client-bound control message (from the fabric
+// via HandleCtl, or zero-hop from a co-located delegate CAC).
+func (c *Client) handleMsg(m *Msg) {
+	if m.Op == OpRetarget {
+		// Not session-scoped: the root redirects future signalling after a
+		// delegate failover (or reclaims the pod itself, Target -1).
+		c.c.Cnt.Retargets++
+		c.target = m.Target
+		return
+	}
 	s := c.sessions[m.Session]
 	if s == nil {
 		return // reply for a session that already finished
@@ -223,6 +314,7 @@ func (c *Client) HandleCtl(p *packet.Packet) {
 			Route: m.Route, Mode: hostif.ByBandwidth, BW: s.bw,
 		})
 		s.granted = true
+		s.local = m.Local
 		c.activate(s)
 	case OpReject:
 		if s.state != stSignalling {
@@ -230,6 +322,9 @@ func (c *Client) HandleCtl(p *packet.Packet) {
 		}
 		c.cancelTimer(s)
 		c.c.Cnt.RejectsSeen++
+		if m.RetryAfter > 0 {
+			s.retryAfter = m.RetryAfter
+		}
 		c.retryOrDowngrade(s)
 	case OpRevoke:
 		if s.state != stActive || !s.granted {
@@ -297,9 +392,34 @@ func (c *Client) finish(s *cSession) {
 	delete(c.sessions, s.id)
 	c.c.Cnt.Finished++
 	if s.granted {
+		// Release where the grant lives: the pod CAC for local grants (the
+		// promoted standby holds the replica after a failover), the root
+		// otherwise. A local grant whose pod fell back to the root lands
+		// there as a stale teardown — the failed delegate's ledger died
+		// with it.
+		flow := SigUp(c.id)
+		if s.local && c.target >= 0 {
+			flow = c.ctlFlow()
+		}
 		c.c.Cnt.TeardownsSent++
-		c.c.Host.SubmitCtl(SigUp(c.id), c.c.Cfg.SigMsgSize, &Msg{
+		c.c.Host.SubmitCtl(flow, c.c.Cfg.SigMsgSize, &Msg{
 			Op: OpTeardown, Session: s.id, Src: c.id, Dst: s.dst,
 		})
 	}
+}
+
+// OldestPending returns the first-setup time of the oldest session still
+// in the signalling state. The liveness watchdog calls it after the run:
+// any pending setup older than Config.LivenessBound means a response or
+// backoff timer was lost, which must not happen even when the fabric
+// discards every control packet.
+func (c *Client) OldestPending() (units.Time, bool) {
+	var oldest units.Time
+	found := false
+	for _, s := range c.sessions {
+		if s.state == stSignalling && (!found || s.firstSetup < oldest) {
+			oldest, found = s.firstSetup, true
+		}
+	}
+	return oldest, found
 }

@@ -39,6 +39,28 @@ type Counters struct {
 	SwitchDowngraded  uint64 // stranded reservations downgraded to best effort
 	SwitchUnreachable uint64 // stranded sessions whose host pair is partitioned
 
+	// Delegated control plane (all zero in centralised runs, except Shed,
+	// which a bounded root control queue also produces).
+	LocalGrants     uint64 // setups admitted by a pod delegate within its lease
+	Escalated       uint64 // setups a delegate forwarded to the root
+	Shed            uint64 // setups shed by a saturated control queue
+	Retargets       uint64 // clients redirected to a new CAC target
+	LeaseGrants     uint64 // lease grants and growths the root issued
+	LeaseRequests   uint64 // lease growth requests delegates sent
+	LeaseReturns    uint64 // lease fractions returned to the root
+	LeaseDenied     uint64 // growth requests the root refused
+	Promotions      uint64 // standby delegates promoted after a CAC outage
+	Reclaims        uint64 // pod leases the root reclaimed (no live standby)
+	FailoverReplays uint64 // setups re-granted from a standby's replica
+	LeaseRenewals   uint64 // renewal heartbeats the root acked
+	BreakerOpens    uint64 // delegates that declared the root dead
+	BreakerRejects  uint64 // setups rejected locally while the root was dark
+
+	// FailoverHist is the control-plane time-to-recovery distribution:
+	// CAC-killing fault instant to the promoted standby finishing lease
+	// reconciliation (in-band Promote delivery included).
+	FailoverHist *stats.Histogram
+
 	// Setup latency: first Setup sent to Grant received, measured by the
 	// client across the in-band round trip (fabric queueing included).
 	SetupLatency stats.TimeSeries
@@ -61,6 +83,7 @@ func NewCounters() *Counters {
 	return &Counters{
 		SetupLatHist:  stats.NewHistogram(),
 		RepairLatHist: stats.NewHistogram(),
+		FailoverHist:  stats.NewHistogram(),
 	}
 }
 
@@ -87,9 +110,24 @@ func (c *Counters) Merge(other *Counters) {
 	c.SwitchRerouted += other.SwitchRerouted
 	c.SwitchDowngraded += other.SwitchDowngraded
 	c.SwitchUnreachable += other.SwitchUnreachable
+	c.LocalGrants += other.LocalGrants
+	c.Escalated += other.Escalated
+	c.Shed += other.Shed
+	c.Retargets += other.Retargets
+	c.LeaseGrants += other.LeaseGrants
+	c.LeaseRequests += other.LeaseRequests
+	c.LeaseReturns += other.LeaseReturns
+	c.LeaseDenied += other.LeaseDenied
+	c.Promotions += other.Promotions
+	c.Reclaims += other.Reclaims
+	c.FailoverReplays += other.FailoverReplays
+	c.LeaseRenewals += other.LeaseRenewals
+	c.BreakerOpens += other.BreakerOpens
+	c.BreakerRejects += other.BreakerRejects
 	c.SetupLatency.Merge(&other.SetupLatency)
 	c.SetupLatHist.Merge(other.SetupLatHist)
 	c.RepairLatHist.Merge(other.RepairLatHist)
+	c.FailoverHist.Merge(other.FailoverHist)
 	c.DataBytes += other.DataBytes
 	c.DataPackets += other.DataPackets
 	c.SigBytes += other.SigBytes
@@ -157,4 +195,37 @@ type Results struct {
 	// State at the simulation horizon.
 	ActiveAtStop   int     `json:"active_at_stop"`
 	ReservedAtStop float64 `json:"reserved_bw_at_stop"`
+
+	// ControlPlane summarises the survivable admission control plane
+	// (non-nil whenever sessions ran; mostly zero in centralised mode).
+	ControlPlane *ControlPlane `json:"control_plane,omitempty"`
+}
+
+// ControlPlane is the survivable-CAC summary: delegated admissions, lease
+// traffic, overload shedding, and failover recovery. Fingerprinted by the
+// determinism cross-checks like the rest of Results.
+type ControlPlane struct {
+	Delegated bool `json:"delegated"`
+	Pods      int  `json:"pods"`
+	Delegates int  `json:"delegates"`
+
+	LocalGrants     uint64 `json:"local_grants"`
+	Escalated       uint64 `json:"escalated"`
+	Shed            uint64 `json:"shed"`
+	Retargets       uint64 `json:"retargets"`
+	LeaseGrants     uint64 `json:"lease_grants"`
+	LeaseRequests   uint64 `json:"lease_requests"`
+	LeaseReturns    uint64 `json:"lease_returns"`
+	LeaseDenied     uint64 `json:"lease_denied"`
+	Promotions      uint64 `json:"promotions"`
+	Reclaims        uint64 `json:"reclaims"`
+	FailoverReplays uint64 `json:"failover_replays"`
+	LeaseRenewals   uint64 `json:"lease_renewals"`
+	BreakerOpens    uint64 `json:"breaker_opens"`
+	BreakerRejects  uint64 `json:"breaker_rejects"`
+
+	// Control-plane time-to-recovery: CAC fault to restored pod admission.
+	FailoverCount uint64     `json:"failover_count"`
+	FailoverP50   units.Time `json:"failover_p50"`
+	FailoverP99   units.Time `json:"failover_p99"`
 }

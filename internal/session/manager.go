@@ -37,6 +37,13 @@ type ManagerConfig struct {
 	LinkBW units.Bandwidth
 	// WarmUp and Horizon bound the reserved-bandwidth integral window.
 	WarmUp, Horizon units.Time
+
+	// Pods and Delegates describe the delegated control plane (empty in
+	// centralised mode). Delegates holds every delegate endpoint in pod
+	// order, primary before standby; the manager only reads their state
+	// after the run, in BuildResults.
+	Pods      []Pod
+	Delegates []*Delegate
 }
 
 // Manager is the centralised CAC endpoint: it serves in-band Setup and
@@ -46,6 +53,20 @@ type Manager struct {
 	c        ManagerConfig
 	sessions map[uint64]*mSession
 	byHandle map[admission.FlowHandle]uint64
+
+	// Delegated control plane: podFrac and podCAC track, per pod, the
+	// leased capacity fraction and which host currently serves as the
+	// pod's CAC (-1: the root serves the pod directly).
+	pods    []Pod
+	podFrac []float64
+	podCAC  []int
+
+	// queue is the root's bounded control queue (nil when disabled).
+	queue *ctlQueue
+
+	// Per-entity cumulative counters for the telemetry probe rows (the
+	// shard Counters mix all entities of a shard together).
+	accN, rejN, revN, shedN uint64
 
 	// Reserved-bandwidth integral over [WarmUp, Horizon]: cur is the sum
 	// of currently reserved session bandwidth, integrated piecewise at
@@ -59,11 +80,54 @@ type Manager struct {
 
 // NewManager returns the CAC endpoint for mc.Host.
 func NewManager(mc ManagerConfig) *Manager {
-	return &Manager{
+	m := &Manager{
 		c:        mc,
 		sessions: make(map[uint64]*mSession),
 		byHandle: make(map[admission.FlowHandle]uint64),
+		pods:     mc.Pods,
+		podFrac:  make([]float64, len(mc.Pods)),
+		podCAC:   make([]int, len(mc.Pods)),
+		queue:    newCtlQueue(mc.Eng, &mc.Cfg),
 	}
+	for i := range m.podCAC {
+		m.podCAC[i] = -1
+	}
+	return m
+}
+
+// Bootstrap grants every pod's primary delegate its initial capacity
+// lease. The network schedules it at t=0 on the manager's shard when
+// delegation is enabled, so the grants ride the in-band signalling flows
+// like any other control traffic.
+func (m *Manager) Bootstrap() {
+	for i := range m.pods {
+		if m.pods[i].Primary < 0 {
+			continue
+		}
+		m.podCAC[i] = m.pods[i].Primary
+		m.grantLease(i, m.c.Cfg.LeaseFrac)
+	}
+}
+
+// grantLease carves frac of pod i's host links out of the root ledger and
+// tells the pod's CAC (grant and growth share this path; a re-grant of
+// the current fraction doubles as a growth denial the delegate can clear
+// its outstanding-request flag on).
+func (m *Manager) grantLease(i int, frac float64) {
+	m.c.Adm.SetPodLease(m.pods[i].Hosts, frac)
+	m.podFrac[i] = frac
+	m.c.Cnt.LeaseGrants++
+	m.reply(m.podCAC[i], &Msg{Op: OpLeaseGrant, Frac: frac})
+}
+
+// podByCAC returns the pod index currently served by CAC host h, or -1.
+func (m *Manager) podByCAC(h int) int {
+	for i, cac := range m.podCAC {
+		if cac == h {
+			return i
+		}
+	}
+	return -1
 }
 
 // advanceTo integrates the current reserved bandwidth up to now, clipped
@@ -102,13 +166,71 @@ func (m *Manager) HandleCtl(p *packet.Packet) {
 	}
 	switch msg.Op {
 	case OpSetup:
+		if m.queue != nil {
+			// Overloaded root: bounded queue, deterministic shed with a
+			// drain-time hint the client folds into its backoff.
+			if hint, ok := m.queue.enqueue(func() { m.handleSetup(msg) }); !ok {
+				m.c.Cnt.Shed++
+				m.shedN++
+				m.reply(msg.Src, &Msg{Op: OpReject, Session: msg.Session, Attempt: msg.Attempt, RetryAfter: hint})
+			}
+			return
+		}
 		m.handleSetup(msg)
 	case OpTeardown:
 		m.handleTeardown(msg)
+	case OpLeaseRequest:
+		m.handleLeaseRequest(msg)
+	case OpLeaseReturn:
+		m.handleLeaseReturn(msg)
+	case OpLeaseRenew:
+		m.handleLeaseRenew(msg)
 	default:
 		// Client-bound opcodes can only appear here through a wiring bug.
 		panic(fmt.Sprintf("session: manager received %v", msg.Op))
 	}
+}
+
+// handleLeaseRequest grows a pod's lease when the un-leased root share
+// can spare it, else re-grants the current fraction (an explicit denial).
+func (m *Manager) handleLeaseRequest(msg *Msg) {
+	i := m.podByCAC(msg.Src)
+	if i < 0 {
+		return // delegate demoted while the request was in flight
+	}
+	want := msg.Frac
+	if want > MaxLeaseFrac+1e-9 || !m.c.Adm.CanPodLease(m.pods[i].Hosts, want) {
+		m.c.Cnt.LeaseDenied++
+		m.grantLease(i, m.podFrac[i])
+		return
+	}
+	m.grantLease(i, want)
+}
+
+// handleLeaseReturn shrinks a pod's lease back to the fraction the
+// delegate kept (the delegate already stopped admitting above it).
+func (m *Manager) handleLeaseReturn(msg *Msg) {
+	i := m.podByCAC(msg.Src)
+	if i < 0 {
+		return
+	}
+	m.c.Adm.SetPodLease(m.pods[i].Hosts, msg.Frac)
+	m.podFrac[i] = msg.Frac
+}
+
+// handleLeaseRenew acks a delegate's heartbeat by re-affirming its current
+// lease fraction. The ack is the delegates' root-liveness signal: missing
+// acks open their escalation breaker. A delegate that is no longer the
+// pod's CAC (demoted while unreachable, or its pod reclaimed) is told
+// fraction 0, which deactivates it — the renewal path converges stale
+// delegates even when the messages that demoted them were lost.
+func (m *Manager) handleLeaseRenew(msg *Msg) {
+	m.c.Cnt.LeaseRenewals++
+	frac := 0.0
+	if i := m.podByCAC(msg.Src); i >= 0 {
+		frac = m.podFrac[i]
+	}
+	m.reply(msg.Src, &Msg{Op: OpLeaseGrant, Frac: frac})
 }
 
 // handleSetup admits or rejects one session request.
@@ -124,6 +246,7 @@ func (m *Manager) handleSetup(msg *Msg) {
 		route, h, err := m.c.Adm.Reserve(msg.Src, msg.Dst, msg.BW)
 		if err != nil {
 			m.c.Cnt.Rejected++
+			m.rejN++
 			m.reply(msg.Src, &Msg{Op: OpReject, Session: msg.Session, Attempt: msg.Attempt})
 			return
 		}
@@ -134,6 +257,7 @@ func (m *Manager) handleSetup(msg *Msg) {
 		m.byHandle[h] = msg.Session
 		m.addReserved(msg.BW)
 		m.c.Cnt.Accepted++
+		m.accN++
 		m.reply(msg.Src, &Msg{Op: OpGrant, Session: msg.Session, Route: route})
 		return
 	}
@@ -143,6 +267,7 @@ func (m *Manager) handleSetup(msg *Msg) {
 		src: msg.Src, dst: msg.Dst, bw: msg.BW, class: msg.Class, route: route,
 	}
 	m.c.Cnt.Accepted++
+	m.accN++
 	m.reply(msg.Src, &Msg{Op: OpGrant, Session: msg.Session, Route: route})
 }
 
@@ -201,6 +326,7 @@ func (m *Manager) revoke(id uint64) {
 	delete(m.byHandle, s.handle)
 	m.addReserved(-s.bw)
 	m.c.Cnt.Revoked++
+	m.revN++
 	route, h, err := m.c.Adm.Reserve(s.src, s.dst, s.bw)
 	if err != nil {
 		delete(m.sessions, id)
@@ -223,6 +349,7 @@ func (m *Manager) revoke(id uint64) {
 func (m *Manager) OnSwitchDown(sw int, downAt units.Time) {
 	m.c.Adm.SetSwitchDown(sw, true)
 	m.repairStranded(downAt)
+	m.checkDelegates(downAt)
 }
 
 // OnSwitchUp clears a switch's dead marking. Already-repaired sessions
@@ -236,6 +363,49 @@ func (m *Manager) OnSwitchUp(sw int) {
 func (m *Manager) OnPortDown(sw, port int, downAt units.Time) {
 	m.c.Adm.SetPortDown(sw, port, true)
 	m.repairStranded(downAt)
+	m.checkDelegates(downAt)
+}
+
+// checkDelegates runs the deterministic failover state machine after
+// every switch or port failure: any pod whose current CAC host lost its
+// attachment gets its standby promoted (lease carried over, clients
+// retargeted) or, with no live standby, its lease reclaimed so the root
+// serves the pod directly. Pods are scanned in ascending order; no
+// failback on recovery — a repaired ex-primary stays retired.
+func (m *Manager) checkDelegates(downAt units.Time) {
+	mgr := m.c.Host.ID()
+	for i := range m.pods {
+		cac := m.podCAC[i]
+		if cac < 0 || !m.c.Adm.HostDead(cac) {
+			continue
+		}
+		p := m.pods[i]
+		if cac == p.Primary && p.Standby >= 0 && !m.c.Adm.HostDead(p.Standby) {
+			m.podCAC[i] = p.Standby
+			m.reply(p.Standby, &Msg{Op: OpPromote, Frac: m.podFrac[i], DownAt: downAt})
+			for _, h := range p.Hosts {
+				if h == p.Standby || h == p.Primary || h == mgr {
+					continue
+				}
+				m.reply(h, &Msg{Op: OpRetarget, Target: p.Standby})
+			}
+			// The standby's own client must stop targeting the dead
+			// primary; it asks the root directly from now on.
+			m.reply(p.Standby, &Msg{Op: OpRetarget, Target: -1})
+			continue
+		}
+		// No live standby: reclaim the lease, serve the pod from the root.
+		m.podCAC[i] = -1
+		m.podFrac[i] = 0
+		m.c.Adm.SetPodLease(p.Hosts, 0)
+		m.c.Cnt.Reclaims++
+		for _, h := range p.Hosts {
+			if h == cac || h == mgr {
+				continue
+			}
+			m.reply(h, &Msg{Op: OpRetarget, Target: -1})
+		}
+	}
 }
 
 // OnPortUp clears a cable's dead marking.
@@ -286,6 +456,7 @@ func (m *Manager) revokeFault(id uint64, downAt units.Time) {
 	delete(m.byHandle, s.handle)
 	m.addReserved(-s.bw)
 	m.c.Cnt.Revoked++
+	m.revN++
 	route, h, err := m.c.Adm.Reserve(s.src, s.dst, s.bw)
 	if err == nil {
 		s.handle, s.route = h, route
@@ -317,12 +488,39 @@ func (m *Manager) ActiveSessions() int { return len(m.sessions) }
 // bytes/ns (telemetry).
 func (m *Manager) ReservedNow() float64 { return m.cur }
 
+// QueueDepth returns the root control queue's occupancy (telemetry).
+func (m *Manager) QueueDepth() int { return m.queue.Depth() }
+
+// ShedCount returns the cumulative setups the root shed (telemetry).
+func (m *Manager) ShedCount() uint64 { return m.shedN }
+
+// AcceptedCount returns the root's cumulative accepted setups, excluding
+// delegate grants (telemetry).
+func (m *Manager) AcceptedCount() uint64 { return m.accN }
+
+// RejectedCount returns the root's cumulative rejected setups (telemetry).
+func (m *Manager) RejectedCount() uint64 { return m.rejN }
+
+// RevokedCount returns the root's cumulative revocations (telemetry).
+func (m *Manager) RevokedCount() uint64 { return m.revN }
+
 // BuildResults finalises the reserved-bandwidth integral and summarises
 // the merged counters into the run's session Results.
 func (m *Manager) BuildResults(cnt *Counters) *Results {
 	if !m.finalized {
 		m.advanceTo(m.c.Horizon)
 		m.finalized = true
+	}
+	// Fold the delegate CACs' reserved-bandwidth integrals and horizon
+	// state into the run totals, in the fixed Delegates order (primary
+	// before standby, pods ascending) so the float sums are deterministic.
+	integral := m.integral
+	active := len(m.sessions)
+	resvAtStop := m.cur
+	for _, d := range m.c.Delegates {
+		integral += d.finishIntegral()
+		active += len(d.sessions)
+		resvAtStop += d.cur
 	}
 	r := &Results{
 		Started: cnt.Started, SetupsSent: cnt.SetupsSent, Retries: cnt.Retries,
@@ -342,9 +540,30 @@ func (m *Manager) BuildResults(cnt *Counters) *Results {
 		SetupMeanNs:       cnt.SetupLatency.Mean(),
 		DataBytes:         cnt.DataBytes, DataPackets: cnt.DataPackets,
 		SigBytes: cnt.SigBytes, SigPackets: cnt.SigPackets,
-		ActiveAtStop:   len(m.sessions),
-		ReservedAtStop: m.cur,
+		ActiveAtStop:   active,
+		ReservedAtStop: resvAtStop,
 	}
+	cp := &ControlPlane{
+		Delegated: m.c.Cfg.Delegation,
+		Pods:      len(m.pods),
+		Delegates: len(m.c.Delegates),
+
+		LocalGrants: cnt.LocalGrants, Escalated: cnt.Escalated,
+		Shed: cnt.Shed, Retargets: cnt.Retargets,
+		LeaseGrants: cnt.LeaseGrants, LeaseRequests: cnt.LeaseRequests,
+		LeaseReturns: cnt.LeaseReturns, LeaseDenied: cnt.LeaseDenied,
+		Promotions: cnt.Promotions, Reclaims: cnt.Reclaims,
+		FailoverReplays: cnt.FailoverReplays,
+		LeaseRenewals:   cnt.LeaseRenewals,
+		BreakerOpens:    cnt.BreakerOpens,
+		BreakerRejects:  cnt.BreakerRejects,
+		FailoverCount:   cnt.FailoverHist.Count(),
+	}
+	if cp.FailoverCount > 0 {
+		cp.FailoverP50 = cnt.FailoverHist.Quantile(0.50)
+		cp.FailoverP99 = cnt.FailoverHist.Quantile(0.99)
+	}
+	r.ControlPlane = cp
 	if cnt.SetupLatHist.Count() > 0 {
 		r.SetupP50 = cnt.SetupLatHist.Quantile(0.50)
 		r.SetupP99 = cnt.SetupLatHist.Quantile(0.99)
@@ -358,7 +577,7 @@ func (m *Manager) BuildResults(cnt *Counters) *Results {
 	}
 	window := m.c.Horizon - m.c.WarmUp
 	if cap := float64(window) * float64(m.c.LinkBW) * float64(m.c.Hosts); cap > 0 {
-		r.ReservedUtil = m.integral / cap
+		r.ReservedUtil = integral / cap
 		r.AchievedUtil = float64(cnt.DataBytes) / cap
 	}
 	return r

@@ -187,6 +187,47 @@ func TestFlashCrowd(t *testing.T) {
 	}
 }
 
+// TestLateGrantRetryRace pins the race where a Grant arrives after the
+// response timeout already scheduled a retry but before that retry fires:
+// the client must accept the grant, cancel the pending backoff timer (no
+// leaked retry, no duplicate reservation), and the CAC must dedup any
+// retried Setup that was already in flight. A response timeout far below
+// the fabric round trip forces the race on essentially every session.
+func TestLateGrantRetryRace(t *testing.T) {
+	cfg := base()
+	cfg.Sessions = &session.Config{
+		InterArrival: 300 * units.Microsecond,
+		HoldMean:     units.Millisecond,
+		RespTimeout:  units.Microsecond, // < in-band RTT: every grant is late
+		RetryBackoff: 300 * units.Microsecond,
+		MaxRetries:   6,
+	}
+	s := run(t, cfg).Sessions
+	if s.Timeouts == 0 {
+		t.Fatalf("timeout shorter than the RTT produced no timeouts: %+v", s)
+	}
+	if s.Granted == 0 {
+		t.Fatalf("no late grant won the race against its retry: %+v", s)
+	}
+	// No double-reserve: every client grant traces to one CAC accept or an
+	// idempotent duplicate re-grant, and releases never exceed teardowns.
+	if s.Granted > s.Accepted+s.DupSetups {
+		t.Errorf("granted %d > accepted %d + dup re-grants %d (double grant)",
+			s.Granted, s.Accepted, s.DupSetups)
+	}
+	if s.Released > s.TeardownsSent {
+		t.Errorf("released %d > teardowns sent %d", s.Released, s.TeardownsSent)
+	}
+	// No leaked retry timer: a retry firing after its session left the
+	// signalling state would send a fresh Setup and count a retry without
+	// a preceding timeout/reject; the schedule bounds retries by decided
+	// signalling events.
+	if s.Retries > s.Timeouts+s.RejectsSeen {
+		t.Errorf("retries %d exceed timeouts %d + rejects %d (leaked retry timer)",
+			s.Retries, s.Timeouts, s.RejectsSeen)
+	}
+}
+
 func TestSessionTelemetrySeries(t *testing.T) {
 	cfg := base()
 	cfg.Sessions = &session.Config{

@@ -109,6 +109,17 @@ func EpochConfig(opt Options, epoch int) network.Config {
 		InterArrival: 300 * units.Microsecond,
 		HoldMean:     1500 * units.Microsecond,
 	}
+	// Odd epochs run the delegated control plane so the soak exercises the
+	// lease/failover protocol under the same random fault storms as the
+	// centralised CAC: switch outages that land on a delegate host force
+	// promotions and reclaims, and the post-epoch audit checks every
+	// delegate ledger plus the client liveness watchdog.
+	if epoch%2 == 1 {
+		cfg.Sessions.Delegation = true
+		cfg.Sessions.LocalFrac = 0.5
+		cfg.Sessions.CtlService = 200 * units.Nanosecond
+		cfg.Sessions.CtlQueueCap = 32
+	}
 
 	horizon := cfg.WarmUp + cfg.Measure
 	plan := faults.RandomPlan(seed, soakLinkIDs(cfg.Topology), horizon, faults.RandomConfig{

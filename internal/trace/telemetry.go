@@ -56,19 +56,32 @@ type EngineSample struct {
 	EventRate float64 `json:"events_per_sim_sec"`
 }
 
-// SessionSample is one probe of the dynamic session subsystem, taken on
-// the session manager's shard (all sampled state lives there, so the
-// series is identical at every shard count).
+// SessionSample is one probe of one CAC entity of the dynamic session
+// subsystem — the root manager (Pod -1) or one pod delegate — taken on
+// the shard owning the entity's host (all sampled state lives there, so
+// the (T, Pod, Host)-sorted series is identical at every shard count).
 type SessionSample struct {
 	T units.Time `json:"t"`
+	// Pod is the entity's leaf switch, -1 for the root manager; Host is
+	// the CAC host the row samples.
+	Pod  int `json:"pod"`
+	Host int `json:"host"`
 	// Active is the number of granted, not-yet-released sessions;
 	// ReservedBW their reserved bandwidth sum in bytes/ns.
 	Active     int     `json:"active"`
 	ReservedBW float64 `json:"reserved_bw"`
-	// Cumulative CAC decisions up to the probe.
+	// Cumulative CAC decisions of this entity up to the probe (a
+	// delegate's Accepted counts its local grants).
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
 	Revoked  uint64 `json:"revoked"`
+	// Lease state (delegates only): the leased capacity fraction and the
+	// worst reserved-to-lease utilisation across the pod's links.
+	LeaseFrac float64 `json:"lease_frac"`
+	LeaseUtil float64 `json:"lease_util"`
+	// Control-queue occupancy at the probe and cumulative setups shed.
+	QueueDepth int    `json:"queue_depth"`
+	Shed       uint64 `json:"shed"`
 }
 
 // Telemetry holds a run's time series.
@@ -106,20 +119,33 @@ func (t *Telemetry) Sort() {
 		return a.Port < b.Port
 	})
 	sort.SliceStable(t.Engine, func(i, j int) bool { return t.Engine[i].T < t.Engine[j].T })
-	sort.SliceStable(t.Sessions, func(i, j int) bool { return t.Sessions[i].T < t.Sessions[j].T })
+	sort.SliceStable(t.Sessions, func(i, j int) bool {
+		a, b := &t.Sessions[i], &t.Sessions[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Pod != b.Pod {
+			return a.Pod < b.Pod
+		}
+		return a.Host < b.Host
+	})
 }
 
 // WriteSessionsCSV writes the session series as CSV.
 func (t *Telemetry) WriteSessionsCSV(w io.Writer) error {
 	if _, err := io.WriteString(w,
-		"t_ns,active,reserved_bw,accepted,rejected,revoked\n"); err != nil {
+		"t_ns,pod,host,active,reserved_bw,accepted,rejected,revoked,lease_frac,lease_util,queue_depth,shed\n"); err != nil {
 		return fmt.Errorf("trace: writing session CSV: %w", err)
 	}
-	buf := make([]byte, 0, 96)
+	buf := make([]byte, 0, 160)
 	for i := range t.Sessions {
 		s := &t.Sessions[i]
 		buf = buf[:0]
 		buf = strconv.AppendInt(buf, int64(s.T), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.Pod), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.Host), 10)
 		buf = append(buf, ',')
 		buf = strconv.AppendInt(buf, int64(s.Active), 10)
 		buf = append(buf, ',')
@@ -130,6 +156,14 @@ func (t *Telemetry) WriteSessionsCSV(w io.Writer) error {
 		buf = strconv.AppendUint(buf, s.Rejected, 10)
 		buf = append(buf, ',')
 		buf = strconv.AppendUint(buf, s.Revoked, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, s.LeaseFrac, 'g', 9, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, s.LeaseUtil, 'g', 9, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.QueueDepth), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Shed, 10)
 		buf = append(buf, '\n')
 		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("trace: writing session CSV: %w", err)
