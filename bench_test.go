@@ -28,6 +28,7 @@ import (
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/experiments"
 	"deadlineqos/internal/harness"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/pqueue"
@@ -44,13 +45,17 @@ type benchResult struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// MallocsPerEvent is the hot loop's allocation pressure (heap
+	// allocations per executed event), the second axis the
+	// perf-regression gate (cmd/qosbench) watches.
+	MallocsPerEvent float64 `json:"mallocs_per_event,omitempty"`
 }
 
 // writeBenchJSON persists the benchmark's headline numbers as
 // BENCH_<scenario>.json (the final timing of the last b.N round wins).
 // Failures only log: a read-only working directory must not fail the
 // benchmark itself.
-func writeBenchJSON(b *testing.B, scenario string, events uint64) {
+func writeBenchJSON(b *testing.B, scenario string, events, mallocs uint64) {
 	elapsed := b.Elapsed()
 	if b.N == 0 || elapsed <= 0 {
 		return
@@ -63,6 +68,7 @@ func writeBenchJSON(b *testing.B, scenario string, events uint64) {
 	if events > 0 {
 		res.EventsPerOp = float64(events) / float64(b.N)
 		res.EventsPerSec = float64(events) / elapsed.Seconds()
+		res.MallocsPerEvent = float64(mallocs) / float64(events)
 	}
 	data, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
@@ -330,7 +336,7 @@ func BenchmarkSimulationRate(b *testing.B) {
 	cfg.WarmUp = 0
 	cfg.Measure = 2 * units.Millisecond
 	b.ResetTimer()
-	var events uint64
+	var events, mallocs uint64
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
 		res, err := network.Run(cfg)
@@ -338,9 +344,37 @@ func BenchmarkSimulationRate(b *testing.B) {
 			b.Fatal(err)
 		}
 		events += res.SimEvents
+		mallocs += res.Perf.Mallocs
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
-	writeBenchJSON(b, "simrate", events)
+	writeBenchJSON(b, "simrate", events, mallocs)
+}
+
+// BenchmarkSimulationRateMetrics is BenchmarkSimulationRate with the
+// always-on metrics plane recording into a live registry — diffing
+// BENCH_simrate_metrics.json against BENCH_simrate.json quantifies the
+// metrics overhead. (With metrics merely configured off, the per-site
+// cost is one nil check; that case is BenchmarkSimulationRate itself.)
+func BenchmarkSimulationRateMetrics(b *testing.B) {
+	cfg := network.SmallConfig()
+	cfg.Arch = arch.Advanced2VC
+	cfg.Load = 1.0
+	cfg.WarmUp = 0
+	cfg.Measure = 2 * units.Millisecond
+	b.ResetTimer()
+	var events, mallocs uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		cfg.Metrics = metrics.NewRegistry()
+		res, err := network.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.SimEvents
+		mallocs += res.Perf.Mallocs
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	writeBenchJSON(b, "simrate_metrics", events, mallocs)
 }
 
 // BenchmarkSimulationRateTraced is BenchmarkSimulationRate with
@@ -356,7 +390,7 @@ func BenchmarkSimulationRateTraced(b *testing.B) {
 	cfg.Measure = 2 * units.Millisecond
 	cfg.TrackOrderErrors = true
 	b.ResetTimer()
-	var events uint64
+	var events, mallocs uint64
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
 		tr, err := trace.New(trace.Config{SampleRate: 0.02, Seed: cfg.Seed})
@@ -369,9 +403,10 @@ func BenchmarkSimulationRateTraced(b *testing.B) {
 			b.Fatal(err)
 		}
 		events += res.SimEvents
+		mallocs += res.Perf.Mallocs
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
-	writeBenchJSON(b, "simrate_traced", events)
+	writeBenchJSON(b, "simrate_traced", events, mallocs)
 }
 
 // BenchmarkArchitectures measures one full-load run per architecture, the
@@ -414,7 +449,7 @@ func BenchmarkEngine(b *testing.B) {
 	eng.At(0, step)
 	eng.Run(units.Time(1e11))
 	b.ReportMetric(1, "events/op")
-	writeBenchJSON(b, "engine", uint64(b.N))
+	writeBenchJSON(b, "engine", uint64(b.N), 0)
 }
 
 // BenchmarkBuffers measures push+pop through the three buffer disciplines

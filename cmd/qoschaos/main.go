@@ -67,7 +67,12 @@ func run() error {
 		noRel     = flag.Bool("noreliability", false, "disable the end-to-end retransmission layer")
 		showTrace = flag.Bool("trace", false, "print the executed fault trace")
 	)
+	prof := cli.ProfileFlags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	a, err := arch.Parse(*archName)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
 	"deadlineqos/internal/faults"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/report"
@@ -60,8 +61,15 @@ func run() error {
 		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (independent of the traffic seed)")
 		probe     = flag.String("probe", "", "telemetry probe interval (e.g. 100us; empty = off)")
 		csvPath   = flag.String("csv", "", "write the session time series as CSV to this file (needs -probe)")
+
+		metricsAddr = cli.MetricsAddrFlag()
+		prof        = cli.ProfileFlags()
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	a, err := arch.Parse(*archName)
 	if err != nil {
@@ -140,6 +148,19 @@ func run() error {
 		if cfg.ProbeInterval, err = cli.ParseDuration(*probe); err != nil {
 			return err
 		}
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = metrics.NewRegistry()
+		if cfg.ProbeInterval <= 0 {
+			// The metrics plane publishes on the probe cadence; give the
+			// scrape server something live to show.
+			cfg.ProbeInterval = 100 * units.Microsecond
+		}
+		srv, err := cli.StartMetrics(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
 	}
 
 	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d shards=%d window=[%v, %v]\n",

@@ -44,7 +44,12 @@ func run() error {
 		dump     = flag.String("dump", "", "write a per-packet event CSV (generated/injected/delivered) to this file")
 		jsonOut  = flag.String("json", "", "write a result snapshot (see cmd/qosreport) to this file")
 	)
+	prof := cli.ProfileFlags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	a, err := arch.Parse(*archName)
 	if err != nil {

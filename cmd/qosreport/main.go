@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"deadlineqos/internal/cli"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/stats"
 )
@@ -37,7 +38,12 @@ func run() (int, error) {
 		afterPath  = flag.String("after", "", "candidate snapshot")
 		tolerance  = flag.Float64("tolerance", 0.10, "relative change beyond which a metric is flagged")
 	)
+	prof := cli.ProfileFlags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return 0, err
+	}
+	defer prof.Stop()
 	if *beforePath == "" || *afterPath == "" {
 		return 0, fmt.Errorf("both -before and -after are required")
 	}

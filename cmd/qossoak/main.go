@@ -10,11 +10,17 @@
 // byte-identically — at any shard count. A failed invariant exits
 // non-zero: the command doubles as a robustness gate in CI.
 //
+// With -metrics-addr the soak serves its live metrics plane over HTTP
+// (Prometheus text, JSON, expvar, pprof) while it runs; with -flightrec
+// it arms a flight recorder whose recent-event window is dumped to disk
+// when an epoch trips an invariant or the deadline-miss-burst SLO.
+//
 // Examples:
 //
 //	qossoak -seed 1 -epochs 8
 //	qossoak -seed 7 -epochs 4 -shards 4 -switch-faults 3
 //	qossoak -seed 7 -first-epoch 2 -epochs 1   (replay one failed epoch)
+//	qossoak -epochs 100 -metrics-addr :9100 -flightrec flightrec.jsonl -miss-burst 64
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os"
 
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/soak"
 )
 
@@ -45,8 +52,18 @@ func run() error {
 		switchFaults = flag.Int("switch-faults", 2, "switch outage pairs per epoch")
 		flaps        = flag.Int("flaps", 3, "link flap pairs per epoch")
 		derates      = flag.Int("derates", 2, "bandwidth derate pairs per epoch")
+		metricsAddr  = cli.MetricsAddrFlag()
+		flightrec    = flag.String("flightrec", "", "arm the flight recorder; dump the event window to this file on an invariant trip or deadline-miss burst")
+		missBurst    = flag.Int("miss-burst", 0, "trip the flight recorder when this many deadline misses land within -miss-window (0 = off)")
+		missWindow   = flag.String("miss-window", "1ms", "deadline-miss-burst window")
+		injectFail   = flag.Bool("inject-failure", false, "fail the first epoch's audit with a synthetic violation (exercises the flight-dump path; exits non-zero)")
+		prof         = cli.ProfileFlags()
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	opt := soak.Options{
 		Seed:         *seed,
@@ -67,6 +84,20 @@ func run() error {
 	}
 	if opt.Measure, err = cli.ParseDuration(*measure); err != nil {
 		return err
+	}
+	opt.FlightPath = *flightrec
+	opt.MissBurstCount = *missBurst
+	opt.InjectFailure = *injectFail
+	if opt.MissBurstWindow, err = cli.ParseDuration(*missWindow); err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		opt.Metrics = metrics.NewRegistry()
+		srv, err := cli.StartMetrics(*metricsAddr, opt.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
 	}
 
 	fmt.Printf("soak: seed=%d epochs=[%d, %d) shards=%d load=%.0f%% window=%v+%v faults[switch=%d flaps=%d derates=%d]\n",

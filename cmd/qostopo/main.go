@@ -31,7 +31,12 @@ func run() error {
 		topoSpec = flag.String("topo", "paper", "topology: paper|small|clos:L,D,U|tree:K,N|single:N")
 		route    = flag.String("route", "", "print all minimal paths for a pair, e.g. 0:127")
 	)
+	prof := cli.ProfileFlags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	topo, err := cli.ParseTopology(*topoSpec)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/trace"
@@ -54,8 +55,15 @@ func run() error {
 		probe     = flag.String("probe", "100us", "telemetry probe interval (0 disables probing)")
 		maxEvents = flag.Int("maxevents", trace.DefaultMaxEvents, "trace event capacity (0 = default)")
 		outDir    = flag.String("out", "qostrace_out", "output directory for the trace artefacts")
+
+		metricsAddr = cli.MetricsAddrFlag()
+		prof        = cli.ProfileFlags()
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	a, err := arch.Parse(*archName)
 	if err != nil {
@@ -93,6 +101,14 @@ func run() error {
 		return err
 	}
 	cfg.Tracer = tr
+	if *metricsAddr != "" {
+		cfg.Metrics = metrics.NewRegistry()
+		srv, err := cli.StartMetrics(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 
 	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d window=[%v, %v] sample=%.3g probe=%v\n",
 		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure,

@@ -36,7 +36,12 @@ func run() error {
 		seeds  = flag.String("seeds", "", "comma-separated seed list: figure 2 reports mean±std across them")
 		csv    = flag.Bool("csv", false, "emit CSV instead of tables and plots")
 	)
+	prof := cli.ProfileFlags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	opt, err := cli.Scale(*scale)
 	if err != nil {

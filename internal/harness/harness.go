@@ -160,14 +160,15 @@ func (p ReplicatedPoint) MeanStd(metric func(*network.Results) float64) (mean, s
 // skipped.
 func PerfTable(title string, points []Point) *report.Table {
 	t := report.NewTable(title,
-		"arch", "load", "shards", "events", "Mev/s", "wall/sim", "max pending", "allocs", "alloc MiB")
+		"arch", "load", "shards", "events", "Mev/s", "wall/sim", "max pending", "allocs", "alloc MiB", "allocs/ev")
 	for _, p := range points {
 		if p.Err != nil || p.Res == nil {
 			continue
 		}
 		pf := p.Res.Perf
 		t.AddF(p.Arch.String(), p.Load, shardsOf(p.Res), pf.Events, pf.EventsPerSec/1e6,
-			pf.WallPerSimSec, pf.MaxPending, pf.Mallocs, float64(pf.AllocBytes)/(1<<20))
+			pf.WallPerSimSec, pf.MaxPending, pf.Mallocs, float64(pf.AllocBytes)/(1<<20),
+			pf.MallocsPerEvent)
 	}
 	return t
 }

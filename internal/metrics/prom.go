@@ -1,0 +1,160 @@
+// Prometheus text exposition and JSON rendering of a gathered snapshot.
+// Both renderers walk the schema in registration order and use only
+// integer formatting, so identical snapshots serialise byte-identically
+// — WriteDeterministic's output is part of the cross-shard replay
+// contract (PerEngine instruments excluded, see Desc.PerEngine).
+
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders the full gathered state in Prometheus text
+// exposition format, including PerEngine instruments. This is what the
+// live scrape endpoint serves.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.writeProm(w, true)
+}
+
+// WriteDeterministic renders the gathered state without PerEngine
+// instruments. Two runs of the same configuration produce byte-identical
+// output at any shard count; the determinism cross-checks compare it.
+func (r *Registry) WriteDeterministic(w io.Writer) error {
+	return r.writeProm(w, false)
+}
+
+func (r *Registry) writeProm(w io.Writer, perEngine bool) error {
+	snap := r.Gather()
+	descs := r.Descs()
+	bw := bufio.NewWriter(w)
+	prevFamily := ""
+	for i := range descs {
+		d := &descs[i]
+		if d.PerEngine && !perEngine {
+			continue
+		}
+		if d.Name != prevFamily {
+			prevFamily = d.Name
+			bw.WriteString("# HELP ")
+			bw.WriteString(d.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(d.Help)
+			bw.WriteString("\n# TYPE ")
+			bw.WriteString(d.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(typeString(d.Kind))
+			bw.WriteByte('\n')
+		}
+		switch d.Kind {
+		case KindCounter:
+			writeSample(bw, d.Name, d.Label, "", int64(d.counterValue(snap)), d.counterValue(snap) > 1<<62)
+		case KindGauge:
+			writeSample(bw, d.Name, d.Label, "", d.gaugeValue(snap), false)
+		case KindHistogram:
+			h := d.histValue(snap)
+			var cum uint64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				writeBucket(bw, d.Name, d.Label, strconv.FormatInt(b.Upper, 10), cum)
+			}
+			writeBucket(bw, d.Name, d.Label, "+Inf", h.Count)
+			writeSample(bw, d.Name+"_sum", d.Label, "", h.Sum, false)
+			writeSample(bw, d.Name+"_count", d.Label, "", int64(h.Count), false)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeString(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writeSample emits one `name{label} value` line. huge guards the
+// (practically impossible) uint64 counter overflow of int64.
+func writeSample(bw *bufio.Writer, name, label, extra string, v int64, huge bool) {
+	bw.WriteString(name)
+	if label != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(label)
+		if label != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	if huge {
+		bw.WriteString(strconv.FormatUint(uint64(v), 10))
+	} else {
+		bw.WriteString(strconv.FormatInt(v, 10))
+	}
+	bw.WriteByte('\n')
+}
+
+func writeBucket(bw *bufio.Writer, name, label, le string, cum uint64) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket{")
+	if label != "" {
+		bw.WriteString(label)
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// WriteJSON renders the gathered state as one JSON object keyed by
+// instrument name (plus label), in registration order — the payload the
+// expvar-style endpoint serves. Histograms render as
+// {"count":N,"sum":S,"p50":…,"p99":…}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Gather()
+	descs := r.Descs()
+	bw := bufio.NewWriter(w)
+	bw.WriteByte('{')
+	first := true
+	for i := range descs {
+		d := &descs[i]
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		key := d.Name
+		if d.Label != "" {
+			key += "{" + d.Label + "}"
+		}
+		bw.WriteString(strconv.Quote(key))
+		bw.WriteByte(':')
+		switch d.Kind {
+		case KindCounter:
+			bw.WriteString(strconv.FormatUint(d.counterValue(snap), 10))
+		case KindGauge:
+			bw.WriteString(strconv.FormatInt(d.gaugeValue(snap), 10))
+		case KindHistogram:
+			h := d.histValue(snap)
+			bw.WriteString(`{"count":`)
+			bw.WriteString(strconv.FormatUint(h.Count, 10))
+			bw.WriteString(`,"sum":`)
+			bw.WriteString(strconv.FormatInt(h.Sum, 10))
+			bw.WriteString(`,"p50":`)
+			bw.WriteString(strconv.FormatInt(h.Quantile(0.50), 10))
+			bw.WriteString(`,"p99":`)
+			bw.WriteString(strconv.FormatInt(h.Quantile(0.99), 10))
+			bw.WriteByte('}')
+		}
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}

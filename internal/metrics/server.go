@@ -1,0 +1,94 @@
+// The live monitoring server: a plain net/http server (stdlib only) that
+// exposes the registry in Prometheus text format and as JSON, the
+// standard expvar page, and net/http/pprof. Every handler reads only
+// published snapshots (see Set.Publish), so scraping a multi-hour soak
+// cannot perturb the simulation or its determinism.
+
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is a running metrics HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+var expvarOnce sync.Once
+
+// StartServer listens on addr (host:port; port 0 picks a free one) and
+// serves:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/metrics.json  the same state as one JSON object
+//	/debug/vars    the standard expvar page (cmdline, memstats, qos)
+//	/debug/pprof/  the standard pprof index
+//
+// The registry is also published as the expvar variable "qos" (once per
+// process), so /debug/vars carries the simulation metrics next to the
+// runtime's.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("qos", expvar.Func(func() any {
+			snap := reg.Gather()
+			descs := reg.Descs()
+			out := make(map[string]any, len(descs))
+			for i := range descs {
+				d := &descs[i]
+				key := d.Name
+				if d.Label != "" {
+					key += "{" + d.Label + "}"
+				}
+				switch d.Kind {
+				case KindCounter:
+					out[key] = d.counterValue(snap)
+				case KindGauge:
+					out[key] = d.gaugeValue(snap)
+				case KindHistogram:
+					h := d.histValue(snap)
+					out[key] = map[string]int64{
+						"count": int64(h.Count), "sum": h.Sum,
+						"p50": h.Quantile(0.50), "p99": h.Quantile(0.99),
+					}
+				}
+			}
+			return out
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

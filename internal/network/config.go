@@ -13,6 +13,7 @@ import (
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/topology"
@@ -142,6 +143,34 @@ type Config struct {
 	// packets. Nil disables tracing entirely; the fast path then costs a
 	// single nil check per event site.
 	Tracer *trace.Tracer
+
+	// Metrics, when non-nil, turns on the always-on metrics plane (see
+	// internal/metrics): every shard records into its own lock-free
+	// instrument set and publishes an immutable snapshot at each probe
+	// tick for the live scrape server. Instrument values are
+	// deterministic at any shard count (PerEngine instruments excepted).
+	// Nil disables the plane entirely; the fast path then costs one nil
+	// check per site.
+	Metrics *metrics.Registry
+
+	// Flight, when non-nil, arms the flight recorder: a fixed-size ring
+	// of the most recent packet-lifecycle events, captured by a hidden
+	// full-sampling tracer that stores nothing outside the ring and
+	// cannot perturb results. The ring freezes shortly after a trip —
+	// an invariant-audit failure, a conservation violation, or the
+	// MissBurst SLO below — preserving the events leading up to it.
+	// Mutually exclusive with Tracer (the user tracer's own sampling
+	// would blind the ring; attach a FlightRecorder to the Tracer's
+	// Config instead to combine them).
+	Flight *trace.FlightRecorder
+
+	// MissBurstCount and MissBurstWindow define the deadline-miss-burst
+	// SLO that trips the flight recorder: MissBurstCount missed
+	// deliveries on one shard within MissBurstWindow of simulated time.
+	// Zero count disables the SLO; zero window with a positive count
+	// defaults to 1 ms.
+	MissBurstCount  int
+	MissBurstWindow units.Time
 
 	// ProbeInterval, when positive, samples every switch port (queue
 	// occupancy, credit balance, take-over and order-error rates, link
@@ -329,6 +358,18 @@ func (cfg *Config) validate() error {
 		if t := cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
 			return fmt.Errorf("network: Trace callbacks are not supported with Shards > 1 (they would run concurrently on shard goroutines)")
 		}
+	}
+	if cfg.Flight != nil && cfg.Tracer != nil {
+		return fmt.Errorf("network: Flight and Tracer are mutually exclusive (set trace.Config.Flight on the Tracer instead)")
+	}
+	if cfg.MissBurstCount < 0 {
+		return fmt.Errorf("network: miss-burst count %d is negative", cfg.MissBurstCount)
+	}
+	if cfg.MissBurstWindow < 0 {
+		return fmt.Errorf("network: miss-burst window %v is negative", cfg.MissBurstWindow)
+	}
+	if cfg.MissBurstCount > 0 && cfg.MissBurstWindow == 0 {
+		cfg.MissBurstWindow = units.Millisecond
 	}
 	if err := cfg.Reliability.Validate(); err != nil {
 		return fmt.Errorf("network: %w", err)

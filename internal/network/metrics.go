@@ -1,0 +1,267 @@
+// The network's metrics-plane wiring (see internal/metrics): one schema
+// registered idempotently on the caller's Registry, one instrument Set
+// per shard, and component bundles handed to links, buffers, switches,
+// hosts, the session counters, and the admission controller at build
+// time. Recording is shard-local and lock-free — the same single-writer
+// discipline as the stats collector — and the hot-path cost with metrics
+// disabled is one nil check per site.
+//
+// Gauges are sampled (and the shard's snapshot published for the scrape
+// server) at every telemetry probe tick and once more when the run
+// stops; counters and histograms are live and merely become visible at
+// each publish. PerEngine instruments (engine events/pending) depend on
+// the shard layout and are excluded from metrics.WriteDeterministic,
+// mirroring the telemetry EngineSamples carve-out.
+
+package network
+
+import (
+	"deadlineqos/internal/admission"
+	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/link"
+	"deadlineqos/internal/metrics"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/pqueue"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/switchsim"
+	"deadlineqos/internal/units"
+)
+
+// classLabels names the traffic classes in metric labels (ascending
+// packet.Class order).
+var classLabels = [packet.NumClasses]string{"control", "multimedia", "best_effort", "background"}
+
+// metricsSchema holds the instrument ids of the network's metric schema,
+// registered once per Registry (re-registration across soak epochs is
+// idempotent).
+type metricsSchema struct {
+	// Engine (PerEngine: shard-layout-dependent, excluded from the
+	// deterministic render).
+	engEvents  metrics.CounterID
+	engPending metrics.GaugeID
+
+	// Publish-time gauges.
+	simTime     metrics.GaugeID // MergeMax across shards
+	swQueued    metrics.GaugeID
+	hostPending metrics.GaugeID
+	admActive   metrics.GaugeID
+	sessActive  metrics.GaugeID
+
+	// Link layer.
+	linkTxPkts, linkTxBytes, linkDropped, linkCorrupted metrics.CounterID
+
+	// Buffers (every VOQ and output buffer of every switch).
+	bufEnq, bufDeq, bufOrderErr, bufTakeOvers metrics.CounterID
+
+	// Switches.
+	swXbar, swLinkSends, swDropped metrics.CounterID
+
+	// Hosts.
+	hostGen, hostInj, hostDel metrics.CounterID
+	hostMissed                [packet.NumClasses]metrics.CounterID
+	slack                     [packet.NumClasses]metrics.HistogramID
+
+	// Session control plane.
+	sessStarted, sessGranted, sessAccepted, sessRejected metrics.CounterID
+	sessReleased, sessRevoked, sessLocal                 metrics.CounterID
+	sessEscalated, sessShed                              metrics.CounterID
+
+	// Admission control.
+	admReserves, admRejects, admReleases metrics.CounterID
+}
+
+// registerSchema registers (or re-resolves) the network schema on reg.
+func registerSchema(reg *metrics.Registry) *metricsSchema {
+	s := &metricsSchema{
+		engEvents:  reg.Counter("qos_engine_events_total", "events executed by this shard's engine", metrics.PerEngine()),
+		engPending: reg.Gauge("qos_engine_pending_events", "events pending on this shard's engine at the last publish", metrics.PerEngine()),
+
+		simTime:     reg.Gauge("qos_sim_time_ns", "simulated clock at the last publish", metrics.WithMax()),
+		swQueued:    reg.Gauge("qos_switch_queued_packets", "packets buffered in switches at the last publish"),
+		hostPending: reg.Gauge("qos_host_pending_packets", "packets staged in host NICs at the last publish"),
+		admActive:   reg.Gauge("qos_admission_active_flows", "admitted unreleased reservations at the last publish"),
+		sessActive:  reg.Gauge("qos_sessions_active", "sessions the root CAC holds open at the last publish"),
+
+		linkTxPkts:    reg.Counter("qos_link_tx_packets_total", "packets transmitted on links"),
+		linkTxBytes:   reg.Counter("qos_link_tx_bytes_total", "bytes transmitted on links"),
+		linkDropped:   reg.Counter("qos_link_dropped_total", "packets lost in flight to link-downs"),
+		linkCorrupted: reg.Counter("qos_link_corrupted_total", "packets marked by the bit-error process"),
+
+		bufEnq:       reg.Counter("qos_buffer_enqueued_total", "packets pushed into switch buffers"),
+		bufDeq:       reg.Counter("qos_buffer_dequeued_total", "packets popped from switch buffers"),
+		bufOrderErr:  reg.Counter("qos_buffer_order_errors_total", "dequeues that violated deadline order (oracle on)"),
+		bufTakeOvers: reg.Counter("qos_buffer_takeovers_total", "pushes diverted to take-over queues"),
+
+		swXbar:      reg.Counter("qos_switch_xbar_transfers_total", "crossbar transfers started"),
+		swLinkSends: reg.Counter("qos_switch_link_sends_total", "packets switches put on downstream links"),
+		swDropped:   reg.Counter("qos_switch_dropped_total", "packets discarded by SwitchDown faults"),
+
+		hostGen: reg.Counter("qos_host_generated_total", "packets generated at host NICs"),
+		hostInj: reg.Counter("qos_host_injected_total", "packets injected into the network"),
+		hostDel: reg.Counter("qos_host_delivered_total", "packets delivered to destination hosts"),
+
+		sessStarted:   reg.Counter("qos_session_started_total", "sessions generated by clients"),
+		sessGranted:   reg.Counter("qos_session_granted_total", "sessions admitted (client view)"),
+		sessAccepted:  reg.Counter("qos_session_accepted_total", "setups granted by a CAC"),
+		sessRejected:  reg.Counter("qos_session_rejected_total", "setups rejected by the root CAC"),
+		sessReleased:  reg.Counter("qos_session_released_total", "teardowns that released a reservation"),
+		sessRevoked:   reg.Counter("qos_session_revoked_total", "reservations revoked after faults"),
+		sessLocal:     reg.Counter("qos_session_local_grants_total", "setups admitted by pod delegates"),
+		sessEscalated: reg.Counter("qos_session_escalated_total", "setups delegates forwarded to the root"),
+		sessShed:      reg.Counter("qos_session_shed_total", "setups shed by saturated control queues"),
+
+		admReserves: reg.Counter("qos_admission_reserves_total", "run-time reservations granted"),
+		admRejects:  reg.Counter("qos_admission_rejects_total", "run-time reservations refused"),
+		admReleases: reg.Counter("qos_admission_releases_total", "run-time reservations released"),
+	}
+	for c := 0; c < packet.NumClasses; c++ {
+		label := metrics.WithLabel(`class="` + classLabels[c] + `"`)
+		s.hostMissed[c] = reg.Counter("qos_host_missed_total", "deliveries past deadline", label)
+		s.slack[c] = reg.Histogram("qos_delivery_slack_ns", "remaining time-to-deadline at delivery (negative = missed)", label)
+	}
+	return s
+}
+
+// shardMetrics is one shard's resolved instrument set. All methods are
+// nil-safe: a nil receiver yields zero bundles and nil handles, which is
+// the metrics-disabled path.
+type shardMetrics struct {
+	sch *metricsSchema
+	set *metrics.Set
+}
+
+func (s *metricsSchema) newShardMetrics(reg *metrics.Registry) *shardMetrics {
+	if s == nil {
+		return nil
+	}
+	return &shardMetrics{sch: s, set: reg.NewSet()}
+}
+
+// engineCounter returns the shard's per-engine event counter.
+func (sm *shardMetrics) engineCounter() *metrics.Counter {
+	if sm == nil {
+		return nil
+	}
+	return sm.set.Counter(sm.sch.engEvents)
+}
+
+func (sm *shardMetrics) linkBundle() link.Metrics {
+	if sm == nil {
+		return link.Metrics{}
+	}
+	return link.Metrics{
+		TxPackets: sm.set.Counter(sm.sch.linkTxPkts),
+		TxBytes:   sm.set.Counter(sm.sch.linkTxBytes),
+		Dropped:   sm.set.Counter(sm.sch.linkDropped),
+		Corrupted: sm.set.Counter(sm.sch.linkCorrupted),
+	}
+}
+
+func (sm *shardMetrics) switchBundle() switchsim.Metrics {
+	if sm == nil {
+		return switchsim.Metrics{}
+	}
+	return switchsim.Metrics{
+		Buf: pqueue.Metrics{
+			Enqueued:    sm.set.Counter(sm.sch.bufEnq),
+			Dequeued:    sm.set.Counter(sm.sch.bufDeq),
+			OrderErrors: sm.set.Counter(sm.sch.bufOrderErr),
+			TakeOvers:   sm.set.Counter(sm.sch.bufTakeOvers),
+		},
+		XbarTransfers: sm.set.Counter(sm.sch.swXbar),
+		LinkSends:     sm.set.Counter(sm.sch.swLinkSends),
+		Dropped:       sm.set.Counter(sm.sch.swDropped),
+	}
+}
+
+func (sm *shardMetrics) hostBundle() hostif.Metrics {
+	if sm == nil {
+		return hostif.Metrics{}
+	}
+	m := hostif.Metrics{
+		Generated: sm.set.Counter(sm.sch.hostGen),
+		Injected:  sm.set.Counter(sm.sch.hostInj),
+		Delivered: sm.set.Counter(sm.sch.hostDel),
+	}
+	for c := 0; c < packet.NumClasses; c++ {
+		m.Missed[c] = sm.set.Counter(sm.sch.hostMissed[c])
+		m.Slack[c] = sm.set.Histogram(sm.sch.slack[c])
+	}
+	return m
+}
+
+func (sm *shardMetrics) sessionBundle() session.Metrics {
+	if sm == nil {
+		return session.Metrics{}
+	}
+	return session.Metrics{
+		Started:     sm.set.Counter(sm.sch.sessStarted),
+		Granted:     sm.set.Counter(sm.sch.sessGranted),
+		Accepted:    sm.set.Counter(sm.sch.sessAccepted),
+		Rejected:    sm.set.Counter(sm.sch.sessRejected),
+		Released:    sm.set.Counter(sm.sch.sessReleased),
+		Revoked:     sm.set.Counter(sm.sch.sessRevoked),
+		LocalGrants: sm.set.Counter(sm.sch.sessLocal),
+		Escalated:   sm.set.Counter(sm.sch.sessEscalated),
+		Shed:        sm.set.Counter(sm.sch.sessShed),
+	}
+}
+
+func (sm *shardMetrics) admissionBundle() admission.Metrics {
+	if sm == nil {
+		return admission.Metrics{}
+	}
+	return admission.Metrics{
+		Reserves: sm.set.Counter(sm.sch.admReserves),
+		Rejects:  sm.set.Counter(sm.sch.admRejects),
+		Releases: sm.set.Counter(sm.sch.admReleases),
+	}
+}
+
+// admShard returns the shard whose events own the admission controller
+// (and the session manager) during the run: the manager host's shard when
+// sessions run, shard 0 otherwise (without sessions the controller is
+// static after provisioning, so any single reader is race-free).
+func (n *Network) admShard() int {
+	if n.sessMgr != nil {
+		return n.hostShard[n.sessCfg.Manager]
+	}
+	return 0
+}
+
+// publishMetrics samples the gauges a shard may legally read (its own
+// engine, its own switches and hosts, plus the CAC state on the owning
+// shard), then publishes the shard's snapshot for the scrape server.
+// Called on the shard's goroutine at probe ticks and on the main
+// goroutine once the engines have stopped.
+func (n *Network) publishMetrics(shard int, t units.Time) {
+	sh := n.shards[shard]
+	sm := sh.mtr
+	if sm == nil {
+		return
+	}
+	set := sm.set
+	set.Gauge(sm.sch.simTime).Set(int64(t))
+	set.Gauge(sm.sch.engPending).Set(int64(sh.eng.Pending()))
+	var queued int64
+	for sw, s := range n.switches {
+		if n.swShard[sw] == shard {
+			queued += int64(s.Queued())
+		}
+	}
+	set.Gauge(sm.sch.swQueued).Set(queued)
+	var pending int64
+	for h, host := range n.hosts {
+		if n.hostShard[h] == shard {
+			pending += int64(host.Pending())
+		}
+	}
+	set.Gauge(sm.sch.hostPending).Set(pending)
+	if shard == n.admShard() {
+		set.Gauge(sm.sch.admActive).Set(int64(n.adm.ActiveFlows()))
+		if n.sessMgr != nil {
+			set.Gauge(sm.sch.sessActive).Set(int64(n.sessMgr.ActiveSessions()))
+		}
+	}
+	set.Publish()
+}

@@ -1,0 +1,177 @@
+package network
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/metrics"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/trace"
+	"deadlineqos/internal/units"
+)
+
+// metricsConfig is the metrics-plane acceptance scenario: the small Clos
+// under load with sessions and invariant checking, sharded as requested.
+func metricsConfig(shards int) Config {
+	cfg := SmallConfig()
+	cfg.WarmUp = 1 * units.Millisecond
+	cfg.Measure = 6 * units.Millisecond
+	cfg.Load = 0.8
+	cfg.Shards = shards
+	cfg.CheckInvariants = true
+	cfg.Sessions = &session.Config{
+		InterArrival: 300 * units.Microsecond,
+		HoldMean:     1500 * units.Microsecond,
+	}
+	return cfg
+}
+
+// resultFingerprint condenses a run into the deterministic outputs the
+// metrics plane must not perturb (engine event counts are excluded: the
+// sharded runtime adds synchronisation events of its own).
+func resultFingerprint(t *testing.T, res *Results) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Cons faults.Conservation
+		Sess *session.Results
+	}{res.Conservation, res.Sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsShardDeterminism pins the deterministic metrics render (and
+// the simulation results) byte-identical at 1, 2 and 4 shards with the
+// metrics plane enabled.
+func TestMetricsShardDeterminism(t *testing.T) {
+	var baseMetrics, baseResults string
+	for _, shards := range []int{1, 2, 4} {
+		cfg := metricsConfig(shards)
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteDeterministic(&buf); err != nil {
+			t.Fatalf("shards=%d: WriteDeterministic: %v", shards, err)
+		}
+		m, r := buf.String(), resultFingerprint(t, res)
+		if baseMetrics == "" {
+			baseMetrics, baseResults = m, r
+			// Sanity: the plane actually recorded traffic.
+			for _, want := range []string{
+				"qos_host_delivered_total", "qos_link_tx_packets_total",
+				"qos_buffer_enqueued_total", "qos_session_accepted_total",
+				"qos_delivery_slack_ns", "qos_admission_reserves_total",
+			} {
+				if !strings.Contains(m, want) {
+					t.Fatalf("deterministic render missing %s:\n%s", want, m)
+				}
+			}
+			if strings.Contains(m, "qos_engine_events_total") {
+				t.Fatalf("PerEngine instrument leaked into deterministic render:\n%s", m)
+			}
+			continue
+		}
+		if m != baseMetrics {
+			t.Fatalf("shards=%d metrics diverge:\n%s\nvs sequential:\n%s", shards, m, baseMetrics)
+		}
+		if r != baseResults {
+			t.Fatalf("shards=%d results diverge:\n%s\nvs sequential:\n%s", shards, r, baseResults)
+		}
+	}
+}
+
+// TestMetricsDoNotPerturb runs the same scenario bare, with the metrics
+// plane, and with the flight recorder + miss-burst SLO armed: all three
+// must produce identical simulation results.
+func TestMetricsDoNotPerturb(t *testing.T) {
+	bare, err := Run(metricsConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultFingerprint(t, bare)
+
+	withMetrics := metricsConfig(2)
+	withMetrics.Metrics = metrics.NewRegistry()
+	res, err := Run(withMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultFingerprint(t, res); got != want {
+		t.Fatalf("metrics plane perturbed the run:\n%s\nvs\n%s", got, want)
+	}
+
+	withFlight := metricsConfig(2)
+	withFlight.Flight = trace.NewFlightRecorder(0)
+	withFlight.MissBurstCount = 1
+	res, err = Run(withFlight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultFingerprint(t, res); got != want {
+		t.Fatalf("flight recorder perturbed the run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestMissBurstTripsFlightRecorder arms the tightest possible SLO (one
+// missed deadline) under overload and expects the flight ring to freeze
+// with the events leading up to the first miss.
+func TestMissBurstTripsFlightRecorder(t *testing.T) {
+	cfg := metricsConfig(2)
+	cfg.Load = 1.0
+	fr := trace.NewFlightRecorder(0)
+	cfg.Flight = fr
+	cfg.MissBurstCount = 1
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tripped, reason, at := fr.Tripped()
+	if !tripped {
+		t.Fatal("overloaded run missed no deadline burst; SLO never tripped")
+	}
+	if reason != "deadline-miss-burst" || at <= 0 {
+		t.Fatalf("trip (%q, %v), want deadline-miss-burst at a positive time", reason, at)
+	}
+	evs := fr.Events()
+	if len(evs) == 0 {
+		t.Fatal("tripped flight recorder holds no events")
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(evs)+1 {
+		t.Fatalf("JSONL dump has %d lines for %d events + header", lines, len(evs))
+	}
+	// The miss burst also shows on the scrape surface.
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "qos_host_missed_total") {
+		t.Fatalf("prom render missing qos_host_missed_total:\n%s", prom.String())
+	}
+}
+
+// TestFlightAndTracerMutuallyExclusive pins the validate rule.
+func TestFlightAndTracerMutuallyExclusive(t *testing.T) {
+	cfg := metricsConfig(1)
+	cfg.Flight = trace.NewFlightRecorder(0)
+	tr, err := trace.New(trace.Config{SampleRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tr
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Flight + Tracer accepted")
+	}
+}

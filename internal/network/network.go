@@ -109,6 +109,7 @@ type netShard struct {
 	telemetry     *trace.Telemetry
 	sess          *session.Counters // nil unless Config.Sessions is set
 	avail         *availShard       // nil unless the fault plan is topological
+	mtr           *shardMetrics     // nil unless Config.Metrics is set
 }
 
 // Network is a fully wired simulation. Build one with New, then call Run,
@@ -151,6 +152,11 @@ type Network struct {
 
 	// telemetry holds the merged probe series after Run (ProbeInterval > 0).
 	telemetry *trace.Telemetry
+
+	// flightTracer is the hidden full-sampling, non-storing tracer that
+	// feeds cfg.Flight when the flight recorder runs without a user
+	// tracer (nil otherwise; shard clones live in netShard.tracer).
+	flightTracer *trace.Tracer
 
 	// Route-repair coordinator state (see repair.go; zero unless the fault
 	// plan contains topological events).
@@ -210,6 +216,27 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 
+	// The tracer every shard clones: the user's, or — when only the
+	// flight recorder is wanted — a hidden full-sampling tracer that
+	// stores nothing and exists purely to feed the ring. It cannot
+	// perturb results: the Sampled header bit is only ever read at trace
+	// sites, and discard mode keeps no events.
+	rootTracer := cfg.Tracer
+	if cfg.Flight != nil {
+		ft, err := trace.New(trace.Config{
+			SampleRate: 1, Seed: cfg.Seed, DiscardEvents: true, Flight: cfg.Flight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.flightTracer = ft
+		rootTracer = ft
+	}
+	var sch *metricsSchema
+	if cfg.Metrics != nil {
+		sch = registerSchema(cfg.Metrics)
+	}
+
 	n.shards = make([]*netShard, n.nshards)
 	for i := range n.shards {
 		sh := &netShard{
@@ -217,9 +244,13 @@ func New(cfg Config) (*Network, error) {
 			collect: stats.NewCollector(n.topo.Hosts(), cfg.LinkBW, cfg.WarmUp, cfg.WarmUp+cfg.Measure),
 		}
 		if n.nshards == 1 {
-			sh.tracer = cfg.Tracer
+			sh.tracer = rootTracer
 		} else {
-			sh.tracer = cfg.Tracer.Clone()
+			sh.tracer = rootTracer.Clone()
+		}
+		if sch != nil {
+			sh.mtr = sch.newShardMetrics(cfg.Metrics)
+			sh.eng.SetEventCounter(sh.mtr.engineCounter())
 		}
 		if cfg.CheckInvariants {
 			sh.deliveredOnce = make(map[deliveryKey]struct{})
@@ -265,6 +296,7 @@ func New(cfg Config) (*Network, error) {
 			VCTable:          cfg.VCArbitrationTable,
 			Tracer:           sh.tracer,
 			OnPktDrop:        n.onSwitchDropFor(sh),
+			Metrics:          sh.mtr.switchBundle(),
 		}))
 	}
 
@@ -314,6 +346,7 @@ func New(cfg Config) (*Network, error) {
 			Reliability: cfg.Reliability,
 			SendAck:     sendAck,
 			Tracer:      sh.tracer,
+			Metrics:     sh.mtr.hostBundle(),
 		}))
 	}
 
@@ -334,6 +367,11 @@ func New(cfg Config) (*Network, error) {
 	if err := n.provisionSessions(rng); err != nil {
 		return nil, err
 	}
+	// The admission controller mutates (and is read) only on its owning
+	// shard during the run, so its bundle lives in that shard's set. The
+	// bundle counts run-time decisions only: pre-run provisioning above
+	// happened before it was installed.
+	n.adm.SetMetrics(n.shards[n.admShard()].mtr.admissionBundle())
 	n.installRepair()
 	return n, nil
 }
@@ -341,6 +379,17 @@ func New(cfg Config) (*Network, error) {
 // hooksFor builds the instrumentation hooks for hosts living on sh.
 func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
 	warmUp, horizon := n.cfg.WarmUp, n.cfg.WarmUp+n.cfg.Measure
+	// Deadline-miss-burst SLO state: a per-shard ring of the last
+	// MissBurstCount miss instants. When the ring wraps inside
+	// MissBurstWindow the shard trips its flight recorder (a no-op
+	// without one). The ring lives in the Delivered closure, so the
+	// detector is lock-free like every other per-shard recording path.
+	burstN, burstW := n.cfg.MissBurstCount, n.cfg.MissBurstWindow
+	var missT []units.Time
+	var nMiss uint64
+	if burstN > 0 {
+		missT = make([]units.Time, burstN)
+	}
 	hooks := hostif.Hooks{
 		Generated: func(p *packet.Packet) {
 			sh.cons.Generated++
@@ -356,10 +405,20 @@ func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
 				key := deliveryKey{p.Flow, p.Seq}
 				if _, dup := sh.deliveredOnce[key]; dup {
 					sh.cons.DoubleDeliveries++
+					sh.tracer.Flight().Trip("double-delivery", now)
 				}
 				sh.deliveredOnce[key] = struct{}{}
 			}
 			sh.collect.PacketDelivered(p, now)
+			if burstN > 0 && now > p.Deadline {
+				missT[int(nMiss)%burstN] = now
+				nMiss++
+				if nMiss >= uint64(burstN) {
+					if oldest := missT[int(nMiss)%burstN]; now-oldest <= burstW {
+						sh.tracer.Flight().Trip("deadline-miss-burst", now)
+					}
+				}
+			}
 			// Session traffic accounting inside the measurement window
 			// (sh.sess is set by provisionSessions after the hooks are
 			// built; the closure reads it at event time).
@@ -601,6 +660,7 @@ func (n *Network) wire() {
 				// Switch -> host (ejection).
 				down := link.New(sh.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, h)
 				channels(down)
+				down.SetMetrics(sh.mtr.linkBundle())
 				down.OnDrop = n.onDropFor(sh)
 				s.ConnectDownstream(p, down)
 				h.SetUpstream(down)
@@ -608,6 +668,7 @@ func (n *Network) wire() {
 				// Host -> switch (injection).
 				up := link.New(sh.eng, cfg.LinkBW, cfg.PropDelay, cfg.BufPerVC, s.InputReceiver(p))
 				channels(up)
+				up.SetMetrics(sh.mtr.linkBundle())
 				up.OnDrop = n.onDropFor(sh)
 				h.ConnectOut(up)
 				s.ConnectUpstream(p, up)
@@ -622,6 +683,7 @@ func (n *Network) wire() {
 			otherShard := n.swShard[peer.ID]
 			l := link.New(sh.eng, outBW(sw, p), cfg.PropDelay, cfg.BufPerVC, other.InputReceiver(peer.Port))
 			channels(l)
+			l.SetMetrics(sh.mtr.linkBundle())
 			l.OnDrop = n.onDropFor(sh)
 			s.ConnectDownstream(p, l)
 			if shard == otherShard {
@@ -1005,6 +1067,13 @@ func (n *Network) Run() *Results {
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 
+	// Final gauge sample + snapshot publish for every shard, so a scrape
+	// after Run (and the end-of-run render) sees the horizon state. The
+	// engines have stopped; the main goroutine may read any shard.
+	for i := range n.shards {
+		n.publishMetrics(i, horizon)
+	}
+
 	// Merge the shards: every recorded quantity is either summed with an
 	// order-independent integer merge or reassembled in a canonical order,
 	// so the merged results are byte-identical to a sequential run's.
@@ -1017,6 +1086,12 @@ func (n *Network) Run() *Results {
 				tr.Absorb(sh.tracer)
 			}
 			tr.SortEvents()
+		} else if ft := n.flightTracer; ft != nil {
+			// Hidden flight tracer: fold the shard rings into cfg.Flight
+			// (earliest trip wins; no event lists exist in discard mode).
+			for _, sh := range n.shards {
+				ft.Absorb(sh.tracer)
+			}
 		}
 		if n.shards[0].telemetry != nil {
 			merged := n.shards[0].telemetry

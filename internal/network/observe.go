@@ -139,4 +139,7 @@ func (p *prober) sample(t units.Time) {
 		EventRate: float64(ev-p.prevEvents) / secs,
 	})
 	p.prevEvents = ev
+	// Refresh the shard's gauges and publish its metrics snapshot for the
+	// live scrape server (no-op without a metrics registry).
+	p.n.publishMetrics(p.shard, t)
 }

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/units"
 )
 
@@ -56,6 +57,11 @@ type Engine struct {
 	stopped    bool
 	fired      uint64
 	maxPending int
+	// evCnt, when set, counts every executed event into the metrics
+	// plane. Nil (the default) costs one pointer check per event in the
+	// Run/Drain loops — the same disabled-observer contract the trace
+	// hooks follow.
+	evCnt *metrics.Counter
 }
 
 // New returns an Engine with the clock at zero.
@@ -76,6 +82,12 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // MaxPending returns the high-water mark of the pending event set over the
 // engine's lifetime — the profiling proxy for scheduler memory pressure.
 func (e *Engine) MaxPending() int { return e.maxPending }
+
+// SetEventCounter installs (or, with nil, removes) a metrics counter
+// bumped once per executed event. The engine is the simulator's hottest
+// loop; the counter is a plain shard-local increment and the disabled
+// path is a single nil check.
+func (e *Engine) SetEventCounter(c *metrics.Counter) { e.evCnt = c }
 
 // less orders events by (time, channel, seq). The channel component exists
 // for the parallel engine (internal/parsim): events that may cross a shard
@@ -297,6 +309,9 @@ func (e *Engine) Run(until units.Time) {
 		e.pop()
 		e.now = next.at
 		e.fired++
+		if e.evCnt != nil {
+			e.evCnt.Inc()
+		}
 		fn := next.fn
 		e.recycle(next)
 		fn()
@@ -315,6 +330,9 @@ func (e *Engine) Drain() {
 		next := e.pop()
 		e.now = next.at
 		e.fired++
+		if e.evCnt != nil {
+			e.evCnt.Inc()
+		}
 		fn := next.fn
 		e.recycle(next)
 		fn()

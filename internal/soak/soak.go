@@ -15,13 +15,16 @@ package soak
 
 import (
 	"fmt"
+	"os"
 
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/topology"
+	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
 
@@ -46,6 +49,33 @@ type Options struct {
 	SwitchFaults, Flaps, Derates int
 	// Log, when non-nil, receives one progress line per epoch.
 	Log func(format string, args ...any)
+
+	// Metrics, when non-nil, threads the live metrics plane through every
+	// epoch's network. The registry is rotated between epochs, so
+	// counters and histograms accumulate across the whole soak while each
+	// epoch records into fresh per-shard sets — a live scrape (see
+	// metrics.StartServer) always reflects the soak so far plus the epoch
+	// in flight. Epochs also publish on the telemetry probe cadence;
+	// ProbeInterval supplies it (default 100 µs with metrics on).
+	Metrics       *metrics.Registry
+	ProbeInterval units.Time
+
+	// FlightPath, when non-empty, arms the flight recorder on every epoch
+	// and dumps the event window to this file when an epoch trips — an
+	// audit/conservation failure or the deadline-miss-burst SLO below.
+	// FlightCap sizes the per-shard ring (default trace.DefaultFlightCap).
+	FlightPath string
+	FlightCap  int
+
+	// MissBurstCount / MissBurstWindow forward the deadline-miss-burst
+	// SLO to every epoch (see network.Config).
+	MissBurstCount  int
+	MissBurstWindow units.Time
+
+	// InjectFailure makes the first epoch fail its post-run audit with a
+	// synthetic violation: the CI smoke test uses it to assert the whole
+	// failure path — trip, flight dump, replay recipe — end to end.
+	InjectFailure bool
 }
 
 // withDefaults fills unset options.
@@ -178,13 +208,57 @@ func Run(opt Options) (*Report, error) {
 	for i := 0; i < opt.Epochs; i++ {
 		epoch := opt.FirstEpoch + i
 		cfg := EpochConfig(opt, epoch)
+		// The observability plane rides on the epoch config without
+		// entering EpochSeed's replay contract: metrics, probes and the
+		// flight recorder never perturb the simulation, so a bare replay
+		// of EpochConfig reproduces the epoch byte-identically.
+		var fr *trace.FlightRecorder
+		if opt.FlightPath != "" {
+			fr = trace.NewFlightRecorder(opt.FlightCap)
+			cfg.Flight = fr
+			cfg.MissBurstCount = opt.MissBurstCount
+			cfg.MissBurstWindow = opt.MissBurstWindow
+		}
+		if opt.Metrics != nil {
+			opt.Metrics.Rotate()
+			cfg.Metrics = opt.Metrics
+			if cfg.ProbeInterval <= 0 {
+				cfg.ProbeInterval = opt.ProbeInterval
+				if cfg.ProbeInterval <= 0 {
+					cfg.ProbeInterval = 100 * units.Microsecond
+				}
+			}
+		}
 		n, err := network.New(cfg)
 		if err != nil {
 			return rep, epochErr(opt, epoch, cfg.Seed, err)
 		}
 		res := n.Run()
-		if err := Audit(n, res); err != nil {
-			return rep, epochErr(opt, epoch, cfg.Seed, err)
+		auditErr := Audit(n, res)
+		if auditErr == nil && opt.InjectFailure && i == 0 {
+			auditErr = fmt.Errorf("injected invariant failure (InjectFailure set)")
+		}
+		if auditErr != nil {
+			if fr != nil {
+				fr.Trip("invariant-audit-failure", cfg.WarmUp+cfg.Measure)
+				if path, derr := dumpFlight(fr, opt.FlightPath); derr != nil {
+					auditErr = fmt.Errorf("%w (flight dump failed: %v)", auditErr, derr)
+				} else {
+					auditErr = fmt.Errorf("%w (flight recorder window: %s)", auditErr, path)
+				}
+			}
+			return rep, epochErr(opt, epoch, cfg.Seed, auditErr)
+		}
+		if tripped, reason, at := fr.Tripped(); tripped {
+			// The run-time SLO (deadline-miss burst) froze the ring
+			// mid-epoch; the epoch itself still passed its audits.
+			if path, derr := dumpFlight(fr, opt.FlightPath); derr != nil {
+				logf("epoch %d: flight recorder tripped (%s at %v) but dump failed: %v",
+					epoch, reason, at, derr)
+			} else {
+				logf("epoch %d: flight recorder tripped (%s at %v), window dumped to %s",
+					epoch, reason, at, path)
+			}
 		}
 		rep.Epochs = append(rep.Epochs, EpochReport{Epoch: epoch, Seed: cfg.Seed, Results: res})
 		av := res.Availability
@@ -193,6 +267,19 @@ func Run(opt Options) (*Report, error) {
 			res.Conservation.DroppedInSwitch, av)
 	}
 	return rep, nil
+}
+
+// dumpFlight writes the flight window to path and returns the path.
+func dumpFlight(fr *trace.FlightRecorder, path string) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := fr.WriteJSONL(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // epochErr wraps an epoch failure with its seed and replay recipe.

@@ -35,12 +35,24 @@ import (
 	"deadlineqos/internal/arbiter"
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/link"
+	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
 )
+
+// Metrics bundles the switch-level instruments of the metrics plane. Buf
+// is installed on every VOQ and output buffer of the switch; the rest are
+// bumped at the switch's own counter sites. The zero value disables
+// everything (instrument methods are nil-safe).
+type Metrics struct {
+	Buf           pqueue.Metrics
+	XbarTransfers *metrics.Counter // crossbar transfers started
+	LinkSends     *metrics.Counter // packets put on downstream links
+	Dropped       *metrics.Counter // packets discarded by SwitchDown faults
+}
 
 // Config parameterises one switch.
 type Config struct {
@@ -72,6 +84,9 @@ type Config struct {
 	// conservation accounting; nil means drops are silently lost, so any
 	// run with switch faults must set it.
 	OnPktDrop func(p *packet.Packet)
+	// Metrics holds the switch's metric instruments; the zero value
+	// disables recording.
+	Metrics Metrics
 }
 
 // Stats are the instrumentation counters of one switch.
@@ -140,6 +155,7 @@ func New(cfg Config) *Switch {
 				// Each VOQ may transiently hold up to the whole pool;
 				// the pool accounting below enforces the shared limit.
 				ip.voq[vc][o] = pqueue.New(cfg.Arch.Discipline(packet.VC(vc)), cfg.BufPerVC, cfg.TrackOrderErrors)
+				ip.voq[vc][o].SetMetrics(cfg.Metrics.Buf)
 				if cfg.Tracer != nil {
 					ip.voq[vc][o].SetObserver(&bufObserver{sw: s, port: i, out: o})
 				}
@@ -150,6 +166,7 @@ func New(cfg Config) *Switch {
 		op := &outputPort{sw: s, idx: i}
 		for vc := 0; vc < packet.NumVCs; vc++ {
 			op.buf[vc] = pqueue.New(cfg.Arch.Discipline(packet.VC(vc)), cfg.BufPerVC, cfg.TrackOrderErrors)
+			op.buf[vc].SetMetrics(cfg.Metrics.Buf)
 			if cfg.Tracer != nil {
 				op.buf[vc].SetObserver(&bufObserver{sw: s, port: i, out: -1})
 			}
@@ -294,6 +311,7 @@ func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
 	ip.xferVC, ip.xferSize = vc, p.Size
 	op.busy = true
 	s.xbarTransfers++
+	s.cfg.Metrics.XbarTransfers.Inc()
 	s.inXbar++
 	tx := s.cfg.XbarBW.TxTime(p.Size)
 	s.cfg.Eng.After(tx, func() { s.finishTransfer(ip, op, vc, p) })
@@ -328,6 +346,7 @@ func (s *Switch) finishTransfer(ip *inputPort, op *outputPort, vc packet.VC, p *
 // conservation accounting and the lifecycle trace.
 func (s *Switch) drop(p *packet.Packet, port, out int) {
 	s.dropped++
+	s.cfg.Metrics.Dropped.Inc()
 	if s.cfg.Tracer != nil && p.Sampled {
 		s.traceEvt(trace.KindSwitchDrop, p, port, out)
 	}
@@ -454,6 +473,7 @@ func (s *Switch) tryLinkTx(o int) {
 	// inflation (see link.TxTime).
 	p.PackTTD(s.cfg.Clock.Now() + l.TxTime(p))
 	s.linkSends++
+	s.cfg.Metrics.LinkSends.Inc()
 	l.Send(p)
 	// Output buffer space freed: the crossbar may now have room.
 	s.tryXbar(o)

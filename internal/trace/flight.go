@@ -1,0 +1,211 @@
+// The flight recorder: a fixed-size per-shard ring of the most recent
+// lifecycle events, kept alongside (and fed by) the Tracer, so that when
+// an invariant trips — a structural audit failure, a conservation
+// violation, a deadline-miss-burst SLO — the run can dump the exact event
+// window leading up to (and briefly past) the failure as
+// `flightrec.jsonl`, instead of leaving only an epoch seed to replay.
+//
+// The ring reuses the trace Event encoding: one JSON object per line in
+// the same fixed field order, sorted into the canonical (time, bytes)
+// order on dump. Recording is shard-local (each shard's tracer clone
+// carries its own ring) and allocation-free after construction: one
+// struct copy per recorded event. Unlike the deterministic artifacts
+// (stats, telemetry, the sampled trace), the *window* a ring holds
+// depends on how events were dealt to shards, so a flight dump is a
+// forensic artifact, not part of the byte-identical replay contract.
+
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"deadlineqos/internal/units"
+)
+
+// DefaultFlightCap is the per-shard ring capacity when NewFlightRecorder
+// is given a non-positive one.
+const DefaultFlightCap = 4096
+
+// FlightRecorder is one fixed-size event ring plus trip state. The
+// network hands each shard's tracer a Clone; after the run the root
+// Absorbs them and dumps the merged window. All methods are nil-safe.
+type FlightRecorder struct {
+	capacity int
+	buf      []Event
+	head     int // next write position
+	n        int // events currently in the ring
+
+	// Trip state. After Trip the ring keeps recording for a grace of
+	// capacity/4 more events (the aftermath is often as diagnostic as
+	// the lead-up), then freezes.
+	tripped   bool
+	frozen    bool
+	graceLeft int
+	reason    string
+	at        units.Time
+
+	// merged accumulates absorbed shard windows at the root.
+	merged []Event
+}
+
+// NewFlightRecorder returns a recorder whose per-shard rings hold
+// capacity events each (DefaultFlightCap when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &FlightRecorder{capacity: capacity, buf: make([]Event, capacity)}
+}
+
+// Clone returns an empty recorder with the same capacity, for one
+// shard's tracer. Nil-safe.
+func (f *FlightRecorder) Clone() *FlightRecorder {
+	if f == nil {
+		return nil
+	}
+	return NewFlightRecorder(f.capacity)
+}
+
+// record appends one event to the ring (called by Tracer.Record).
+func (f *FlightRecorder) record(ev Event) {
+	if f == nil || f.frozen {
+		return
+	}
+	f.buf[f.head] = ev
+	f.head++
+	if f.head == f.capacity {
+		f.head = 0
+	}
+	if f.n < f.capacity {
+		f.n++
+	}
+	if f.tripped {
+		f.graceLeft--
+		if f.graceLeft <= 0 {
+			f.frozen = true
+		}
+	}
+}
+
+// Trip marks the recorder tripped with the given reason at the given
+// simulation time. The first trip wins; later calls are no-ops. The ring
+// records capacity/4 more events, then freezes, preserving the window
+// around the failure. Safe to call from the owning shard's goroutine at
+// event time, or from the main goroutine after the run. Nil-safe.
+func (f *FlightRecorder) Trip(reason string, at units.Time) {
+	if f == nil || f.tripped {
+		return
+	}
+	f.tripped = true
+	f.reason = reason
+	f.at = at
+	f.graceLeft = f.capacity / 4
+	if f.graceLeft == 0 {
+		f.frozen = true
+	}
+}
+
+// Tripped reports whether (and why, and when) the recorder tripped.
+// After Absorb it reflects the earliest trip across all absorbed shards.
+// Nil-safe.
+func (f *FlightRecorder) Tripped() (tripped bool, reason string, at units.Time) {
+	if f == nil {
+		return false, "", 0
+	}
+	return f.tripped, f.reason, f.at
+}
+
+// window returns the ring's events oldest-first.
+func (f *FlightRecorder) window() []Event {
+	if f == nil || f.n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, f.n)
+	start := f.head - f.n
+	if start < 0 {
+		start += f.capacity
+	}
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.buf[(start+i)%f.capacity])
+	}
+	return out
+}
+
+// Absorb folds a shard recorder's window and trip state into f. The trip
+// that survives is the earliest one (ties broken by reason string, so
+// the merge is order-independent). other is drained. Nil-safe.
+func (f *FlightRecorder) Absorb(other *FlightRecorder) {
+	if f == nil || other == nil {
+		return
+	}
+	f.merged = append(f.merged, other.window()...)
+	f.merged = append(f.merged, other.merged...)
+	if ot, oreason, oat := other.Tripped(); ot {
+		if !f.tripped || oat < f.at || (oat == f.at && oreason < f.reason) {
+			f.tripped, f.reason, f.at = true, oreason, oat
+		}
+	}
+	other.n, other.head, other.merged = 0, 0, nil
+}
+
+// Events returns every held event (own ring plus absorbed windows) in
+// the canonical (time, rendered-bytes) order. Nil-safe.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	evs := append(append([]Event(nil), f.merged...), f.window()...)
+	lines := make([][]byte, len(evs))
+	for i := range evs {
+		lines[i] = evs[i].appendJSON(nil)
+	}
+	idx := make([]int, len(evs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if evs[idx[a]].T != evs[idx[b]].T {
+			return evs[idx[a]].T < evs[idx[b]].T
+		}
+		return bytes.Compare(lines[idx[a]], lines[idx[b]]) < 0
+	})
+	out := make([]Event, len(evs))
+	for i, j := range idx {
+		out[i] = evs[j]
+	}
+	return out
+}
+
+// WriteJSONL dumps the flight window: a meta line naming the trip reason
+// and instant, then one event per line in canonical order (the Tracer's
+// JSONL encoding). Nil recorders write nothing.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	evs := f.Events()
+	meta := []byte(`{"flightrec":1,"tripped":`)
+	meta = strconv.AppendBool(meta, f.tripped)
+	meta = append(meta, `,"reason":`...)
+	meta = strconv.AppendQuote(meta, f.reason)
+	meta = append(meta, `,"tripped_at":`...)
+	meta = strconv.AppendInt(meta, int64(f.at), 10)
+	meta = append(meta, `,"events":`...)
+	meta = strconv.AppendInt(meta, int64(len(evs)), 10)
+	meta = append(meta, '}', '\n')
+	if _, err := w.Write(meta); err != nil {
+		return fmt.Errorf("trace: writing flight meta: %w", err)
+	}
+	for i := range evs {
+		line := evs[i].appendJSON(make([]byte, 0, 256))
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return fmt.Errorf("trace: writing flight JSONL: %w", err)
+		}
+	}
+	return nil
+}

@@ -241,6 +241,12 @@ type Profile struct {
 	WallPerSimSec float64 `json:"wall_per_sim_sec"`
 	Mallocs       uint64  `json:"mallocs"`
 	AllocBytes    uint64  `json:"alloc_bytes"`
+	// MallocsPerEvent / AllocBytesPerEvent normalise the allocation
+	// counters per executed event — the steady-state allocation pressure
+	// of the hot loop, the number the perf-regression gate watches
+	// alongside events_per_sec.
+	MallocsPerEvent    float64 `json:"mallocs_per_event"`
+	AllocBytesPerEvent float64 `json:"alloc_bytes_per_event"`
 }
 
 // Finalize derives the rate fields from the raw counters.
@@ -251,12 +257,17 @@ func (p *Profile) Finalize() {
 	if p.SimulatedNs > 0 {
 		p.WallPerSimSec = float64(p.WallNs) / float64(p.SimulatedNs)
 	}
+	if p.Events > 0 {
+		p.MallocsPerEvent = float64(p.Mallocs) / float64(p.Events)
+		p.AllocBytesPerEvent = float64(p.AllocBytes) / float64(p.Events)
+	}
 }
 
 // String renders the profile as a one-line report.
 func (p *Profile) String() string {
 	return fmt.Sprintf(
-		"events=%d maxPending=%d wall=%.1fms sim=%v rate=%.2fM ev/s wall/sim=%.1f allocs=%d (%.1f MiB)",
+		"events=%d maxPending=%d wall=%.1fms sim=%v rate=%.2fM ev/s wall/sim=%.1f allocs=%d (%.1f MiB, %.3f/ev)",
 		p.Events, p.MaxPending, float64(p.WallNs)/1e6, units.Time(p.SimulatedNs),
-		p.EventsPerSec/1e6, p.WallPerSimSec, p.Mallocs, float64(p.AllocBytes)/(1<<20))
+		p.EventsPerSec/1e6, p.WallPerSimSec, p.Mallocs, float64(p.AllocBytes)/(1<<20),
+		p.MallocsPerEvent)
 }

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deadlineqos/internal/units"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the telemetry CSV golden files")
+
+// goldenTelemetry builds a fixed telemetry fixture covering the edge
+// cases the CSV schema has to keep stable: zero rows, the root manager's
+// Pod=-1, float fields that need full 'g' precision, and exact-integer
+// floats that must not grow a decimal point.
+func goldenTelemetry() *Telemetry {
+	return &Telemetry{
+		Interval: 100 * units.Microsecond,
+		Ports: []PortSample{
+			{
+				T: 100 * units.Microsecond, Switch: 0, Port: 0,
+				InPackets: 3, InBytes: 4096, OutPackets: 1, OutBytes: 1500,
+				CreditBytes: 65536, TakeOvers: 2, OrderErrors: 1,
+				TakeOverRate: 20000, OrderErrRate: 10000, LinkUtilization: 0.875,
+			},
+			{
+				T: 100 * units.Microsecond, Switch: 0, Port: 1,
+				CreditBytes: 65536, LinkUtilization: 0,
+			},
+			{
+				T: 200 * units.Microsecond, Switch: 4, Port: 2,
+				InPackets: 17, InBytes: 25500, OutPackets: 9, OutBytes: 13500,
+				CreditBytes: 1024, TakeOvers: 5, OrderErrors: 0,
+				TakeOverRate: 31415.926535, OrderErrRate: 0, LinkUtilization: 1,
+			},
+		},
+		Sessions: []SessionSample{
+			{
+				T: 100 * units.Microsecond, Pod: -1, Host: 0,
+				Active: 12, ReservedBW: 0.333333333, Accepted: 40, Rejected: 3,
+				Revoked: 1, LeaseFrac: 0, LeaseUtil: 0, QueueDepth: 2, Shed: 0,
+			},
+			{
+				T: 100 * units.Microsecond, Pod: 0, Host: 1,
+				Active: 4, ReservedBW: 0.0625, Accepted: 11, Rejected: 0,
+				Revoked: 0, LeaseFrac: 0.25, LeaseUtil: 0.9, QueueDepth: 0, Shed: 7,
+			},
+			{
+				T: 200 * units.Microsecond, Pod: 3, Host: 14,
+				Active: 0, ReservedBW: 0, Accepted: 0, Rejected: 0,
+				Revoked: 0, LeaseFrac: 0.125, LeaseUtil: 0, QueueDepth: 0, Shed: 0,
+			},
+		},
+	}
+}
+
+// checkGolden renders one CSV writer and compares it byte-for-byte
+// against its committed golden file. The goldens are the schema contract
+// for downstream notebooks and dashboards: a diff here means a column
+// was added, removed, reordered, or reformatted, and the golden must be
+// regenerated deliberately (go test ./internal/trace -run CSV -update)
+// together with the consumers.
+func checkGolden(t *testing.T, name string, write func(w io.Writer) error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatalf("writing %s: %v", name, err)
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("%s output drifted from golden file %s.\ngot:\n%swant:\n%s",
+			name, path, buf.Bytes(), want)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	tel := goldenTelemetry()
+	checkGolden(t, "telemetry_ports.csv", tel.WriteCSV)
+}
+
+func TestWriteSessionsCSVGolden(t *testing.T) {
+	tel := goldenTelemetry()
+	checkGolden(t, "telemetry_sessions.csv", tel.WriteSessionsCSV)
+}
+
+// The header rows are load-bearing independently of the golden bytes:
+// empty telemetry must still produce a parseable single-header CSV.
+func TestCSVHeadersOnEmptyTelemetry(t *testing.T) {
+	var tel Telemetry
+	cases := []struct {
+		name   string
+		write  func(w io.Writer) error
+		header string
+	}{
+		{"WriteCSV", tel.WriteCSV,
+			"t_ns,switch,port,in_packets,in_bytes,out_packets,out_bytes,credit_bytes,takeovers,order_errors,takeover_per_sec,order_err_per_sec,link_utilization"},
+		{"WriteSessionsCSV", tel.WriteSessionsCSV,
+			"t_ns,pod,host,active,reserved_bw,accepted,rejected,revoked,lease_frac,lease_util,queue_depth,shed"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := tc.write(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := buf.String(); got != tc.header+"\n" {
+			t.Errorf("%s on empty telemetry = %q, want header %q", tc.name, got, tc.header)
+		}
+	}
+}
+
+// Every data row must have exactly as many fields as the header — the
+// property pandas.read_csv depends on.
+func TestCSVFieldCounts(t *testing.T) {
+	tel := goldenTelemetry()
+	for _, w := range []struct {
+		name  string
+		write func(w io.Writer) error
+	}{
+		{"WriteCSV", tel.WriteCSV},
+		{"WriteSessionsCSV", tel.WriteSessionsCSV},
+	} {
+		var buf bytes.Buffer
+		if err := w.write(&buf); err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: expected header plus data rows, got %d lines", w.name, len(lines))
+		}
+		want := strings.Count(lines[0], ",")
+		for i, ln := range lines[1:] {
+			if got := strings.Count(ln, ","); got != want {
+				t.Errorf("%s row %d has %d commas, header has %d: %q", w.name, i, got, want, ln)
+			}
+		}
+	}
+}

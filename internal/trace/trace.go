@@ -173,6 +173,15 @@ type Config struct {
 	// the cap are counted in Dropped and discarded, bounding memory on
 	// runaway configurations.
 	MaxEvents int
+	// Flight, when non-nil, tees every recorded event into a fixed-size
+	// ring of recent events (see FlightRecorder). Shard clones get their
+	// own ring clone; Absorb folds them back.
+	Flight *FlightRecorder
+	// DiscardEvents disables in-memory event storage: Record still feeds
+	// the aggregates and the flight ring, but keeps no event list. Used
+	// when a tracer exists only to drive the flight recorder at full
+	// sampling without holding the whole run in memory.
+	DiscardEvents bool
 }
 
 // DefaultMaxEvents is the event-store cap when Config.MaxEvents is zero.
@@ -188,7 +197,8 @@ type Tracer struct {
 	dropped   uint64
 	sampled   uint64 // KindGenerated events, i.e. sampled packet count
 
-	hopSlack []slackAgg // per route-hop aggregation of dequeue slack
+	hopSlack []slackAgg      // per route-hop aggregation of dequeue slack
+	flight   *FlightRecorder // recent-event ring (nil = off)
 }
 
 // slackAgg is a tiny online aggregate (count/sum/min/max) kept per hop.
@@ -241,7 +251,7 @@ func New(cfg Config) (*Tracer, error) {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = DefaultMaxEvents
 	}
-	t := &Tracer{cfg: cfg}
+	t := &Tracer{cfg: cfg, flight: cfg.Flight}
 	switch {
 	case cfg.SampleRate >= 1:
 		t.threshold = ^uint64(0)
@@ -286,6 +296,15 @@ func (t *Tracer) Record(ev Event) {
 		}
 		t.hopSlack[ev.Hop].add(int64(ev.Slack))
 	}
+	if t.flight != nil {
+		t.flight.record(ev)
+	}
+	if t.cfg.DiscardEvents {
+		if ev.Kind == KindGenerated {
+			t.sampled++
+		}
+		return
+	}
 	if len(t.events) >= t.cfg.MaxEvents {
 		t.dropped++
 		return
@@ -329,7 +348,18 @@ func (t *Tracer) Clone() *Tracer {
 	if t == nil {
 		return nil
 	}
-	return &Tracer{cfg: t.cfg, threshold: t.threshold}
+	return &Tracer{cfg: t.cfg, threshold: t.threshold, flight: t.flight.Clone()}
+}
+
+// Flight returns the tracer's flight-recorder ring (nil when off). In a
+// sharded run each tracer clone has its own ring; event-time trip
+// decisions (the deadline-miss-burst SLO) call Trip on the shard's own
+// ring, and Absorb folds trip state back to the root.
+func (t *Tracer) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
 }
 
 // Absorb merges other's recorded state into t: events are appended and the
@@ -344,6 +374,7 @@ func (t *Tracer) Absorb(other *Tracer) {
 	t.events = append(t.events, other.events...)
 	t.dropped += other.dropped
 	t.sampled += other.sampled
+	t.flight.Absorb(other.flight)
 	for hop, a := range other.hopSlack {
 		for len(t.hopSlack) <= hop {
 			t.hopSlack = append(t.hopSlack, slackAgg{})
