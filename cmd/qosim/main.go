@@ -15,8 +15,10 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/traffic"
 	"deadlineqos/internal/units"
@@ -39,6 +41,8 @@ func run() error {
 		warmup   = flag.String("warmup", "5ms", "warm-up period excluded from measurement")
 		measure  = flag.String("measure", "50ms", "measurement window")
 		track    = flag.Bool("track", false, "enable the order-error measurement oracle (slower)")
+		polName  = cli.PolicyFlag()
+		coflows  = cli.CoflowsFlag()
 		skew     = flag.String("skew", "0", "max per-node clock skew (e.g. 5us)")
 		trace    = flag.String("videotrace", "", "MPEG frame-size trace file for video streams (see traffic.LoadFrameTrace)")
 		dump     = flag.String("dump", "", "write a per-packet event CSV (generated/injected/delivered) to this file")
@@ -74,6 +78,12 @@ func run() error {
 	}
 	if cfg.ClockSkewMax, err = cli.ParseDuration(*skew); err != nil {
 		return err
+	}
+	if cfg.Policy, err = policy.Parse(*polName); err != nil {
+		return err
+	}
+	if *coflows {
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp}
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)
@@ -116,8 +126,8 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d window=[%v, %v]\n",
-		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure)
+	fmt.Printf("topology=%s arch=%s policy=%s load=%.0f%% seed=%d window=[%v, %v]\n",
+		topo.Name(), a, cfg.Policy.Name(), 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure)
 	res, err := network.Run(cfg)
 	if err != nil {
 		return err
@@ -146,6 +156,18 @@ func run() error {
 		res.SimEvents, res.XbarTransfers, res.LinkSends, res.PendingAtHorizon, res.VideoStreamsPerHost)
 	if *track {
 		fmt.Printf("orderErrors=%d takeOvers=%d\n", res.OrderErrors, res.TakeOvers)
+	}
+	if c := res.Coflows; c != nil {
+		completion := "incomplete"
+		if c.AllDone {
+			completion = c.CompletionTime.String()
+		}
+		fmt.Printf("coflows=%d admitted=%d rejected=%d completed=%d deadlineMet=%d completion=%s\n",
+			c.Coflows, c.Admitted, c.Rejected, c.Completed, c.DeadlineMet, completion)
+	}
+	if res.Conservation.EvictedAtNIC > 0 {
+		fmt.Printf("policyEvictions=%d weightedGoodput=%.3f\n",
+			res.Conservation.EvictedAtNIC, res.WeightedGoodput())
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

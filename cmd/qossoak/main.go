@@ -52,6 +52,8 @@ func run() error {
 		switchFaults = flag.Int("switch-faults", 2, "switch outage pairs per epoch")
 		flaps        = flag.Int("flaps", 3, "link flap pairs per epoch")
 		derates      = flag.Int("derates", 2, "bandwidth derate pairs per epoch")
+		polName      = cli.PolicyFlag()
+		coflows      = flag.Bool("coflows", false, "attach the ring coflow workload (sigma-order admission) to every epoch")
 		metricsAddr  = cli.MetricsAddrFlag()
 		flightrec    = flag.String("flightrec", "", "arm the flight recorder; dump the event window to this file on an invariant trip or deadline-miss burst")
 		missBurst    = flag.Int("miss-burst", 0, "trip the flight recorder when this many deadline misses land within -miss-window (0 = off)")
@@ -74,6 +76,8 @@ func run() error {
 		SwitchFaults: *switchFaults,
 		Flaps:        *flaps,
 		Derates:      *derates,
+		Policy:       *polName,
+		Coflows:      *coflows,
 		Log: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

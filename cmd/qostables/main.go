@@ -20,7 +20,9 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/experiments"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/report"
 )
 
@@ -43,7 +45,9 @@ func run() error {
 		plots   = flag.Bool("plots", true, "print ASCII plots next to the tables")
 		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		archsF  = flag.String("archs", "", "comma-separated architecture subset (traditional,traditional4,ideal,simple,advanced)")
-		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn,availability,survivable")
+		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn,availability,survivable,policies")
+		polName = cli.PolicyFlag()
+		coflows = cli.CoflowsFlag()
 	)
 	prof := cli.ProfileFlags()
 	flag.Parse()
@@ -73,6 +77,16 @@ func run() error {
 		if opt.Base.Measure, err = cli.ParseDuration(*measure); err != nil {
 			return err
 		}
+	}
+	// -policy/-coflows ride on the shared base config, so they tilt every
+	// selected experiment — useful for re-running the paper tables under an
+	// alternative policy. E8 (policies) ignores them: it sweeps the whole
+	// roster on its own fixed scenario.
+	if opt.Base.Policy, err = policy.Parse(*polName); err != nil {
+		return err
+	}
+	if *coflows {
+		opt.Base.Coflows = &coflow.Config{StartAt: opt.Base.WarmUp}
 	}
 	if *archsF != "" {
 		opt.Archs = opt.Archs[:0]
@@ -158,6 +172,7 @@ func run() error {
 		{"E5", "churn", experiments.Churn},
 		{"E6", "availability", experiments.Availability},
 		{"E7", "survivable", experiments.Survivable},
+		{"E8", "policies", experiments.Policies},
 	} {
 		if !selected(exp.name) {
 			continue

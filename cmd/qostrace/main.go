@@ -28,8 +28,10 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
@@ -55,6 +57,8 @@ func run() error {
 		probe     = flag.String("probe", "100us", "telemetry probe interval (0 disables probing)")
 		maxEvents = flag.Int("maxevents", trace.DefaultMaxEvents, "trace event capacity (0 = default)")
 		outDir    = flag.String("out", "qostrace_out", "output directory for the trace artefacts")
+		polName   = cli.PolicyFlag()
+		coflows   = cli.CoflowsFlag()
 
 		metricsAddr = cli.MetricsAddrFlag()
 		prof        = cli.ProfileFlags()
@@ -88,6 +92,12 @@ func run() error {
 	if cfg.ProbeInterval, err = cli.ParseDuration(*probe); err != nil {
 		return err
 	}
+	if cfg.Policy, err = policy.Parse(*polName); err != nil {
+		return err
+	}
+	if *coflows {
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp}
+	}
 	if topo.Hosts() < 32 {
 		cfg.ControlDests = min(cfg.ControlDests, topo.Hosts()-1)
 		cfg.BEDests = min(cfg.BEDests, topo.Hosts()-1)
@@ -110,8 +120,8 @@ func run() error {
 		defer srv.Close()
 	}
 
-	fmt.Printf("topology=%s arch=%s load=%.0f%% seed=%d window=[%v, %v] sample=%.3g probe=%v\n",
-		topo.Name(), a, 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure,
+	fmt.Printf("topology=%s arch=%s policy=%s load=%.0f%% seed=%d window=[%v, %v] sample=%.3g probe=%v\n",
+		topo.Name(), a, cfg.Policy.Name(), 100*cfg.Load, cfg.Seed, cfg.WarmUp, cfg.WarmUp+cfg.Measure,
 		*sample, cfg.ProbeInterval)
 
 	res, err := network.Run(cfg)
@@ -170,6 +180,18 @@ func run() error {
 	if res.Telemetry != nil {
 		fmt.Printf("telemetry: %d port samples, %d engine samples every %v\n",
 			len(res.Telemetry.Ports), len(res.Telemetry.Engine), res.Telemetry.Interval)
+	}
+	if c := res.Coflows; c != nil {
+		completion := "incomplete"
+		if c.AllDone {
+			completion = c.CompletionTime.String()
+		}
+		fmt.Printf("coflows: %d rounds (%d admitted, %d rejected), %d completed, %d met deadline, completion=%s\n",
+			c.Coflows, c.Admitted, c.Rejected, c.Completed, c.DeadlineMet, completion)
+	}
+	if res.Conservation.EvictedAtNIC > 0 {
+		fmt.Printf("policy: %d NIC evictions, weighted goodput %.3f\n",
+			res.Conservation.EvictedAtNIC, res.WeightedGoodput())
 	}
 	fmt.Printf("profile: %v\n", &res.Perf)
 	fmt.Printf("artefacts in %s: trace.jsonl trace_chrome.json telemetry.csv telemetry.json\n", *outDir)

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"deadlineqos/internal/experiments"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
 )
@@ -29,6 +30,22 @@ func ParFlag() *int {
 // parallelises across runs.
 func ShardsFlag() *int {
 	return flag.Int("shards", 1, "engine shards per simulation (1 = sequential, byte-identical results at any value)")
+}
+
+// PolicyFlag registers the shared -policy flag: which scheduling policy
+// the run uses (see internal/policy). Every CLI that runs a single
+// network uses this helper so the knob is spelled identically everywhere;
+// the empty default keeps the seed behaviour byte-identical.
+func PolicyFlag() *string {
+	return flag.String("policy", "",
+		"scheduling policy: "+strings.Join(policy.Names(), "|")+" (empty = default, byte-identical to the pre-policy simulator)")
+}
+
+// CoflowsFlag registers the shared -coflows flag: attach the ring coflow
+// workload (σ-order deadline admission through the CAC, rejected rounds
+// demoted to best-effort) on top of the configured traffic.
+func CoflowsFlag() *bool {
+	return flag.Bool("coflows", false, "attach the ring coflow workload (sigma-order admission; rejected rounds run best-effort)")
 }
 
 // Scale resolves an experiment scale name into Options.

@@ -44,6 +44,29 @@ type Config struct {
 	StartAt units.Time
 }
 
+// Validate rejects configurations that would wire a degenerate ring:
+// fewer than two hosts (no ring exists), a non-positive chunk (nothing to
+// send), negative rounds (Rounds == 0 selects the N-1 default and stays
+// valid), an out-of-range class, or a negative start time.
+func (c Config) Validate(hosts int) error {
+	if hosts < 2 {
+		return fmt.Errorf("collective: ring needs at least 2 hosts, have %d", hosts)
+	}
+	if c.Chunk <= 0 {
+		return fmt.Errorf("collective: chunk size %v must be positive", c.Chunk)
+	}
+	if c.Rounds < 0 {
+		return fmt.Errorf("collective: negative rounds %d (0 selects the N-1 default)", c.Rounds)
+	}
+	if c.Class < 0 || c.Class >= packet.NumClasses {
+		return fmt.Errorf("collective: class %d out of range", c.Class)
+	}
+	if c.StartAt < 0 {
+		return fmt.Errorf("collective: negative start time %v", c.StartAt)
+	}
+	return nil
+}
+
 // Runner drives one collective over a network.
 type Runner struct {
 	cfg   Config
@@ -79,13 +102,10 @@ func (r *Runner) Bind(n *network.Network) error {
 	}
 	r.netw = n
 	r.hosts = n.Hosts()
-	if r.hosts < 2 {
-		return fmt.Errorf("collective: need at least 2 hosts")
+	if err := r.cfg.Validate(r.hosts); err != nil {
+		return err
 	}
-	if r.cfg.Chunk <= 0 {
-		return fmt.Errorf("collective: chunk size must be positive")
-	}
-	if r.cfg.Rounds <= 0 {
+	if r.cfg.Rounds == 0 {
 		r.cfg.Rounds = r.hosts - 1
 	}
 	ncfg := n.ConfigValue()

@@ -138,6 +138,56 @@ func TestBindValidation(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	good := Config{Chunk: units.Kilobyte, Class: packet.Control}
+	cases := []struct {
+		name  string
+		hosts int
+		mod   func(*Config)
+		ok    bool
+	}{
+		{"valid", 16, func(*Config) {}, true},
+		{"valid explicit rounds", 16, func(c *Config) { c.Rounds = 3 }, true},
+		{"zero rounds selects default", 16, func(c *Config) { c.Rounds = 0 }, true},
+		{"two hosts minimum ring", 2, func(*Config) {}, true},
+		{"one host", 1, func(*Config) {}, false},
+		{"zero hosts", 0, func(*Config) {}, false},
+		{"negative rounds", 16, func(c *Config) { c.Rounds = -1 }, false},
+		{"zero chunk", 16, func(c *Config) { c.Chunk = 0 }, false},
+		{"negative chunk", 16, func(c *Config) { c.Chunk = -units.Kilobyte }, false},
+		{"class out of range", 16, func(c *Config) { c.Class = packet.NumClasses }, false},
+		{"negative start", 16, func(c *Config) { c.StartAt = -1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := good
+			tc.mod(&c)
+			err := c.Validate(tc.hosts)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestBindRejectsNegativeRounds(t *testing.T) {
+	cfg := network.SmallConfig()
+	cfg.Load = 0
+	cfg.WarmUp = 0
+	cfg.Measure = units.Millisecond
+	r := Attach(&cfg, Config{Chunk: units.Kilobyte, Rounds: -3})
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(n); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+}
+
 func TestCollectiveOnMesh(t *testing.T) {
 	// The driver is topology-agnostic: run the ring over a 2D mesh.
 	mesh, err := topology.NewMesh2D(3, 3, 2)

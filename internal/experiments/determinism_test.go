@@ -7,10 +7,12 @@ import (
 	"testing"
 
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/soak"
 	"deadlineqos/internal/trace"
@@ -181,6 +183,35 @@ func detScenarios() []detScenario {
 			cfg.Faults = plan
 			return cfg
 		}},
+		{"policy-coflow-default", func() network.Config {
+			// The ring coflow workload under the default policy: σ-pass
+			// admission, CAC reservations, frontier-gated submissions and
+			// the per-round outcome fold must all land identically at any
+			// shard count.
+			cfg := detBase()
+			cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
+			return cfg
+		}},
+		{"policy-coflow-edf", func() network.Config {
+			// Same workload under the coflow-deadline policy: admitted
+			// rounds carry absolute collective deadlines through the fabric.
+			cfg := detBase()
+			cfg.Policy = policy.CoflowEDF()
+			cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
+			return cfg
+		}},
+		{"policy-value-drop", func() network.Config {
+			// Bounded value-aware injection queues under a best-effort
+			// hotspot: every eviction decision (victim choice, counters,
+			// conservation terms) must be shard-invariant.
+			cfg := detBase()
+			cfg.Load = 1.0
+			cfg.ClassShare = [packet.NumClasses]float64{0.1, 0.1, 0.6, 0.2}
+			cfg.HotspotFraction = 0.7
+			cfg.HotspotHost = 0
+			cfg.Policy = policy.ValueDrop(32*units.Kilobyte, false)
+			return cfg
+		}},
 		{"soak-epoch", func() network.Config {
 			// Exactly what the soak harness runs in one epoch — the full
 			// fault mix plus churn — pinned here so the seed printed by a
@@ -233,6 +264,8 @@ func runFingerprint(t *testing.T, cfg network.Config, shards int, withTracer boo
 	})
 	section("sessions", res.Sessions)
 	section("availability", res.Availability)
+	section("policy", res.Policy)
+	section("coflows", res.Coflows)
 	if tr != nil {
 		buf.WriteString("== trace-jsonl ==\n")
 		if err := tr.WriteJSONL(&buf); err != nil {
@@ -330,6 +363,33 @@ func TestShardDeterminismTraced(t *testing.T) {
 		got := runFingerprint(t, cfgFn(), shards, true)
 		if !bytes.Equal(ref, got) {
 			t.Errorf("traced run at shards=%d diverges: %s", shards, diffLine(ref, got))
+		}
+	}
+}
+
+// TestShardDeterminismPolicyTraced is the traced arm of the policy
+// scenarios: a value-drop run with a coflow workload under the sampling
+// tracer, so the NIC-eviction trace events and the coflow flows' lifecycle
+// records must also be byte-identical across shard counts.
+func TestShardDeterminismPolicyTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run cross-check")
+	}
+	cfgFn := func() network.Config {
+		cfg := detBase()
+		cfg.Load = 1.0
+		cfg.ClassShare = [packet.NumClasses]float64{0.1, 0.1, 0.6, 0.2}
+		cfg.HotspotFraction = 0.7
+		cfg.HotspotHost = 0
+		cfg.Policy = policy.ValueDrop(32*units.Kilobyte, false)
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
+		return cfg
+	}
+	ref := runFingerprint(t, cfgFn(), 1, true)
+	for _, shards := range detShardCounts() {
+		got := runFingerprint(t, cfgFn(), shards, true)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("policy traced run at shards=%d diverges: %s", shards, diffLine(ref, got))
 		}
 	}
 }

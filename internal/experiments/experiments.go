@@ -16,12 +16,14 @@ import (
 	"sort"
 
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/collective"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/harness"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/stats"
@@ -1062,6 +1064,84 @@ func grantsFloor(tel *trace.Telemetry, from, to units.Time) (uint64, bool) {
 		}
 	}
 	return floor, found
+}
+
+// --- E8: pluggable scheduling policies -------------------------------------
+
+// PolicyList returns the E8 roster: the seed EDF takeover architecture as
+// the default policy, the coflow-deadline variant, and the two
+// bounded-injection-queue droppers — value-aware eviction and the
+// value-blind tail-drop control, both with the same byte bound so the
+// only difference is the victim-selection rule.
+func PolicyList() []policy.Policy {
+	return []policy.Policy{
+		policy.Default(),
+		policy.CoflowEDF(),
+		policy.ValueDrop(32*units.Kilobyte, false),
+		policy.ValueDrop(32*units.Kilobyte, true),
+	}
+}
+
+// PolicyScenario builds the shared E8 scenario on base: the Table 1 mix
+// reweighted toward the value-dense Best-effort class, a 70% best-effort
+// hotspot aimed at host 0 (the backpressure that fills bounded injection
+// queues), and a ring coflow workload σ-admitted through the CAC at the
+// end of warm-up. Every policy row of the E8 table runs exactly this
+// config, so the columns differ only by scheduling policy.
+func PolicyScenario(base network.Config) network.Config {
+	cfg := base
+	cfg.Arch = arch.Advanced2VC
+	cfg.Load = 1.0
+	cfg.ClassShare = [packet.NumClasses]float64{0.1, 0.1, 0.6, 0.2}
+	cfg.HotspotFraction = 0.7
+	cfg.HotspotHost = 0
+	cfg.CheckInvariants = true
+	cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
+	return cfg
+}
+
+// Policies runs the E8 comparison: every shipped scheduling policy over
+// the one PolicyScenario config. The coflow columns show what deadline
+// awareness buys the collective (the coflow-edf policy stamps admitted
+// rounds with their collective deadline instead of a per-packet virtual
+// clock); the weighted-goodput column shows what value awareness buys the
+// best-effort VC when the bounded queue must shed (value-drop evicts the
+// cheapest resident, value-drop-tail drops arrivals blindly).
+func Policies(opt Options) (*report.Table, error) {
+	t := report.NewTable(
+		"Extension: scheduling policies on one scenario (ring coflows + best-effort hotspot, full load)",
+		"policy", "adm/rej", "completed", "deadline met", "completion", "max lateness",
+		"weighted goodput", "evictions", "evicted value")
+	for _, pol := range PolicyList() {
+		cfg := PolicyScenario(opt.Base)
+		cfg.Policy = pol
+		res, err := network.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Conservation.Check(); err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", pol.Name(), err)
+		}
+		c := res.Coflows
+		completion := "incomplete"
+		if c.AllDone {
+			completion = c.CompletionTime.String()
+		}
+		var evictedValue int64
+		for cl := packet.Class(0); cl < packet.NumClasses; cl++ {
+			evictedValue += res.PerClass[cl].EvictedValue
+		}
+		t.Add(res.Policy,
+			fmt.Sprintf("%d/%d", c.Admitted, c.Rejected),
+			fmt.Sprintf("%d/%d", c.Completed, c.Coflows),
+			fmt.Sprintf("%d/%d", c.DeadlineMet, c.Coflows),
+			completion,
+			c.MaxLateness.String(),
+			fmt.Sprintf("%.3f", res.WeightedGoodput()),
+			fmt.Sprintf("%d", res.Conservation.EvictedAtNIC),
+			fmt.Sprintf("%d", evictedValue))
+	}
+	return t, nil
 }
 
 // Survivable measures the survivable admission control plane (E7): the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -277,6 +278,48 @@ func TestChurn(t *testing.T) {
 	for _, row := range tb.Rows {
 		if row[5] == "0.00" {
 			t.Errorf("setup p50 reads zero — in-band latency not measured: %v", row)
+		}
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	o := tinyOpt()
+	o.Base.Measure = 8 * units.Millisecond
+	tb, err := Policies(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("policy rows = %d, want 4:\n%s", len(tb.Rows), tb.String())
+	}
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row
+	}
+	for _, name := range []string{"default", "coflow-edf", "value-drop", "value-drop-tail"} {
+		if byName[name] == nil {
+			t.Fatalf("missing policy row %q:\n%s", name, tb.String())
+		}
+	}
+	// The coflow-deadline policy must serve the collective at least as well
+	// as per-packet EDF on the same admitted workload.
+	var cofMet, defMet, rounds int
+	fmt.Sscanf(byName["coflow-edf"][3], "%d/%d", &cofMet, &rounds)
+	fmt.Sscanf(byName["default"][3], "%d/%d", &defMet, &rounds)
+	if cofMet < defMet {
+		t.Errorf("coflow-edf deadline-met %d < default %d:\n%s", cofMet, defMet, tb.String())
+	}
+	// Value-aware eviction must beat blind tail drop on weighted goodput.
+	var valueDrop, tailDrop float64
+	fmt.Sscanf(byName["value-drop"][6], "%f", &valueDrop)
+	fmt.Sscanf(byName["value-drop-tail"][6], "%f", &tailDrop)
+	if valueDrop <= tailDrop {
+		t.Errorf("value-drop goodput %.3f <= tail-drop %.3f:\n%s", valueDrop, tailDrop, tb.String())
+	}
+	// Both droppers actually shed under the hotspot.
+	for _, name := range []string{"value-drop", "value-drop-tail"} {
+		if byName[name][7] == "0" {
+			t.Errorf("%s row reports no evictions:\n%s", name, tb.String())
 		}
 	}
 }

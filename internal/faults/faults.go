@@ -549,6 +549,9 @@ type Conservation struct {
 	// StagedAtStop counts copies still queued in sending NICs (never
 	// injected, or retransmit copies awaiting injection).
 	StagedAtStop uint64
+	// EvictedAtNIC counts copies a bounded injection queue discarded
+	// before they entered the network (value-drop scheduling policies).
+	EvictedAtNIC uint64
 	// DoubleDeliveries counts deliveries of an already-delivered unique
 	// packet observed by the oracle (Config.CheckInvariants). Must be 0.
 	DoubleDeliveries uint64
@@ -569,6 +572,7 @@ func (c *Conservation) Add(other Conservation) {
 	c.DroppedInSwitch += other.DroppedInSwitch
 	c.InNetworkAtStop += other.InNetworkAtStop
 	c.StagedAtStop += other.StagedAtStop
+	c.EvictedAtNIC += other.EvictedAtNIC
 	c.DoubleDeliveries += other.DoubleDeliveries
 }
 
@@ -579,12 +583,14 @@ func (c *Conservation) Add(other Conservation) {
 func (c Conservation) Check() error {
 	created := c.Generated + c.Retransmissions
 	accounted := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt +
-		c.LostOnLink + c.DroppedInSwitch + c.InNetworkAtStop + c.StagedAtStop
+		c.LostOnLink + c.DroppedInSwitch + c.InNetworkAtStop + c.StagedAtStop +
+		c.EvictedAtNIC
 	if created != accounted {
-		return fmt.Errorf("faults: conservation violated: created %d (gen %d + retx %d) != accounted %d (delivered %d + dup %d + corrupt %d + lost %d + sw-dropped %d + in-network %d + staged %d)",
+		return fmt.Errorf("faults: conservation violated: created %d (gen %d + retx %d) != accounted %d (delivered %d + dup %d + corrupt %d + lost %d + sw-dropped %d + in-network %d + staged %d + nic-evicted %d)",
 			created, c.Generated, c.Retransmissions, accounted,
 			c.DeliveredUnique, c.ArrivedDup, c.ArrivedCorrupt,
-			c.LostOnLink, c.DroppedInSwitch, c.InNetworkAtStop, c.StagedAtStop)
+			c.LostOnLink, c.DroppedInSwitch, c.InNetworkAtStop, c.StagedAtStop,
+			c.EvictedAtNIC)
 	}
 	injected := c.DeliveredUnique + c.ArrivedDup + c.ArrivedCorrupt + c.LostOnLink + c.DroppedInSwitch + c.InNetworkAtStop
 	if c.InjectedCopies != injected {

@@ -23,12 +23,12 @@ package hostif
 
 import (
 	"fmt"
-	"math"
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/trace"
@@ -59,6 +59,12 @@ const (
 	// FrameLatency: D += targetLatency/Parts(F), giving every application
 	// frame the same latency budget regardless of its size.
 	FrameLatency
+	// Absolute: every packet carries the flow's AbsDeadline verbatim — the
+	// coflow-level EDF rule, where all packets of a collective round share
+	// the round's completion deadline regardless of emission time. The
+	// deadline is interpreted against this host's local clock (the TTD
+	// header transports it skew-tolerantly from there, §3.3).
+	Absolute
 )
 
 // Flow is a per-flow record kept at the sending host.
@@ -71,6 +77,14 @@ type Flow struct {
 	Mode   DeadlineMode
 	BW     units.Bandwidth // ByBandwidth: the reserved average bandwidth
 	Target units.Time      // FrameLatency: desired per-frame latency
+	// AbsDeadline is the shared deadline stamped in Absolute mode, against
+	// this host's local clock. The coflow manager rewrites it (and Mode)
+	// per collective round before submitting.
+	AbsDeadline units.Time
+	// Value is the flow's value density (worth per payload byte) used by
+	// value-aware dropping policies; zero means worthless under eviction.
+	// Stamped onto packets in exact milli-units (see packet.Value).
+	Value float64
 	// UseEligible delays injection until deadline − the host's lead time.
 	UseEligible bool
 
@@ -113,6 +127,10 @@ type Hooks struct {
 	Retransmitted func(p *packet.Packet, now units.Time)
 	// Demoted observes packets demoted to the best-effort VC.
 	Demoted func(p *packet.Packet, now units.Time)
+	// Evicted observes packets a bounded injection queue discarded before
+	// injection (value-drop policies). Such packets were Generated but
+	// never enter the network.
+	Evicted func(p *packet.Packet, now units.Time)
 }
 
 // Config parameterises one host NIC.
@@ -146,17 +164,18 @@ type Config struct {
 	// Metrics holds the host's metric instruments; the zero value
 	// disables recording.
 	Metrics Metrics
+	// Policy selects the scheduling policy (injection-queue discipline and
+	// ready-VC selection). Nil means policy.Default, the seed behaviour.
+	Policy policy.Policy
 }
-
-// hostQueueCap is the injection queue capacity: host memory, effectively
-// unbounded compared to switch buffers.
-const hostQueueCap = units.Size(math.MaxInt64 / 4)
 
 // Host is one end host: traffic sources submit application messages to it,
 // and it injects deadline-stamped packets into the network.
 type Host struct {
-	cfg Config
-	out *link.Link // toward the leaf switch
+	cfg     Config
+	pol     policy.Policy
+	out     *link.Link                // toward the leaf switch
+	canSend func(*packet.Packet) bool // h.out.CanSend, bound once at connect
 
 	flows map[packet.FlowID]*Flow
 
@@ -189,12 +208,14 @@ func New(cfg Config) *Host {
 	if cfg.Reliability.Enabled {
 		cfg.Reliability = cfg.Reliability.WithDefaults()
 	}
-	h := &Host{cfg: cfg, flows: make(map[packet.FlowID]*Flow)}
+	h := &Host{cfg: cfg, pol: cfg.Policy, flows: make(map[packet.FlowID]*Flow)}
+	if h.pol == nil {
+		h.pol = policy.Default()
+	}
 	for vc := 0; vc < packet.NumVCs; vc++ {
-		if cfg.Arch.DeadlineAware() {
-			h.ready[vc] = pqueue.NewHeap(hostQueueCap, false)
-		} else {
-			h.ready[vc] = pqueue.NewFIFO(hostQueueCap, false)
+		h.ready[vc] = h.pol.NewHostQueue(cfg.Arch, packet.VC(vc))
+		if ev, ok := h.ready[vc].(pqueue.Evictor); ok {
+			ev.SetOnEvict(h.onEvict)
 		}
 	}
 	if cfg.Reliability.Enabled {
@@ -210,6 +231,7 @@ func (h *Host) ID() int { return h.cfg.ID }
 // ConnectOut wires the injection link and hooks its readiness callback.
 func (h *Host) ConnectOut(l *link.Link) {
 	h.out = l
+	h.canSend = func(p *packet.Packet) bool { return l.CanSend(p) }
 	l.OnReady = func() { h.tryInject() }
 }
 
@@ -319,10 +341,18 @@ func (h *Host) emit(f *Flow, chunk units.Size, frameID uint64, parts int, ctl an
 		p.Deadline = base + f.BW.TxTime(p.Size)
 	case FrameLatency:
 		p.Deadline = base + f.Target/units.Time(parts)
+	case Absolute:
+		p.Deadline = f.AbsDeadline
 	default:
 		panic("hostif: unknown deadline mode")
 	}
 	f.lastDeadline = p.Deadline
+
+	if f.Value != 0 {
+		// Exact milli-unit density × wire bytes; both factors are fixed at
+		// flow setup, so the product is shard-independent.
+		p.Value = int64(f.Value*1000+0.5) * int64(p.Size)
+	}
 
 	if f.UseEligible && h.cfg.EligibleLead > 0 {
 		p.Eligible = p.Deadline - h.cfg.EligibleLead
@@ -396,47 +426,53 @@ func (h *Host) promoteEligible() {
 	}
 }
 
-// tryInject transmits the next packet if the link permits (§3.2): the
-// regulated ready queue first; best-effort only when the regulated VC has
-// no transmittable packet (packets still waiting for eligibility do not
-// block best-effort). Under Traditional, the FIFO heads of both VCs are
-// offered in VC order (regulated classes first, matching a typical AS host
-// adapter configuration).
+// tryInject transmits the next packet if the link permits. Which ready VC
+// goes next is the policy's PickInject decision; the default policy is the
+// paper's rule (§3.2): the regulated ready queue first, best-effort only
+// when the regulated VC has no transmittable packet (packets still waiting
+// for eligibility do not block best-effort), and under Traditional the
+// FIFO heads of both VCs offered in VC order (regulated classes first,
+// matching a typical AS host adapter configuration).
 func (h *Host) tryInject() {
 	if h.out == nil {
 		return
 	}
 	h.promoteEligible()
 	for h.out.Idle() {
-		sent := false
-		for vc := 0; vc < packet.NumVCs; vc++ {
-			p := h.ready[vc].Head()
-			if p == nil || !h.out.CanSend(p) {
-				continue
-			}
-			h.ready[vc].Pop()
-			p.InjectedAt = h.cfg.Eng.Now()
-			if h.cfg.Tracer != nil && p.Sampled {
-				h.traceEvt(trace.KindInjected, p)
-			}
-			if h.cfg.Hooks.Injected != nil {
-				h.cfg.Hooks.Injected(p, p.InjectedAt)
-			}
-			h.cfg.Metrics.Injected.Inc()
-			if h.rel != nil {
-				h.trackInjected(p)
-			}
-			// TTD is stamped as of the moment the last byte leaves the
-			// NIC (see link.TxTime), keeping reconstructed deadlines free
-			// of size-dependent inflation.
-			p.PackTTD(h.cfg.Clock.Now() + h.out.TxTime(p))
-			h.out.Send(p)
-			sent = true
-			break
-		}
-		if !sent {
+		vc := h.pol.PickInject(&h.ready, h.canSend)
+		if vc < 0 {
 			return
 		}
+		p := h.ready[vc].Pop()
+		p.InjectedAt = h.cfg.Eng.Now()
+		if h.cfg.Tracer != nil && p.Sampled {
+			h.traceEvt(trace.KindInjected, p)
+		}
+		if h.cfg.Hooks.Injected != nil {
+			h.cfg.Hooks.Injected(p, p.InjectedAt)
+		}
+		h.cfg.Metrics.Injected.Inc()
+		if h.rel != nil {
+			h.trackInjected(p)
+		}
+		// TTD is stamped as of the moment the last byte leaves the
+		// NIC (see link.TxTime), keeping reconstructed deadlines free
+		// of size-dependent inflation.
+		p.PackTTD(h.cfg.Clock.Now() + h.out.TxTime(p))
+		h.out.Send(p)
+	}
+}
+
+// onEvict accounts a packet a bounded ready queue discarded: the packet
+// was Generated but never injected, so the conservation invariant needs
+// the dedicated eviction term (faults.Conservation.EvictedAtNIC). Fires
+// synchronously from inside a ready-queue Push.
+func (h *Host) onEvict(p *packet.Packet) {
+	if h.cfg.Tracer != nil && p.Sampled {
+		h.traceEvt(trace.KindNICEvict, p)
+	}
+	if h.cfg.Hooks.Evicted != nil {
+		h.cfg.Hooks.Evicted(p, h.cfg.Eng.Now())
 	}
 }
 

@@ -11,10 +11,12 @@ import (
 	"fmt"
 
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/trace"
@@ -104,6 +106,22 @@ type Config struct {
 	// (default 1 µs). Session flows are repaired separately, in-band,
 	// through the CAC.
 	RepairDelay units.Time
+
+	// Policy selects the scheduling policy plugged into every host NIC
+	// and switch arbiter (see internal/policy). Nil selects
+	// policy.Default, the paper's EDF-with-take-over discipline — a run
+	// with a nil Policy is byte-identical to one predating the policy
+	// subsystem. Policies must satisfy the contract in the policy package
+	// doc (deterministic, shard-independent, no clocks or randomness).
+	Policy policy.Policy
+
+	// Coflows, when non-nil, runs the ring-collective coflow workload
+	// (internal/coflow) on top of the configured traffic: a σ-order
+	// admission pass splits the rounds into reserved and best-effort
+	// traffic, and — under a coflow-aware Policy — admitted rounds carry
+	// the round's collective deadline on every packet. Zero fields take
+	// their defaults.
+	Coflows *coflow.Config
 
 	// Sessions, when non-nil, enables the dynamic session subsystem
 	// (internal/session): every host generates Poisson (optionally
@@ -373,6 +391,12 @@ func (cfg *Config) validate() error {
 	}
 	if err := cfg.Reliability.Validate(); err != nil {
 		return fmt.Errorf("network: %w", err)
+	}
+	if cfg.Coflows != nil {
+		ccfg := cfg.Coflows.WithDefaults(cfg.Topology.Hosts(), cfg.MTU, cfg.LinkBW)
+		if err := ccfg.Validate(cfg.Topology.Hosts()); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
 	}
 	if cfg.Sessions != nil {
 		scfg := cfg.Sessions.WithDefaults()

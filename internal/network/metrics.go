@@ -17,6 +17,7 @@ package network
 
 import (
 	"deadlineqos/internal/admission"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/metrics"
@@ -68,6 +69,16 @@ type metricsSchema struct {
 
 	// Admission control.
 	admReserves, admRejects, admReleases metrics.CounterID
+
+	// Scheduling-policy plane: NIC evictions by value-aware dropping
+	// policies (per class, in the frozen label order) and the coflow
+	// workload's admission/outcome counters (bumped once, post-run).
+	polEvictions    [packet.NumClasses]metrics.CounterID
+	polEvictedValue metrics.CounterID
+	cofAdmitted     metrics.CounterID
+	cofRejected     metrics.CounterID
+	cofCompleted    metrics.CounterID
+	cofMissed       metrics.CounterID
 }
 
 // registerSchema registers (or re-resolves) the network schema on reg.
@@ -113,11 +124,18 @@ func registerSchema(reg *metrics.Registry) *metricsSchema {
 		admReserves: reg.Counter("qos_admission_reserves_total", "run-time reservations granted"),
 		admRejects:  reg.Counter("qos_admission_rejects_total", "run-time reservations refused"),
 		admReleases: reg.Counter("qos_admission_releases_total", "run-time reservations released"),
+
+		polEvictedValue: reg.Counter("qos_policy_evicted_value_total", "packet value (milli-units) shed by bounded NIC queues"),
+		cofAdmitted:     reg.Counter("qos_policy_coflow_admitted_total", "coflows admitted by the sigma-order pass"),
+		cofRejected:     reg.Counter("qos_policy_coflow_rejected_total", "coflows rejected to best-effort by the sigma-order pass"),
+		cofCompleted:    reg.Counter("qos_policy_coflow_completed_total", "coflows completed at every member before the run stopped"),
+		cofMissed:       reg.Counter("qos_policy_coflow_missed_total", "coflows that missed their collective deadline"),
 	}
 	for c := 0; c < packet.NumClasses; c++ {
 		label := metrics.WithLabel(`class="` + classLabels[c] + `"`)
 		s.hostMissed[c] = reg.Counter("qos_host_missed_total", "deliveries past deadline", label)
 		s.slack[c] = reg.Histogram("qos_delivery_slack_ns", "remaining time-to-deadline at delivery (negative = missed)", label)
+		s.polEvictions[c] = reg.Counter("qos_policy_evictions_total", "packets shed by bounded NIC queues", label)
 	}
 	return s
 }
@@ -188,6 +206,33 @@ func (sm *shardMetrics) hostBundle() hostif.Metrics {
 		m.Slack[c] = sm.set.Histogram(sm.sch.slack[c])
 	}
 	return m
+}
+
+// evictionCounters resolves the NIC-eviction counters for a shard's
+// Evicted hook (all nil with metrics disabled).
+func (sm *shardMetrics) evictionCounters() (perClass [packet.NumClasses]*metrics.Counter, value *metrics.Counter) {
+	if sm == nil {
+		return perClass, nil
+	}
+	for c := 0; c < packet.NumClasses; c++ {
+		perClass[c] = sm.set.Counter(sm.sch.polEvictions[c])
+	}
+	return perClass, sm.set.Counter(sm.sch.polEvictedValue)
+}
+
+// bumpCoflowMetrics records the coflow workload's final verdicts into
+// shard 0's instrument set. Called on the main goroutine after the
+// engines stop, before the final publish.
+func (n *Network) bumpCoflowMetrics(res *coflow.Results) {
+	sm := n.shards[0].mtr
+	if sm == nil {
+		return
+	}
+	set := sm.set
+	set.Counter(sm.sch.cofAdmitted).Add(uint64(res.Admitted))
+	set.Counter(sm.sch.cofRejected).Add(uint64(res.Rejected))
+	set.Counter(sm.sch.cofCompleted).Add(uint64(res.Completed))
+	set.Counter(sm.sch.cofMissed).Add(uint64(res.Coflows - res.DeadlineMet))
 }
 
 func (sm *shardMetrics) sessionBundle() session.Metrics {

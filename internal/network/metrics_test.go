@@ -6,8 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/metrics"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/trace"
 	"deadlineqos/internal/units"
@@ -84,6 +86,59 @@ func TestMetricsShardDeterminism(t *testing.T) {
 		}
 		if r != baseResults {
 			t.Fatalf("shards=%d results diverge:\n%s\nvs sequential:\n%s", shards, r, baseResults)
+		}
+	}
+}
+
+// TestPolicyMetricsShardDeterminism pins the scheduling-policy plane in
+// the frozen schema: a value-drop run with a coflow workload must render
+// the qos_policy_* counters, with non-zero evictions and coflow verdicts,
+// byte-identically at 1, 2 and 4 shards.
+func TestPolicyMetricsShardDeterminism(t *testing.T) {
+	var base string
+	for _, shards := range []int{1, 2, 4} {
+		cfg := SmallConfig()
+		cfg.WarmUp = units.Millisecond
+		cfg.Measure = 8 * units.Millisecond
+		cfg.Load = 1.0
+		cfg.ClassShare = [4]float64{0.1, 0.1, 0.6, 0.2}
+		cfg.HotspotFraction = 0.7
+		cfg.HotspotHost = 0
+		cfg.Policy = policy.ValueDrop(32*units.Kilobyte, false)
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
+		cfg.Shards = shards
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteDeterministic(&buf); err != nil {
+			t.Fatalf("shards=%d: WriteDeterministic: %v", shards, err)
+		}
+		m := buf.String()
+		if base == "" {
+			base = m
+			for _, want := range []string{
+				"qos_policy_evictions_total", "qos_policy_evicted_value_total",
+				"qos_policy_coflow_admitted_total", "qos_policy_coflow_rejected_total",
+				"qos_policy_coflow_completed_total", "qos_policy_coflow_missed_total",
+			} {
+				if !strings.Contains(m, want) {
+					t.Fatalf("deterministic render missing %s:\n%s", want, m)
+				}
+			}
+			if sum := res.Conservation.EvictedAtNIC; sum == 0 {
+				t.Fatal("scenario produced no evictions; the counters are untested")
+			}
+			if res.Coflows == nil || res.Coflows.Admitted+res.Coflows.Rejected == 0 {
+				t.Fatal("scenario produced no coflow verdicts")
+			}
+			continue
+		}
+		if m != base {
+			t.Fatalf("shards=%d policy metrics diverge:\n%s\nvs sequential:\n%s", shards, m, base)
 		}
 	}
 }

@@ -7,11 +7,13 @@ import (
 	"time"
 
 	"deadlineqos/internal/admission"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/packet"
 	"deadlineqos/internal/parsim"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/stats"
@@ -70,6 +72,12 @@ type Results struct {
 	// is the simulator's end-to-end conservation invariant.
 	Conservation faults.Conservation
 
+	// Policy names the scheduling policy the run used.
+	Policy string
+	// Coflows summarises the coflow workload — σ-pass admission split,
+	// completions, deadline outcomes (nil unless Config.Coflows was set).
+	Coflows *coflow.Results
+
 	// Sessions summarises the dynamic session subsystem (nil unless
 	// Config.Sessions was set): CAC accept ratio, in-band setup latency,
 	// reserved-vs-achieved utilisation, revocations, downgrades.
@@ -124,6 +132,8 @@ type Network struct {
 	collect      *stats.Collector // shard 0's; all shards merged into it at Run end
 	adm          *admission.Controller
 	videoPerHost int
+	pol          policy.Policy
+	coflow       *coflow.Manager // nil unless cfg.Coflows is set
 
 	// Dynamic session subsystem (nil / zero unless cfg.Sessions is set).
 	sessMgr       *session.Manager
@@ -206,7 +216,10 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, topo: cfg.Topology}
+	n := &Network{cfg: cfg, topo: cfg.Topology, pol: cfg.Policy}
+	if n.pol == nil {
+		n.pol = policy.Default()
+	}
 	n.repairOn = cfg.Faults.HasTopological()
 	n.swShard, n.hostShard, n.nshards = Partition(n.topo, cfg.Shards)
 	n.lookahead = cfg.PropDelay
@@ -294,6 +307,7 @@ func New(cfg Config) (*Network, error) {
 			XbarBW:           cfg.XbarBW,
 			TrackOrderErrors: cfg.TrackOrderErrors,
 			VCTable:          cfg.VCArbitrationTable,
+			Policy:           n.pol,
 			Tracer:           sh.tracer,
 			OnPktDrop:        n.onSwitchDropFor(sh),
 			Metrics:          sh.mtr.switchBundle(),
@@ -342,6 +356,7 @@ func New(cfg Config) (*Network, error) {
 			// any cross-shard coordination, and identical at every shard
 			// count.
 			IDs:         hostif.NewIDSource(uint64(h+1) << 40),
+			Policy:      n.pol,
 			Hooks:       hooks[n.hostShard[h]],
 			Reliability: cfg.Reliability,
 			SendAck:     sendAck,
@@ -365,6 +380,9 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	if err := n.provisionSessions(rng); err != nil {
+		return nil, err
+	}
+	if err := n.provisionCoflows(); err != nil {
 		return nil, err
 	}
 	// The admission controller mutates (and is read) only on its owning
@@ -432,6 +450,13 @@ func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
 					sc.SigPackets++
 				}
 			}
+			// Coflow ring advance (n.coflow is set by provisionCoflows
+			// after the hooks are built; the closure reads it at event
+			// time). The manager only ever mutates the destination host's
+			// state, i.e. this shard's.
+			if cm := n.coflow; cm != nil {
+				cm.OnDelivered(p, now)
+			}
 		},
 		Corrupted: func(p *packet.Packet, now units.Time) {
 			sh.cons.ArrivedCorrupt++
@@ -446,6 +471,19 @@ func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
 			sh.collect.PacketRetransmitted(p, now)
 		},
 		Demoted: sh.collect.PacketDemoted,
+	}
+	// NIC evictions by bounded (value-aware) host queues: conservation,
+	// per-class statistics, and the policy-plane counters.
+	evCnt, evVal := sh.mtr.evictionCounters()
+	hooks.Evicted = func(p *packet.Packet, now units.Time) {
+		sh.cons.EvictedAtNIC++
+		sh.collect.PacketEvicted(p, now)
+		if c := evCnt[p.Class]; c != nil {
+			c.Inc()
+			if p.Value > 0 {
+				evVal.Add(uint64(p.Value))
+			}
+		}
 	}
 	if t := n.cfg.Trace; t.Generated != nil || t.Injected != nil || t.Delivered != nil {
 		// User callbacks are rejected by validate when Shards > 1 (they
@@ -976,11 +1014,17 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 			var hotFlow packet.FlowID
 			for _, d := range dsts {
 				nextFlow++
+				// The class weight doubles as the value density: what a
+				// value-aware dropping policy protects and the weighted
+				// goodput metric scores (best-effort is worth BEWeight per
+				// byte, background BGWeight — the same ratio Figure 4
+				// differentiates service by).
 				host.AddFlow(&hostif.Flow{
 					ID: nextFlow, Class: cl, Src: h, Dst: d,
 					Route: n.adm.RouteBestEffort(h, d, uint64(nextFlow)),
 					Mode:  hostif.ByBandwidth,
 					BW:    units.Bandwidth(weight * float64(rate) / float64(cfg.BEDests)),
+					Value: weight,
 				})
 				n.registerRepairFlow(h, nextFlow, h, d)
 				flows = append(flows, nextFlow)
@@ -1005,6 +1049,37 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 				SizeAlpha: 1.3, BurstAlpha: 1.5,
 			}))
 		}
+	}
+	return nil
+}
+
+// provisionCoflows builds the coflow manager (running its σ-order
+// admission pass against the CAC ledger as provisioned so far), registers
+// its per-host flows, and schedules every host's round-0 submission on
+// that host's shard. No-op without cfg.Coflows.
+func (n *Network) provisionCoflows() error {
+	if n.cfg.Coflows == nil {
+		return nil
+	}
+	mgr, err := coflow.New(*n.cfg.Coflows, coflow.Deps{
+		Hosts:           n.topo.Hosts(),
+		MTU:             n.cfg.MTU,
+		LinkBW:          n.cfg.LinkBW,
+		Adm:             n.adm,
+		Topo:            n.topo,
+		Host:            func(h int) coflow.Host { return n.hosts[h] },
+		CoflowDeadlines: policy.IsCoflowAware(n.pol),
+	})
+	if err != nil {
+		return fmt.Errorf("network: %w", err)
+	}
+	n.coflow = mgr
+	for h := 0; h < n.topo.Hosts(); h++ {
+		for _, f := range mgr.FlowsFor(h) {
+			n.hosts[h].AddFlow(f)
+		}
+		h := h
+		n.shards[n.hostShard[h]].eng.At(mgr.StartAt(), func() { mgr.StartHost(h) })
 	}
 	return nil
 }
@@ -1067,6 +1142,15 @@ func (n *Network) Run() *Results {
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 
+	// Coflow outcomes fold before the final publish so the end-of-run
+	// metrics snapshot carries them. The engines have stopped; the main
+	// goroutine may read every shard's slots.
+	var cofRes *coflow.Results
+	if n.coflow != nil {
+		cofRes = n.coflow.BuildResults()
+		n.bumpCoflowMetrics(cofRes)
+	}
+
 	// Final gauge sample + snapshot publish for every shard, so a scrape
 	// after Run (and the end-of-run render) sees the horizon state. The
 	// engines have stopped; the main goroutine may read any shard.
@@ -1109,6 +1193,8 @@ func (n *Network) Run() *Results {
 		Config:              n.cfg,
 		Collector:           n.collect,
 		VideoStreamsPerHost: n.videoPerHost,
+		Policy:              n.pol.Name(),
+		Coflows:             cofRes,
 		Telemetry:           n.telemetry,
 		Perf: trace.Profile{
 			SimulatedNs: int64(horizon),

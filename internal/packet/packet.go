@@ -125,8 +125,13 @@ type Packet struct {
 	// packet is created, so retransmit copies may share it.
 	Ctl any
 
-	// Host-only field (not transmitted, §3.1).
+	// Host-only fields (not transmitted, §3.1).
 	Eligible units.Time // earliest cycle the packet may enter the network
+	// Value is the packet's worth to the application (flow value density ×
+	// wire size, in milli-units so it stays an exact integer). Bounded
+	// best-effort queues use it to decide what to shed under overload
+	// (pqueue.DropQueue); it never influences flow-controlled scheduling.
+	Value int64
 
 	// Instrumentation (oracle time base, excluded from any scheduling).
 	CreatedAt  units.Time // when the application generated the packet

@@ -1,0 +1,110 @@
+package pqueue
+
+import (
+	"testing"
+
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// naiveMin is the reference model for the lazy-deletion minTracker: a flat
+// multiset whose minimum is recomputed from scratch on every query.
+type naiveMin struct {
+	entries []minEntry
+}
+
+func (n *naiveMin) add(p *packet.Packet) {
+	n.entries = append(n.entries, minEntry{p.Deadline, p.ID})
+}
+
+func (n *naiveMin) remove(p *packet.Packet) {
+	for i, e := range n.entries {
+		if e.id == p.ID {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			return
+		}
+	}
+	panic("naiveMin: removing an absent id")
+}
+
+func (n *naiveMin) min() units.Time {
+	m := units.Infinity
+	for _, e := range n.entries {
+		if e.deadline < m {
+			m = e.deadline
+		}
+	}
+	return m
+}
+
+// driveTracker replays one op stream against both the tracker and the
+// naive model. Each byte is one op: low bits choose add/remove/query, the
+// deadline comes from a deterministic hash of the position. It returns
+// early on malformed streams (nothing to remove).
+func driveTracker(t *testing.T, ops []byte) {
+	t.Helper()
+	tr := newMinTracker()
+	var ref naiveMin
+	live := make([]*packet.Packet, 0, len(ops))
+	var nextID uint64 = 1
+	for i, op := range ops {
+		switch {
+		case op%4 != 0 || len(live) == 0: // add (3 in 4, or forced when empty)
+			// A tight deadline range forces duplicate deadlines, the case
+			// lazy deletion must disambiguate by id.
+			p := &packet.Packet{ID: nextID, Deadline: units.Time(int(op)/4 + i%7)}
+			nextID++
+			tr.add(p)
+			ref.add(p)
+			live = append(live, p)
+		default: // remove an arbitrary live packet
+			idx := (int(op)/4 + i) % len(live)
+			p := live[idx]
+			live = append(live[:idx], live[idx+1:]...)
+			tr.remove(p)
+			ref.remove(p)
+		}
+		if got, want := tr.min(), ref.min(); got != want {
+			t.Fatalf("op %d: tracker min %v, naive min %v (%d live)", i, got, want, len(live))
+		}
+	}
+	// Drain completely: the lazy heap must compact to empty.
+	for _, p := range live {
+		tr.remove(p)
+		ref.remove(p)
+	}
+	if got := tr.min(); got != units.Infinity {
+		t.Fatalf("drained tracker min %v, want Infinity", got)
+	}
+	if len(tr.entries) != 0 || len(tr.dead) != 0 {
+		t.Fatalf("drained tracker retains %d entries / %d dead ids", len(tr.entries), len(tr.dead))
+	}
+}
+
+// TestMinTrackerMatchesNaive runs deterministic pseudo-random op streams
+// through driveTracker (the always-on arm of the fuzz property below).
+func TestMinTrackerMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := seed * 0x9e3779b97f4a7c15
+		ops := make([]byte, 600)
+		for i := range ops {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			ops[i] = byte(rng >> 56)
+		}
+		driveTracker(t, ops)
+	}
+}
+
+// FuzzMinTracker lets the fuzzer search for op interleavings where lazy
+// compaction and the naive recomputed minimum disagree.
+func FuzzMinTracker(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 0, 0, 0})
+	f.Add([]byte{5, 9, 13, 4, 8, 12, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		driveTracker(t, ops)
+	})
+}

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"os"
 
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/trace"
@@ -47,6 +49,14 @@ type Options struct {
 	// SwitchFaults, Flaps and Derates size each epoch's fault plan
 	// (defaults 2 / 3 / 2).
 	SwitchFaults, Flaps, Derates int
+	// Policy selects the scheduling policy by name (see policy.Names;
+	// empty = default). Part of the replay contract: the failure recipe
+	// reprints it.
+	Policy string
+	// Coflows attaches the ring coflow workload (σ-order admission, 4
+	// rounds of 4 KB chunks starting at the end of warm-up) to every
+	// epoch, on top of the static mix, churn and faults.
+	Coflows bool
 	// Log, when non-nil, receives one progress line per epoch.
 	Log func(format string, args ...any)
 
@@ -151,6 +161,17 @@ func EpochConfig(opt Options, epoch int) network.Config {
 		cfg.Sessions.CtlQueueCap = 32
 	}
 
+	if pol, err := policy.Parse(opt.Policy); err == nil {
+		cfg.Policy = pol
+	} else {
+		// Run rejects unknown names before any epoch builds; reaching this
+		// branch means the caller skipped that validation.
+		panic(fmt.Sprintf("soak: bad policy %q: %v", opt.Policy, err))
+	}
+	if opt.Coflows {
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
+	}
+
 	horizon := cfg.WarmUp + cfg.Measure
 	plan := faults.RandomPlan(seed, soakLinkIDs(cfg.Topology), horizon, faults.RandomConfig{
 		Flaps:    opt.Flaps,
@@ -205,6 +226,9 @@ func Run(opt Options) (*Report, error) {
 		logf = func(string, ...any) {}
 	}
 	rep := &Report{Options: opt}
+	if _, err := policy.Parse(opt.Policy); err != nil {
+		return rep, fmt.Errorf("soak: %w", err)
+	}
 	for i := 0; i < opt.Epochs; i++ {
 		epoch := opt.FirstEpoch + i
 		cfg := EpochConfig(opt, epoch)
@@ -284,8 +308,15 @@ func dumpFlight(fr *trace.FlightRecorder, path string) (string, error) {
 
 // epochErr wraps an epoch failure with its seed and replay recipe.
 func epochErr(opt Options, epoch int, seed uint64, err error) error {
-	return fmt.Errorf("soak: epoch %d (seed %#016x): %w\nreplay: go run ./cmd/qossoak -seed %d -first-epoch %d -epochs 1 -shards %d",
-		epoch, seed, err, opt.Seed, epoch, opt.Shards)
+	extra := ""
+	if opt.Policy != "" {
+		extra += " -policy " + opt.Policy
+	}
+	if opt.Coflows {
+		extra += " -coflows"
+	}
+	return fmt.Errorf("soak: epoch %d (seed %#016x): %w\nreplay: go run ./cmd/qossoak -seed %d -first-epoch %d -epochs 1 -shards %d%s",
+		epoch, seed, err, opt.Seed, epoch, opt.Shards, extra)
 }
 
 // Audit runs every post-epoch invariant: packet conservation, structural

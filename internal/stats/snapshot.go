@@ -49,6 +49,12 @@ type ClassSnapshot struct {
 	RetransmittedPackets uint64 `json:"retransmitted_packets,omitempty"`
 	DemotedPackets       uint64 `json:"demoted_packets,omitempty"`
 	DuplicateDrops       uint64 `json:"duplicate_drops,omitempty"`
+	// Eviction/value counters of value-aware dropping policies (omitted
+	// under policies that never shed at the NIC).
+	EvictedPackets uint64 `json:"evicted_packets,omitempty"`
+	GeneratedValue int64  `json:"generated_value,omitempty"`
+	DeliveredValue int64  `json:"delivered_value,omitempty"`
+	EvictedValue   int64  `json:"evicted_value,omitempty"`
 }
 
 // Snapshot summarises the collector's current state.
@@ -84,6 +90,10 @@ func (c *Collector) Snapshot(label string) *Snapshot {
 			RetransmittedPackets: cs.RetransmittedPackets,
 			DemotedPackets:       cs.DemotedPackets,
 			DuplicateDrops:       cs.DuplicateDrops,
+			EvictedPackets:       cs.EvictedPackets,
+			GeneratedValue:       cs.GeneratedValue,
+			DeliveredValue:       cs.DeliveredValue,
+			EvictedValue:         cs.EvictedValue,
 		}
 	}
 	return s

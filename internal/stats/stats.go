@@ -349,6 +349,17 @@ type ClassStats struct {
 	DemotedPackets       uint64 // packets demoted to the best-effort VC
 	DuplicateDrops       uint64 // duplicate copies dropped by receivers
 
+	// Eviction/value accounting of value-aware dropping policies
+	// (internal/policy): packets shed by a bounded NIC queue before
+	// injection, and the exact milli-unit value totals (packet.Value) the
+	// weighted-goodput metric is computed from. All integers, so per-shard
+	// merging stays exact.
+	EvictedPackets uint64
+	EvictedBytes   units.Size
+	GeneratedValue int64
+	DeliveredValue int64
+	EvictedValue   int64
+
 	PacketLatency TimeSeries // ns, creation to delivery
 	NetLatency    TimeSeries // ns, injection to delivery (network-only share)
 	LatencyHist   *Histogram // packet latency CDF
@@ -379,6 +390,11 @@ func (cs *ClassStats) merge(other *ClassStats) {
 	cs.RetransmittedPackets += other.RetransmittedPackets
 	cs.DemotedPackets += other.DemotedPackets
 	cs.DuplicateDrops += other.DuplicateDrops
+	cs.EvictedPackets += other.EvictedPackets
+	cs.EvictedBytes += other.EvictedBytes
+	cs.GeneratedValue += other.GeneratedValue
+	cs.DeliveredValue += other.DeliveredValue
+	cs.EvictedValue += other.EvictedValue
 	cs.PacketLatency.Merge(&other.PacketLatency)
 	cs.NetLatency.Merge(&other.NetLatency)
 	cs.LatencyHist.Merge(other.LatencyHist)
@@ -446,6 +462,7 @@ func (c *Collector) PacketGenerated(p *packet.Packet) {
 	cs := &c.PerClass[p.Class]
 	cs.GeneratedPackets++
 	cs.GeneratedBytes += p.Size
+	cs.GeneratedValue += p.Value
 }
 
 // PacketInjected records that p's first byte entered the network at now.
@@ -466,6 +483,7 @@ func (c *Collector) PacketDelivered(p *packet.Packet, now units.Time) {
 	cs := &c.PerClass[p.Class]
 	cs.DeliveredPackets++
 	cs.DeliveredBytes += p.Size
+	cs.DeliveredValue += p.Value
 	lat := now - p.CreatedAt
 	cs.PacketLatency.Add(lat)
 	cs.LatencyHist.Add(lat)
@@ -548,6 +566,18 @@ func (c *Collector) PacketDupDropped(p *packet.Packet, now units.Time) {
 	}
 }
 
+// PacketEvicted records that a bounded NIC queue discarded p before
+// injection (value-drop scheduling policies).
+func (c *Collector) PacketEvicted(p *packet.Packet, now units.Time) {
+	if !c.measured(p) {
+		return
+	}
+	cs := &c.PerClass[p.Class]
+	cs.EvictedPackets++
+	cs.EvictedBytes += p.Size
+	cs.EvictedValue += p.Value
+}
+
 // Window returns the measurement window length.
 func (c *Collector) Window() units.Time { return c.Horizon - c.WarmUp }
 
@@ -598,6 +628,24 @@ func (c *Collector) Merge(other *Collector) {
 	c.OrderErrors += other.OrderErrors
 	c.TakeOverPackets += other.TakeOverPackets
 	c.Dequeues += other.Dequeues
+}
+
+// WeightedGoodput returns the delivered packet value as a fraction of the
+// generated packet value across all classes — the weighted-throughput
+// metric of the bounded-queue dropping literature (value earned / value
+// offered). Classes whose flows carry no value density contribute to
+// neither side; 0 when nothing valued was generated. Both accumulators are
+// exact integers, so the ratio is shard-independent.
+func (c *Collector) WeightedGoodput() float64 {
+	var gen, del int64
+	for cl := range c.PerClass {
+		gen += c.PerClass[cl].GeneratedValue
+		del += c.PerClass[cl].DeliveredValue
+	}
+	if gen == 0 {
+		return 0
+	}
+	return float64(del) / float64(gen)
 }
 
 // MissRate returns the fraction of class cl's delivered packets that

@@ -37,6 +37,7 @@ import (
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
 	"deadlineqos/internal/trace"
@@ -87,6 +88,10 @@ type Config struct {
 	// Metrics holds the switch's metric instruments; the zero value
 	// disables recording.
 	Metrics Metrics
+	// Policy selects the scheduling policy whose Arbiter makes this
+	// switch's crossbar and link grant decisions. Nil means
+	// policy.Default, the seed behaviour.
+	Policy policy.Policy
 }
 
 // Stats are the instrumentation counters of one switch.
@@ -134,10 +139,8 @@ type outputPort struct {
 	busy bool
 	down *link.Link
 
-	edf       [packet.NumVCs]*arbiter.EDF
-	rr        [packet.NumVCs]*arbiter.RoundRobin
-	xbarTable *arbiter.VCTable
-	linkTable *arbiter.VCTable
+	arb    policy.Arbiter            // per-port grant decisions (crossbar + link)
+	sendOK func(*packet.Packet) bool // down.CanSend, bound once at connect
 }
 
 // New builds a switch. Ports must then be wired with ConnectUpstream /
@@ -145,6 +148,10 @@ type outputPort struct {
 func New(cfg Config) *Switch {
 	if cfg.XbarBW == 0 {
 		cfg.XbarBW = 1 // reference link rate, speedup 1
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.Default()
 	}
 	s := &Switch{cfg: cfg}
 	for i := 0; i < cfg.Radix; i++ {
@@ -170,20 +177,8 @@ func New(cfg Config) *Switch {
 			if cfg.Tracer != nil {
 				op.buf[vc].SetObserver(&bufObserver{sw: s, port: i, out: -1})
 			}
-			op.edf[vc] = arbiter.NewEDF(cfg.Radix)
-			op.rr[vc] = arbiter.NewRoundRobin(cfg.Radix)
 		}
-		switch {
-		case cfg.VCTable != nil:
-			op.xbarTable = arbiter.NewVCTable(cfg.VCTable)
-			op.linkTable = arbiter.NewVCTable(cfg.VCTable)
-		case cfg.Arch == arch.Traditional4VC:
-			op.xbarTable = arbiter.Default4VCTable()
-			op.linkTable = arbiter.Default4VCTable()
-		default:
-			op.xbarTable = arbiter.DefaultVCTable()
-			op.linkTable = arbiter.DefaultVCTable()
-		}
+		op.arb = pol.NewArbiter(policy.ArbiterConfig{Arch: cfg.Arch, Radix: cfg.Radix, VCTable: cfg.VCTable})
 		s.out = append(s.out, op)
 	}
 	return s
@@ -201,6 +196,7 @@ func (s *Switch) ConnectUpstream(p int, cr link.CreditReturner) { s.in[p].upstre
 // readiness callback to this port's transmission scheduler.
 func (s *Switch) ConnectDownstream(p int, l *link.Link) {
 	s.out[p].down = l
+	s.out[p].sendOK = func(pkt *packet.Packet) bool { return l.CanSend(pkt) }
 	l.OnReady = func() { s.tryLinkTx(p) }
 }
 
@@ -268,35 +264,13 @@ func (s *Switch) tryXbar(o int) {
 			}
 		}
 	}
-	vc, sel := s.pickXbar(op, &cands)
+	// The policy's two-level choice: VC first, then input within the VC
+	// (the default policy applies the architecture's rule).
+	vc, sel := op.arb.PickXbar(&cands)
 	if sel < 0 {
 		return
 	}
 	s.startTransfer(s.in[cands[vc][sel].Source], op, packet.VC(vc))
-}
-
-// pickXbar applies the architecture's two-level choice: VC first, then
-// input within the VC. It returns the VC and the index into cands[vc], or
-// (0, -1) when nothing can be granted.
-func (s *Switch) pickXbar(op *outputPort, cands *[packet.NumVCs][]arbiter.Candidate) (int, int) {
-	if s.cfg.Arch.DeadlineAware() {
-		// Regulated VC has absolute priority; EDF within the VC.
-		for vc := 0; vc < packet.NumVCs; vc++ {
-			if len(cands[vc]) > 0 {
-				return vc, op.edf[vc].Select(cands[vc])
-			}
-		}
-		return 0, -1
-	}
-	var avail [packet.NumVCs]bool
-	for vc := range cands {
-		avail[vc] = len(cands[vc]) > 0
-	}
-	vc, ok := op.xbarTable.Next(avail)
-	if !ok {
-		return 0, -1
-	}
-	return int(vc), op.rr[vc].Select(cands[vc])
 }
 
 // startTransfer moves the head of ip's VOQ for op through the crossbar.
@@ -460,7 +434,13 @@ func (s *Switch) tryLinkTx(o int) {
 	if l == nil || !l.Idle() {
 		return
 	}
-	vc := s.pickLinkVC(op, l)
+	// The policy chooses the VC, honouring the appendix's rule: only the
+	// discipline-designated head of each VC may be credit-checked.
+	var heads [packet.NumVCs]*packet.Packet
+	for vc := 0; vc < packet.NumVCs; vc++ {
+		heads[vc] = op.buf[vc].Head()
+	}
+	vc := op.arb.PickLinkVC(&heads, op.sendOK)
 	if vc < 0 {
 		return
 	}
@@ -477,39 +457,6 @@ func (s *Switch) tryLinkTx(o int) {
 	l.Send(p)
 	// Output buffer space freed: the crossbar may now have room.
 	s.tryXbar(o)
-}
-
-// pickLinkVC chooses which VC transmits next on the output link, honouring
-// the appendix's rule: only the discipline-designated head of each VC is
-// credit-checked. Returns -1 when nothing can be sent.
-func (s *Switch) pickLinkVC(op *outputPort, l *link.Link) int {
-	if s.cfg.Arch.DeadlineAware() {
-		// Absolute priority for the regulated VC. If its head is blocked
-		// on credits the best-effort VC may use the idle link: the VCs
-		// have independent downstream buffers, so this is work-conserving
-		// without ever delaying a *transmittable* regulated packet.
-		for vc := 0; vc < packet.NumVCs; vc++ {
-			if h := op.buf[vc].Head(); h != nil && l.CanSend(h) {
-				return vc
-			}
-		}
-		return -1
-	}
-	var avail [packet.NumVCs]bool
-	any := false
-	for vc := 0; vc < packet.NumVCs; vc++ {
-		h := op.buf[vc].Head()
-		avail[vc] = h != nil && l.CanSend(h)
-		any = any || avail[vc]
-	}
-	if !any {
-		return -1
-	}
-	vc, ok := op.linkTable.Next(avail)
-	if !ok {
-		return -1
-	}
-	return int(vc)
 }
 
 // Stats returns the switch's instrumentation counters, aggregating the

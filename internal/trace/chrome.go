@@ -39,7 +39,7 @@ func spanName(ev *Event) string {
 // terminal reports whether the kind ends the packet's current span chain.
 func terminal(k Kind) bool {
 	switch k {
-	case KindDelivered, KindCRCDrop, KindLinkDrop, KindSwitchDrop, KindDupDrop:
+	case KindDelivered, KindCRCDrop, KindLinkDrop, KindSwitchDrop, KindDupDrop, KindNICEvict:
 		return true
 	}
 	return false

@@ -84,13 +84,16 @@ const (
 	// KindDelivered: the packet reached its destination NIC (host event;
 	// Slack is the delivery slack, deadline − delivery time).
 	KindDelivered
+	// KindNICEvict: a bounded injection queue discarded the packet before
+	// it entered the network (host event; value-drop policies only).
+	KindNICEvict
 	numKinds
 )
 
 var kindLabels = [numKinds]string{
 	"gen", "elig-hold", "inject", "voq-enq", "voq-deq", "out-enq",
 	"link-tx", "takeover", "order-err", "crc-drop", "link-drop",
-	"switch-drop", "retx", "dup-drop", "demote", "deliver",
+	"switch-drop", "retx", "dup-drop", "demote", "deliver", "nic-evict",
 }
 
 // String returns the short label used in JSONL output.

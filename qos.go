@@ -29,12 +29,15 @@ package deadlineqos
 
 import (
 	"deadlineqos/internal/analytic"
+	"deadlineqos/internal/arbiter"
 	"deadlineqos/internal/arch"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/experiments"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
@@ -177,6 +180,65 @@ func NewFIFOQueue(capacity Size, track bool) Buffer {
 func NewHeapQueue(capacity Size, track bool) Buffer {
 	return pqueue.NewHeap(capacity, track)
 }
+
+// VC identifies a virtual channel of a port (0..NumVCs-1; the deadline-aware
+// architectures map classes onto 2 VCs, Traditional4VC onto all 4).
+type VC = packet.VC
+
+// NumVCs is the number of virtual channels every port provisions.
+const NumVCs = packet.NumVCs
+
+// Policy is a pluggable scheduling policy: it chooses the host injection
+// queue discipline, the NIC's next-VC pick, and the switch output-port
+// arbitration. Custom policies implement this interface out of tree; see
+// examples/fifopolicy and the contract in DESIGN.md §14.
+type Policy = policy.Policy
+
+// Arbiter makes one switch output port's grant decisions for a Policy.
+type Arbiter = policy.Arbiter
+
+// ArbiterConfig carries what a switch output port knows when a Policy
+// builds its Arbiter.
+type ArbiterConfig = policy.ArbiterConfig
+
+// ArbiterCandidate is one crossbar request offered to an Arbiter: the head
+// packet of a non-busy input that fits the output buffer.
+type ArbiterCandidate = arbiter.Candidate
+
+// PolicyHostQueueCap is the unbounded host injection-queue capacity the
+// built-in policies use (host memory, effectively infinite next to switch
+// buffers).
+const PolicyHostQueueCap = policy.HostQueueCap
+
+// DefaultPolicy returns the paper's EDF-takeover scheduling policy —
+// byte-identical to leaving Config.Policy nil.
+func DefaultPolicy() Policy { return policy.Default() }
+
+// CoflowEDFPolicy returns the coflow-level EDF policy: the default data
+// path, with every packet of an admitted collective round stamped with the
+// round's shared deadline (see internal/coflow).
+func CoflowEDFPolicy() Policy { return policy.CoflowEDF() }
+
+// ValueDropPolicy returns the value-aware best-effort dropping policy:
+// best-effort injection queues bounded at bound bytes (0 = default),
+// evicting the lowest value-density packet on overflow — or the newest
+// arrival when tail is true (the classic tail-drop baseline).
+func ValueDropPolicy(bound Size, tail bool) Policy { return policy.ValueDrop(bound, tail) }
+
+// ParsePolicy resolves a built-in policy name ("" = default); see
+// PolicyNames.
+func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }
+
+// PolicyNames lists the built-in policy names ParsePolicy accepts.
+func PolicyNames() []string { return policy.Names() }
+
+// CoflowConfig attaches the ring collective workload to a run
+// (Config.Coflows): Rounds rounds of Chunk-sized neighbour exchanges,
+// admitted through the CAC in σ order under per-round deadlines.
+type CoflowConfig = coflow.Config
+
+// CoflowResults is the collective-workload accounting of Results.Coflows.
+type CoflowResults = coflow.Results
 
 // Packet is the unit of transfer; exported for buffer-level experiments.
 type Packet = packet.Packet
