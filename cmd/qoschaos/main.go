@@ -19,10 +19,12 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/hostif"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/topology"
 	"deadlineqos/internal/units"
@@ -66,6 +68,14 @@ func run() error {
 		ber       = flag.Float64("ber", 1e-6, "bit-error rate applied to every link")
 		noRel     = flag.Bool("noreliability", false, "disable the end-to-end retransmission layer")
 		showTrace = flag.Bool("trace", false, "print the executed fault trace")
+		rogues    = flag.Int("rogues", 0, "number of RogueFlow misbehaviour windows to schedule")
+		rogueFac  = flag.Float64("rogue-factor", 4, "traffic multiplier of RogueFlow windows")
+		forges    = flag.Int("forges", 0, "number of DeadlineForge misbehaviour windows to schedule")
+		forgeScl  = flag.Float64("forge-scale", 0.5, "deadline-tightening factor of DeadlineForge windows")
+		police    = flag.Bool("police", false, "enforce per-flow token-bucket policing at NIC ingress")
+		guard     = flag.String("guard", "0", "regulated-VC occupancy guard bytes per switch output (0 = off)")
+		polName   = cli.PolicyFlag()
+		coflows   = cli.CoflowsFlag()
 	)
 	prof := cli.ProfileFlags()
 	flag.Parse()
@@ -99,13 +109,29 @@ func run() error {
 		cfg.BEDests = min(cfg.BEDests, topo.Hosts()-1)
 	}
 
+	if cfg.Policy, err = policy.Parse(*polName); err != nil {
+		return err
+	}
+	if *coflows {
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp}
+	}
+	cfg.Police = *police
+	if cfg.GuardBytes, err = cli.ParseSize(*guard); err != nil {
+		return fmt.Errorf("-guard: %w", err)
+	}
+
 	horizon := cfg.WarmUp + cfg.Measure
 	rcfg := faults.RandomConfig{
-		Flaps:    *flaps,
-		MinDown:  horizon / 200,
-		MaxDown:  horizon / 25,
-		Derates:  *derates,
-		MinScale: 0.3,
+		Flaps:       *flaps,
+		MinDown:     horizon / 200,
+		MaxDown:     horizon / 25,
+		Derates:     *derates,
+		MinScale:    0.3,
+		Hosts:       topo.Hosts(),
+		Rogues:      *rogues,
+		RogueFactor: *rogueFac,
+		Forges:      *forges,
+		ForgeScale:  *forgeScl,
 	}
 	if *swFaults > 0 {
 		rcfg.Switches = topo.Switches()
@@ -174,6 +200,9 @@ func run() error {
 		fmt.Printf("availability: %v\n", res.Availability)
 	}
 
+	if res.Police != nil {
+		fmt.Printf("policing: %v\n", res.Police)
+	}
 	if err := res.Conservation.Check(); err != nil {
 		return err
 	}

@@ -22,10 +22,12 @@ import (
 
 	"deadlineqos/internal/arch"
 	"deadlineqos/internal/cli"
+	"deadlineqos/internal/coflow"
 	"deadlineqos/internal/faults"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/network"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/policy"
 	"deadlineqos/internal/report"
 	"deadlineqos/internal/session"
 	"deadlineqos/internal/units"
@@ -61,6 +63,8 @@ func run() error {
 		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (independent of the traffic seed)")
 		probe     = flag.String("probe", "", "telemetry probe interval (e.g. 100us; empty = off)")
 		csvPath   = flag.String("csv", "", "write the session time series as CSV to this file (needs -probe)")
+		polName   = cli.PolicyFlag()
+		coflows   = cli.CoflowsFlag()
 
 		metricsAddr = cli.MetricsAddrFlag()
 		prof        = cli.ProfileFlags()
@@ -126,6 +130,12 @@ func run() error {
 	}
 	scfg.CtlQueueCap = *ctlQueue
 	cfg.Sessions = &scfg
+	if cfg.Policy, err = policy.Parse(*polName); err != nil {
+		return err
+	}
+	if *coflows {
+		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp}
+	}
 
 	horizon := cfg.WarmUp + cfg.Measure
 	if *derates > 0 {

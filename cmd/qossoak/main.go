@@ -21,6 +21,7 @@
 //	qossoak -seed 7 -epochs 4 -shards 4 -switch-faults 3
 //	qossoak -seed 7 -first-epoch 2 -epochs 1   (replay one failed epoch)
 //	qossoak -epochs 100 -metrics-addr :9100 -flightrec flightrec.jsonl -miss-burst 64
+//	qossoak -rogues 2 -police                  (rogue hosts vs the NIC policer)
 package main
 
 import (
@@ -54,6 +55,9 @@ func run() error {
 		derates      = flag.Int("derates", 2, "bandwidth derate pairs per epoch")
 		polName      = cli.PolicyFlag()
 		coflows      = flag.Bool("coflows", false, "attach the ring coflow workload (sigma-order admission) to every epoch")
+		rogues       = flag.Int("rogues", 0, "RogueFlow misbehaviour windows per epoch")
+		forges       = flag.Int("forges", 0, "DeadlineForge misbehaviour windows per epoch")
+		police       = flag.Bool("police", false, "enforce per-flow token-bucket policing at NIC ingress")
 		metricsAddr  = cli.MetricsAddrFlag()
 		flightrec    = flag.String("flightrec", "", "arm the flight recorder; dump the event window to this file on an invariant trip or deadline-miss burst")
 		missBurst    = flag.Int("miss-burst", 0, "trip the flight recorder when this many deadline misses land within -miss-window (0 = off)")
@@ -78,6 +82,9 @@ func run() error {
 		Derates:      *derates,
 		Policy:       *polName,
 		Coflows:      *coflows,
+		Rogues:       *rogues,
+		Forges:       *forges,
+		Police:       *police,
 		Log: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

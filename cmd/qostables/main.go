@@ -45,7 +45,7 @@ func run() error {
 		plots   = flag.Bool("plots", true, "print ASCII plots next to the tables")
 		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		archsF  = flag.String("archs", "", "comma-separated architecture subset (traditional,traditional4,ideal,simple,advanced)")
-		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn,availability,survivable,policies")
+		only    = flag.String("only", "", "comma-separated subset: table1,figures,penalty,band,eligible,buffer,skew,hotspot,vctable,speedup,jitter,manyvcs,collective,slack,churn,availability,survivable,policies,protection,gray")
 		polName = cli.PolicyFlag()
 		coflows = cli.CoflowsFlag()
 	)
@@ -173,6 +173,8 @@ func run() error {
 		{"E6", "availability", experiments.Availability},
 		{"E7", "survivable", experiments.Survivable},
 		{"E8", "policies", experiments.Policies},
+		{"E9", "protection", experiments.Protection},
+		{"E9b", "gray", experiments.GrayDrain},
 	} {
 		if !selected(exp.name) {
 			continue

@@ -89,6 +89,30 @@ func ParseDuration(s string) (units.Time, error) {
 	return units.Time(v * float64(unit)), nil
 }
 
+// ParseSize converts a human byte size ("32KB", "1MB", plain bytes
+// "4096") into units.Size.
+func ParseSize(s string) (units.Size, error) {
+	s = strings.TrimSpace(s)
+	unit := units.Size(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "MB"):
+		unit, num = units.Megabyte, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		unit, num = units.Kilobyte, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		num = strings.TrimSuffix(s, "B")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return units.Size(v * float64(unit)), nil
+}
+
 // ParseTopology builds a topology from a flag value:
 //
 //	paper          — the 128-endpoint MIN (16 leaves x 8 + 8 spines)

@@ -312,10 +312,14 @@ func (m *Manager) buildFlows() {
 	}
 	for h := 0; h < m.n; h++ {
 		dst := (h + 1) % m.n
+		// Admitted rounds ride a σ-pass reservation of admRate, so the
+		// ingress policer holds them to it; rejected rounds are unreserved
+		// best effort and stay unpoliced.
 		m.admFlows[h] = &hostif.Flow{
 			ID: AdmittedBase + packet.FlowID(h), Class: packet.Multimedia,
 			Src: h, Dst: dst, Route: m.routes[h],
 			Mode: hostif.ByBandwidth, BW: admRate, Value: m.cfg.Weight,
+			Policed: true,
 		}
 		if m.deps.CoflowDeadlines {
 			m.admFlows[h].Mode = hostif.Absolute

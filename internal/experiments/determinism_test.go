@@ -212,6 +212,51 @@ func detScenarios() []detScenario {
 			cfg.Policy = policy.ValueDrop(32*units.Kilobyte, false)
 			return cfg
 		}},
+		{"rogue-unpoliced", func() network.Config {
+			// Odd hosts babble at 4x their reservation with no policer in
+			// the way: the excess traffic, the innocent/rogue frame split
+			// and the fault trace must be shard-invariant.
+			cfg := detBase()
+			cfg.Load = 1.0
+			horizon := cfg.WarmUp + cfg.Measure
+			cfg.Faults = RoguePlan(cfg.Topology.Hosts(), horizon/8, horizon, 4)
+			return cfg
+		}},
+		{"rogue-policed-guarded", func() network.Config {
+			// The same rogue storm against the full protection plane: NIC
+			// policing (every demotion decision and its trace event) plus
+			// the regulated-VC occupancy guard's per-input accounting.
+			cfg := detBase()
+			cfg.Load = 1.0
+			horizon := cfg.WarmUp + cfg.Measure
+			cfg.Faults = RoguePlan(cfg.Topology.Hosts(), horizon/8, horizon, 4)
+			cfg.Police = true
+			cfg.GuardBytes = 8 * units.Kilobyte
+			return cfg
+		}},
+		{"forge-policed", func() network.Config {
+			// Deadline forgery against the policer's rate-envelope test,
+			// with session churn granting policed dynamic flows on top.
+			cfg := detBase()
+			horizon := cfg.WarmUp + cfg.Measure
+			cfg.Faults = ForgePlan(cfg.Topology.Hosts(), horizon/8, horizon, 0.25)
+			cfg.Police = true
+			cfg.Sessions = ChurnSessions(200 * units.Microsecond)
+			return cfg
+		}},
+		{"gray-drain", func() network.Config {
+			// A slow-drain link under the gray-failure detector: the
+			// detection times, proactive reroutes and session
+			// revalidations all derive from build-time replay and must be
+			// byte-identical at any shard count.
+			cfg := detBase()
+			horizon := cfg.WarmUp + cfg.Measure
+			ids := transitLinkIDs(cfg.Topology)
+			cfg.Faults = GrayPlan(ids, horizon/6, horizon, 0.3)
+			cfg.Gray = &network.GrayConfig{Persistence: horizon / 8}
+			cfg.Sessions = ChurnSessions(200 * units.Microsecond)
+			return cfg
+		}},
 		{"soak-epoch", func() network.Config {
 			// Exactly what the soak harness runs in one epoch — the full
 			// fault mix plus churn — pinned here so the seed printed by a
@@ -266,6 +311,8 @@ func runFingerprint(t *testing.T, cfg network.Config, shards int, withTracer boo
 	section("availability", res.Availability)
 	section("policy", res.Policy)
 	section("coflows", res.Coflows)
+	section("police", res.Police)
+	section("gray", res.Gray)
 	if tr != nil {
 		buf.WriteString("== trace-jsonl ==\n")
 		if err := tr.WriteJSONL(&buf); err != nil {
@@ -390,6 +437,33 @@ func TestShardDeterminismPolicyTraced(t *testing.T) {
 		got := runFingerprint(t, cfgFn(), shards, true)
 		if !bytes.Equal(ref, got) {
 			t.Errorf("policy traced run at shards=%d diverges: %s", shards, diffLine(ref, got))
+		}
+	}
+}
+
+// TestShardDeterminismProtectionTraced is the traced arm of the
+// guarantee-protection scenarios: babbling rogues against the policer and
+// the occupancy guard under the sampling tracer, so the KindPoliced
+// demotion events and the demoted packets' best-effort lifecycle records
+// must also be byte-identical across shard counts.
+func TestShardDeterminismProtectionTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run cross-check")
+	}
+	cfgFn := func() network.Config {
+		cfg := detBase()
+		horizon := cfg.WarmUp + cfg.Measure
+		cfg.Load = 1.0
+		cfg.Faults = RoguePlan(cfg.Topology.Hosts(), horizon/8, horizon, 4)
+		cfg.Police = true
+		cfg.GuardBytes = 8 * units.Kilobyte
+		return cfg
+	}
+	ref := runFingerprint(t, cfgFn(), 1, true)
+	for _, shards := range detShardCounts() {
+		got := runFingerprint(t, cfgFn(), shards, true)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("protection traced run at shards=%d diverges: %s", shards, diffLine(ref, got))
 		}
 	}
 }

@@ -88,6 +88,24 @@ const (
 	PortDown
 	// PortUp restores a cable downed by PortDown.
 	PortUp
+	// RogueFlow is a behavioural fault: over the window [At, Until) the
+	// host Event.Host babbles — it multiplies its regulated traffic
+	// generation by Scale (> 1), stops honouring the eligibility shaper
+	// on the flows it overdrives, and resets its deadline virtual clock
+	// per message, stamping every packet as freshly urgent instead of
+	// chaining from the flow's consumed rate. The NIC policer
+	// (internal/police), when enabled, demotes the excess to best
+	// effort; unpoliced, the urgent-stamped excess floods the regulated
+	// VC and starves honest flows at every EDF arbitration point. Scale
+	// exactly 1 is a baseline sentinel: the host is only marked in the
+	// innocent/rogue accounting split and behaves normally.
+	RogueFlow
+	// DeadlineForge is a behavioural fault: over [At, Until) the host
+	// Event.Host stamps deadlines tightened by factor Scale (in (0, 1)),
+	// claiming more urgency than its reserved BWavg permits. The policer
+	// detects the forged stamps against the deadline envelope the BWavg
+	// rule defines and demotes them.
+	DeadlineForge
 )
 
 // String names the event kind.
@@ -107,6 +125,10 @@ func (k Kind) String() string {
 		return "port-down"
 	case PortUp:
 		return "port-up"
+	case RogueFlow:
+		return "rogue-flow"
+	case DeadlineForge:
+		return "deadline-forge"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -123,18 +145,37 @@ func (k Kind) Topological() bool {
 	return k == SwitchDown || k == SwitchUp || k == PortDown || k == PortUp
 }
 
+// Behavioural reports whether the kind models endpoint misbehaviour (a
+// host violating its admission contract) rather than an infrastructure
+// fault. Behavioural events address a host over a window, not a link at
+// an instant, and are installed by the network on the host's shard.
+func (k Kind) Behavioural() bool { return k == RogueFlow || k == DeadlineForge }
+
 // Event is one timed fault of a plan.
 type Event struct {
 	At   units.Time
 	Link LinkID
 	Kind Kind
 	// Scale is the remaining capacity fraction for Derate events
-	// ((0, 1]; ignored by LinkDown/LinkUp).
+	// ((0, 1]; ignored by LinkDown/LinkUp). For behavioural kinds it is
+	// the misbehaviour factor: the traffic multiplier (≥ 1; exactly 1
+	// marks the host in the rogue accounting split without excess
+	// traffic) of a RogueFlow, or the deadline-tightening factor (in
+	// (0, 1)) of a DeadlineForge.
 	Scale float64
+	// Host is the misbehaving host of a behavioural event (RogueFlow,
+	// DeadlineForge); ignored by the link- and switch-scoped kinds.
+	Host int
+	// Until ends a behavioural event's window [At, Until); ignored by the
+	// instantaneous kinds.
+	Until units.Time
 }
 
 // String renders the event for traces.
 func (e Event) String() string {
+	if e.Kind.Behavioural() {
+		return fmt.Sprintf("%v host%d %s %.2f until %v", e.At, e.Host, e.Kind, e.Scale, e.Until)
+	}
 	if e.Kind == Derate {
 		return fmt.Sprintf("%v %s %s %.2f", e.At, e.Link, e.Kind, e.Scale)
 	}
@@ -193,9 +234,24 @@ func (p *Plan) HasTopological() bool {
 	return false
 }
 
+// HasBehavioural reports whether the plan contains any endpoint-
+// misbehaviour event (RogueFlow, DeadlineForge) — the trigger for the
+// network's per-host behaviour windows.
+func (p *Plan) HasBehavioural() bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Events {
+		if e.Kind.Behavioural() {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate rejects malformed plans against a topology described by its
-// switch count and per-switch radix.
-func (p *Plan) Validate(switches int, radix func(sw int) int) error {
+// switch count, host count and per-switch radix.
+func (p *Plan) Validate(switches, hosts int, radix func(sw int) int) error {
 	if p == nil {
 		return nil
 	}
@@ -228,11 +284,31 @@ func (p *Plan) Validate(switches int, radix func(sw int) int) error {
 			if e.Link.Port != -1 {
 				return fmt.Errorf("faults: switch event %q must use Port -1 (whole switch), got port %d", e, e.Link.Port)
 			}
+		case RogueFlow, DeadlineForge:
+			if e.Host < 0 || e.Host >= hosts {
+				return fmt.Errorf("faults: behavioural event %q references host outside [0,%d)", e, hosts)
+			}
+			if e.Until <= e.At {
+				return fmt.Errorf("faults: behavioural event %q has a zero-width window (Until %v <= At %v)", e, e.Until, e.At)
+			}
+			// Scale exactly 1 is a sentinel: the host is marked in the
+			// innocent/rogue accounting split without emitting any excess
+			// traffic, giving experiments a baseline measured over the
+			// identical flow population.
+			if e.Kind == RogueFlow && e.Scale < 1 {
+				return fmt.Errorf("faults: rogue-flow scale %v of %q must be at least 1", e.Scale, e)
+			}
+			if e.Kind == DeadlineForge && (e.Scale <= 0 || e.Scale >= 1) {
+				return fmt.Errorf("faults: deadline-forge scale %v of %q out of (0,1)", e.Scale, e)
+			}
 		default:
 			return fmt.Errorf("faults: unknown event kind %d", e.Kind)
 		}
 	}
 	if err := p.checkSwitchOverlaps(); err != nil {
+		return err
+	}
+	if err := p.checkBehaviouralOverlaps(); err != nil {
 		return err
 	}
 	if p.DefaultBER < 0 || p.DefaultBER >= 1 {
@@ -281,6 +357,30 @@ func (p *Plan) checkSwitchOverlaps() error {
 			}
 			portDown[e.Link] = false
 		}
+	}
+	return nil
+}
+
+// checkBehaviouralOverlaps replays the normalized behavioural events and
+// rejects windows that overlap per (host, kind): two concurrent RogueFlow
+// windows on one host would make the effective traffic multiplier — and
+// with it every policing decision — ambiguous, so it is a plan error.
+func (p *Plan) checkBehaviouralOverlaps() error {
+	type key struct {
+		host int
+		kind Kind
+	}
+	busyUntil := map[key]units.Time{}
+	for _, e := range p.Normalized() {
+		if !e.Kind.Behavioural() {
+			continue
+		}
+		k := key{e.Host, e.Kind}
+		if e.At < busyUntil[k] {
+			return fmt.Errorf("faults: behavioural event %q overlaps an earlier %v window on host %d (busy until %v)",
+				e, e.Kind, e.Host, busyUntil[k])
+		}
+		busyUntil[k] = e.Until
 	}
 	return nil
 }
@@ -373,6 +473,12 @@ func (inj *Injector) InstallEvents(evs []Event, indexes []int, eng *sim.Engine, 
 			// network.installFaults), never through the Injector.
 			panic(fmt.Sprintf("faults: topological event %q passed to Injector", ev))
 		}
+		if ev.Kind.Behavioural() {
+			// Behavioural events toggle per-host misbehaviour windows on the
+			// host's NIC; the network installs those itself on the host's
+			// shard, never through the Injector.
+			panic(fmt.Sprintf("faults: behavioural event %q passed to Injector", ev))
+		}
 		eng.At(ev.At, func() {
 			l := resolve(ev.Link)
 			applied := false
@@ -432,6 +538,26 @@ type RandomConfig struct {
 	// SwitchMTTR is the mean outage duration; each outage lasts uniformly
 	// in [MTTR/2, 3*MTTR/2). Zero falls back to the flap bounds.
 	SwitchMTTR units.Time
+
+	// Hosts is the topology's host count; required when Rogues or Forges
+	// is nonzero so the draw can address hosts.
+	Hosts int
+	// Rogues is the number of RogueFlow windows to schedule: each picks a
+	// host and a window (drawn like flap outages, stretched 4x so the
+	// overload persists long enough to matter) over which the host
+	// multiplies its regulated traffic by RogueFactor. Windows never
+	// overlap per host (Validate rejects that), so the generator
+	// serialises them per host.
+	Rogues int
+	// RogueFactor is the traffic multiplier of generated RogueFlow
+	// windows (default 4).
+	RogueFactor float64
+	// Forges is the number of DeadlineForge windows to schedule, drawn
+	// like Rogues.
+	Forges int
+	// ForgeScale is the deadline-tightening factor of generated
+	// DeadlineForge windows (default 0.5).
+	ForgeScale float64
 }
 
 // RandomPlan draws a deterministic random fault plan over the given links
@@ -507,6 +633,33 @@ func RandomPlan(seed uint64, links []LinkID, horizon units.Time, cfg RandomConfi
 			nextFree[sw] = at + dur + 1
 		}
 	}
+	if (cfg.Rogues > 0 || cfg.Forges > 0) && cfg.Hosts > 0 {
+		factor := cfg.RogueFactor
+		if factor <= 1 {
+			factor = 4
+		}
+		forge := cfg.ForgeScale
+		if forge <= 0 || forge >= 1 {
+			forge = 0.5
+		}
+		// Serialise windows per (host, kind) so they never overlap (a plan
+		// error): each new window starts after the host's previous one ends.
+		draw := func(count int, kind Kind, scale float64, nextFree []units.Time) {
+			for i := 0; i < count; i++ {
+				h := rng.Intn(cfg.Hosts)
+				at := nextFree[h] + units.Time(rng.Int63n(int64(horizon)))
+				dur := 4 * units.Time(rng.UniformInt(int64(minDown), int64(maxDown)))
+				if at >= horizon {
+					continue // drawn past the run; rng state already advanced
+				}
+				plan.Events = append(plan.Events,
+					Event{At: at, Kind: kind, Scale: scale, Host: h, Until: at + dur})
+				nextFree[h] = at + dur + 1
+			}
+		}
+		draw(cfg.Rogues, RogueFlow, factor, make([]units.Time, cfg.Hosts))
+		draw(cfg.Forges, DeadlineForge, forge, make([]units.Time, cfg.Hosts))
+	}
 	if cfg.BERLinks > 0 && cfg.MaxBER > 0 {
 		plan.BER = make(map[LinkID]float64, cfg.BERLinks)
 		for i := 0; i < cfg.BERLinks; i++ {
@@ -552,6 +705,12 @@ type Conservation struct {
 	// EvictedAtNIC counts copies a bounded injection queue discarded
 	// before they entered the network (value-drop scheduling policies).
 	EvictedAtNIC uint64
+	// PolicedDemotions counts packets the NIC policer demoted from the
+	// regulated to the best-effort VC for violating their flow's
+	// token-bucket envelope (internal/police). Demoted packets still
+	// inject and deliver normally, so this is an informational overlay on
+	// the balance, not a terminal state.
+	PolicedDemotions uint64
 	// DoubleDeliveries counts deliveries of an already-delivered unique
 	// packet observed by the oracle (Config.CheckInvariants). Must be 0.
 	DoubleDeliveries uint64
@@ -573,6 +732,7 @@ func (c *Conservation) Add(other Conservation) {
 	c.InNetworkAtStop += other.InNetworkAtStop
 	c.StagedAtStop += other.StagedAtStop
 	c.EvictedAtNIC += other.EvictedAtNIC
+	c.PolicedDemotions += other.PolicedDemotions
 	c.DoubleDeliveries += other.DoubleDeliveries
 }
 

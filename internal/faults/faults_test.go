@@ -45,7 +45,7 @@ func TestPlanValidate(t *testing.T) {
 		{"BER link out of range", Plan{BER: map[LinkID]float64{{9, 0}: 1e-9}}, "not in topology"},
 	}
 	for _, c := range cases {
-		err := c.plan.Validate(4, radix4)
+		err := c.plan.Validate(4, 16, radix4)
 		if c.want == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)
@@ -57,7 +57,7 @@ func TestPlanValidate(t *testing.T) {
 		}
 	}
 	var nilPlan *Plan
-	if err := nilPlan.Validate(4, radix4); err != nil {
+	if err := nilPlan.Validate(4, 16, radix4); err != nil {
 		t.Errorf("nil plan: %v", err)
 	}
 }
@@ -77,7 +77,7 @@ func TestRandomPlanDeterministic(t *testing.T) {
 	if fmt.Sprint(a.Events) == fmt.Sprint(c.Events) {
 		t.Fatal("different seeds produced identical plans")
 	}
-	if err := a.Validate(4, radix4); err != nil {
+	if err := a.Validate(4, 16, radix4); err != nil {
 		t.Fatalf("random plan invalid: %v", err)
 	}
 	if len(a.Events) != 2*(cfg.Flaps+cfg.Derates) {

@@ -76,7 +76,7 @@ func TestValidateSwitchEvents(t *testing.T) {
 		}}, ""},
 	}
 	for _, c := range cases {
-		err := c.plan.Validate(4, radix4)
+		err := c.plan.Validate(4, 16, radix4)
 		if c.want == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)
@@ -112,7 +112,7 @@ func TestRandomPlanSwitchFaults(t *testing.T) {
 			t.Fatalf("same-seed plans differ at %d: %v vs %v", i, a.Events[i], b.Events[i])
 		}
 	}
-	if err := a.Validate(4, radix4); err != nil {
+	if err := a.Validate(4, 16, radix4); err != nil {
 		t.Fatalf("random switch plan invalid: %v", err)
 	}
 	if !a.HasTopological() {
@@ -132,5 +132,132 @@ func TestRandomPlanSwitchFaults(t *testing.T) {
 	}
 	if downs == 0 {
 		t.Fatal("no SwitchDown events survived the horizon clamp")
+	}
+}
+
+// TestValidateBehaviouralEvents pins the plan validation for the
+// endpoint-misbehaviour kinds: host range, window shape, scale bounds,
+// and the no-overlapping-windows replay per (host, kind).
+func TestValidateBehaviouralEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" = valid
+	}{
+		{"good rogue window", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 4, Host: 3, Until: 50},
+		}}, ""},
+		{"good forge window", Plan{Events: []Event{
+			{At: 10, Kind: DeadlineForge, Scale: 0.5, Host: 0, Until: 50},
+		}}, ""},
+		{"sequential windows same host", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 2, Host: 1, Until: 20},
+			{At: 21, Kind: RogueFlow, Scale: 3, Host: 1, Until: 40},
+		}}, ""},
+		{"concurrent windows different hosts", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 2, Host: 1, Until: 40},
+			{At: 15, Kind: RogueFlow, Scale: 2, Host: 2, Until: 35},
+		}}, ""},
+		{"concurrent rogue and forge same host", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 2, Host: 1, Until: 40},
+			{At: 15, Kind: DeadlineForge, Scale: 0.5, Host: 1, Until: 35},
+		}}, ""},
+		{"unknown host", Plan{Events: []Event{
+			{At: 0, Kind: RogueFlow, Scale: 2, Host: 16, Until: 10},
+		}}, "outside [0,16)"},
+		{"negative host", Plan{Events: []Event{
+			{At: 0, Kind: DeadlineForge, Scale: 0.5, Host: -1, Until: 10},
+		}}, "outside [0,16)"},
+		{"zero-width window", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 2, Host: 0, Until: 10},
+		}}, "zero-width window"},
+		{"inverted window", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 2, Host: 0, Until: 5},
+		}}, "zero-width window"},
+		{"rogue scale below one", Plan{Events: []Event{
+			{At: 0, Kind: RogueFlow, Scale: 0.5, Host: 0, Until: 10},
+		}}, "must be at least 1"},
+		{"forge scale at one", Plan{Events: []Event{
+			{At: 0, Kind: DeadlineForge, Scale: 1, Host: 0, Until: 10},
+		}}, "out of (0,1)"},
+		{"forge scale zero", Plan{Events: []Event{
+			{At: 0, Kind: DeadlineForge, Scale: 0, Host: 0, Until: 10},
+		}}, "out of (0,1)"},
+		{"overlapping rogue windows", Plan{Events: []Event{
+			{At: 10, Kind: RogueFlow, Scale: 2, Host: 1, Until: 30},
+			{At: 20, Kind: RogueFlow, Scale: 2, Host: 1, Until: 40},
+		}}, "overlaps"},
+		{"overlap found after normalization", Plan{Events: []Event{
+			// Out of plan order: normalized by time the windows are
+			// [5, 25) then [8, ...) — an overlap.
+			{At: 8, Kind: DeadlineForge, Scale: 0.5, Host: 2, Until: 30},
+			{At: 5, Kind: DeadlineForge, Scale: 0.5, Host: 2, Until: 25},
+		}}, "overlaps"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4, 16, radix4)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRandomPlanBehavioural pins the rogue/forge generator: plans are
+// deterministic, validate (windows never overlap per host), and respect
+// the horizon.
+func TestRandomPlanBehavioural(t *testing.T) {
+	links := []LinkID{{0, 0}, {1, 1}}
+	horizon := 10 * units.Millisecond
+	cfg := RandomConfig{Hosts: 16, Rogues: 5, Forges: 3}
+	a := RandomPlan(11, links, horizon, cfg)
+	b := RandomPlan(11, links, horizon, cfg)
+	if len(a.Events) == 0 {
+		t.Fatal("no behavioural events generated")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same-seed plans differ in size: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same-seed plans differ at %d: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if err := a.Validate(4, 16, radix4); err != nil {
+		t.Fatalf("random behavioural plan invalid: %v", err)
+	}
+	if !a.HasBehavioural() {
+		t.Fatal("behavioural plan not reported behavioural")
+	}
+	rogues, forges := 0, 0
+	for _, e := range a.Events {
+		switch e.Kind {
+		case RogueFlow:
+			rogues++
+			if e.Scale <= 1 {
+				t.Fatalf("rogue scale %v not above 1", e.Scale)
+			}
+		case DeadlineForge:
+			forges++
+			if e.Scale <= 0 || e.Scale >= 1 {
+				t.Fatalf("forge scale %v out of (0,1)", e.Scale)
+			}
+		default:
+			t.Fatalf("unexpected kind in behavioural-only plan: %v", e)
+		}
+		if e.At >= horizon {
+			t.Fatalf("window %v starts past the horizon", e)
+		}
+		if e.Until <= e.At {
+			t.Fatalf("window %v has no width", e)
+		}
+	}
+	if rogues == 0 || forges == 0 {
+		t.Fatalf("rogues=%d forges=%d; both kinds must survive the horizon clamp", rogues, forges)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"deadlineqos/internal/link"
 	"deadlineqos/internal/metrics"
 	"deadlineqos/internal/packet"
+	"deadlineqos/internal/police"
 	"deadlineqos/internal/policy"
 	"deadlineqos/internal/pqueue"
 	"deadlineqos/internal/sim"
@@ -87,9 +88,19 @@ type Flow struct {
 	Value float64
 	// UseEligible delays injection until deadline − the host's lead time.
 	UseEligible bool
+	// Policed marks an admitted flow whose reservation the
+	// guarantee-protection plane enforces at NIC ingress (when the host's
+	// Config.Police is on): the sustained rate of the dual token bucket is
+	// BW. The deadline-forgery test applies only in ByBandwidth mode,
+	// where a conforming stamp equals the legal envelope exactly; the
+	// other modes stamp legally tighter deadlines by design and get the
+	// rate test alone. The flag also scopes behavioural fault windows
+	// (SetRogue / SetForge): only admitted traffic misbehaves.
+	Policed bool
 
 	lastDeadline units.Time
 	seq          uint64
+	pol          *police.Policer
 }
 
 // IDSource hands out simulation-unique packet and frame identifiers. The
@@ -127,6 +138,10 @@ type Hooks struct {
 	Retransmitted func(p *packet.Packet, now units.Time)
 	// Demoted observes packets demoted to the best-effort VC.
 	Demoted func(p *packet.Packet, now units.Time)
+	// Policed observes packets the ingress policer demoted to best effort
+	// for violating their flow's reservation; forged marks
+	// deadline-forgery verdicts (vs plain rate excess).
+	Policed func(p *packet.Packet, now units.Time, forged bool)
 	// Evicted observes packets a bounded injection queue discarded before
 	// injection (value-drop policies). Such packets were Generated but
 	// never enter the network.
@@ -167,6 +182,12 @@ type Config struct {
 	// Policy selects the scheduling policy (injection-queue discipline and
 	// ready-VC selection). Nil means policy.Default, the seed behaviour.
 	Policy policy.Policy
+	// Police enables ingress policing of flows marked Policed: packets
+	// violating the flow's token-bucket envelope are demoted to the
+	// best-effort VC before staging. PoliceBurst is the burst tolerance in
+	// bytes (police.DefaultBurst when zero).
+	Police      bool
+	PoliceBurst units.Size
 }
 
 // Host is one end host: traffic sources submit application messages to it,
@@ -201,6 +222,14 @@ type Host struct {
 
 	// onCtl receives delivered in-band control payloads (SetCtlHandler).
 	onCtl func(p *packet.Packet)
+
+	// Behavioural fault windows (faults.RogueFlow / faults.DeadlineForge):
+	// while rogue > 1 every message on a policed flow is multiplied by
+	// rogue (fractional part carried in rogueAcc); while 0 < forge < 1 the
+	// ByBandwidth deadline increment of policed flows is scaled by forge.
+	rogue    float64
+	rogueAcc float64
+	forge    float64
 }
 
 // New returns a host NIC. Connect it with ConnectOut before submitting.
@@ -267,16 +296,31 @@ func (h *Host) SubmitMessage(flowID packet.FlowID, payload units.Size) {
 
 	maxPayload := h.cfg.MTU - packet.HeaderSize
 	parts := int((payload + maxPayload - 1) / maxPayload)
-	frameID := h.cfg.IDs.NextFrame()
 
-	remaining := payload
-	for i := 0; i < parts; i++ {
-		chunk := maxPayload
-		if remaining < chunk {
-			chunk = remaining
+	// A rogue window (faults.RogueFlow) multiplies the host's admitted
+	// traffic: each submitted message is emitted rogue times in total,
+	// the fractional part carried across messages so the long-run excess
+	// factor is exact. Only policed (admitted) flows misbehave — the
+	// point is to overdrive a reservation, not background traffic.
+	copies := 1
+	if h.rogue > 1 && f.Policed {
+		h.rogueAcc += h.rogue - 1
+		for h.rogueAcc >= 1 {
+			h.rogueAcc--
+			copies++
 		}
-		remaining -= chunk
-		h.emit(f, chunk, frameID, parts, nil, now)
+	}
+	for c := 0; c < copies; c++ {
+		frameID := h.cfg.IDs.NextFrame()
+		remaining := payload
+		for i := 0; i < parts; i++ {
+			chunk := maxPayload
+			if remaining < chunk {
+				chunk = remaining
+			}
+			remaining -= chunk
+			h.emit(f, chunk, frameID, parts, nil, now)
+		}
 	}
 	h.tryInject()
 }
@@ -336,9 +380,29 @@ func (h *Host) emit(f *Flow, chunk units.Size, frameID uint64, parts int, ctl an
 	if now > base {
 		base = now
 	}
+	// A rogue window also resets the flow's virtual clock: the chaining
+	// base max(lastDeadline, now) is what encodes "this flow already
+	// consumed its rate", and a babbling host discards it, stamping
+	// every message as freshly urgent. The stamps stay individually
+	// well-formed, so only the policer's own envelope replay — whose TAT
+	// never resets — can tell the excess from honest traffic.
+	if h.rogue > 1 && f.Policed {
+		base = now
+	}
 	switch f.Mode {
 	case ByBandwidth:
-		p.Deadline = base + f.BW.TxTime(p.Size)
+		inc := f.BW.TxTime(p.Size)
+		// A forge window (faults.DeadlineForge) tightens the ByBandwidth
+		// increment below what the reservation permits — claiming urgency
+		// the flow did not pay for. The rule is only defined for
+		// ByBandwidth stamping, so the other modes are unaffected.
+		if h.forge > 0 && h.forge < 1 && f.Policed {
+			inc = units.Time(float64(inc) * h.forge)
+			if inc < 1 {
+				inc = 1
+			}
+		}
+		p.Deadline = base + inc
 	case FrameLatency:
 		p.Deadline = base + f.Target/units.Time(parts)
 	case Absolute:
@@ -348,13 +412,39 @@ func (h *Host) emit(f *Flow, chunk units.Size, frameID uint64, parts int, ctl an
 	}
 	f.lastDeadline = p.Deadline
 
+	// Ingress policing (guarantee-protection plane): replay the flow's
+	// legal envelope and demote violating packets to best effort before
+	// staging. Only ByBandwidth stamps are checked for forgery — a
+	// conforming stamp there equals the envelope exactly — while
+	// FrameLatency and Absolute flows stamp legally tighter deadlines by
+	// design and face the rate test alone.
+	verdict := police.Conform
+	if h.cfg.Police && f.Policed {
+		if f.pol == nil {
+			f.pol = police.New(f.BW, h.cfg.PoliceBurst)
+		}
+		dl := p.Deadline
+		if f.Mode != ByBandwidth {
+			dl = units.Infinity
+		}
+		if verdict = f.pol.Check(now, p.Size, dl); verdict != police.Conform {
+			p.VC = packet.VCBestEffort
+		}
+	}
+
 	if f.Value != 0 {
 		// Exact milli-unit density × wire bytes; both factors are fixed at
 		// flow setup, so the product is shard-independent.
 		p.Value = int64(f.Value*1000+0.5) * int64(p.Size)
 	}
 
-	if f.UseEligible && h.cfg.EligibleLead > 0 {
+	// A rogue window models a babbling NIC: besides multiplying its
+	// traffic the host stops honouring the eligibility shaper on the
+	// flows it overdrives — the stamps still chain legally, but packets
+	// blast into the fabric as fast as credits allow. Without this the
+	// shaper itself would meter the excess and a rogue could only ever
+	// hurt its own flows.
+	if f.UseEligible && h.cfg.EligibleLead > 0 && !(h.rogue > 1 && f.Policed) {
 		p.Eligible = p.Deadline - h.cfg.EligibleLead
 	}
 
@@ -362,10 +452,16 @@ func (h *Host) emit(f *Flow, chunk units.Size, frameID uint64, parts int, ctl an
 		p.Sampled = tr.SampleID(p.ID)
 		if p.Sampled {
 			h.traceEvt(trace.KindGenerated, p)
+			if verdict != police.Conform {
+				h.traceEvt(trace.KindPoliced, p)
+			}
 		}
 	}
 	if h.cfg.Hooks.Generated != nil {
 		h.cfg.Hooks.Generated(p)
+	}
+	if verdict != police.Conform && h.cfg.Hooks.Policed != nil {
+		h.cfg.Hooks.Policed(p, now, verdict == police.Forged)
 	}
 	h.cfg.Metrics.Generated.Inc()
 	h.stage(p, now)
@@ -572,6 +668,24 @@ func (h *Host) sendReport(p *packet.Packet, seq uint64, ok bool) {
 		h.cfg.SendAck(p.Src, h.cfg.ID, p.Flow, seq, ok)
 	}
 }
+
+// SetRogue enters (factor > 1) or leaves (factor <= 1) a rogue-flow
+// window: while set, every message submitted on a policed flow is emitted
+// factor times in total, overdriving the host's reservations by that
+// factor. Wired by the network from faults.RogueFlow events; runs on this
+// host's shard.
+func (h *Host) SetRogue(factor float64) {
+	h.rogue = factor
+	if factor <= 1 {
+		h.rogueAcc = 0
+	}
+}
+
+// SetForge enters (0 < scale < 1) or leaves (scale <= 0 or >= 1) a
+// deadline-forge window: while set, ByBandwidth deadline increments of
+// policed flows are scaled by scale, stamping tighter deadlines than the
+// BWavg rule permits. Wired from faults.DeadlineForge events.
+func (h *Host) SetForge(scale float64) { h.forge = scale }
 
 // SetUpstream registers the credit-return path of the link feeding the
 // host's receive side (the link itself, or a parsim cross-shard portal).

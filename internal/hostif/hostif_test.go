@@ -23,7 +23,9 @@ func (s *testSink) Receive(p *packet.Packet) {
 	p.UnpackTTD(s.eng.Now())
 	s.got = append(s.got, p)
 	s.when = append(s.when, s.eng.Now())
-	s.l.ReturnCredits(packet.VCOf(p.Class), p.Size)
+	// Credit the VC the packet actually travelled on: the ingress policer
+	// may have demoted it below its class's usual VC.
+	s.l.ReturnCredits(p.VC, p.Size)
 }
 
 type hostRig struct {

@@ -1,0 +1,159 @@
+package hostif
+
+import (
+	"testing"
+
+	"deadlineqos/internal/arch"
+	"deadlineqos/internal/packet"
+	"deadlineqos/internal/units"
+)
+
+// The guarantee-protection plane at the NIC: behavioural fault windows
+// (rogue traffic multiplication, deadline forgery) and the ingress
+// policer that demotes the resulting excess to best effort.
+
+func policedFlow(id packet.FlowID, bw units.Bandwidth) *Flow {
+	f := bwFlow(id, packet.Multimedia, bw)
+	f.Policed = true
+	return f
+}
+
+func TestRogueWindowMultipliesPolicedTraffic(t *testing.T) {
+	r := newHostRig(t, arch.Simple2VC, 0)
+	r.host.AddFlow(policedFlow(1, 1))
+	unpoliced := bwFlow(2, packet.Multimedia, 1)
+	r.host.AddFlow(unpoliced)
+
+	r.host.SetRogue(2.5)
+	r.eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			r.host.SubmitMessage(1, 100)
+		}
+		r.host.SubmitMessage(2, 100)
+	})
+	r.eng.Run(units.Millisecond)
+
+	var policed, plain int
+	for _, p := range r.gen {
+		switch p.Flow {
+		case 1:
+			policed++
+		case 2:
+			plain++
+		}
+	}
+	// 4 messages at factor 2.5: the fractional accumulator yields exactly
+	// 10 copies (2+3+2+3), one packet each.
+	if policed != 10 {
+		t.Fatalf("policed flow emitted %d packets under 2.5x rogue window, want 10", policed)
+	}
+	if plain != 1 {
+		t.Fatalf("unpoliced flow emitted %d packets, want 1 (rogue windows only hit admitted flows)", plain)
+	}
+
+	// Closing the window restores one-for-one emission.
+	r.gen = nil
+	r.host.SetRogue(0)
+	r.eng.At(r.eng.Now()+1, func() { r.host.SubmitMessage(1, 100) })
+	r.eng.Run(2 * units.Millisecond)
+	if len(r.gen) != 1 {
+		t.Fatalf("after the window closed: %d packets, want 1", len(r.gen))
+	}
+}
+
+func TestForgeWindowTightensByBandwidthDeadlines(t *testing.T) {
+	// Two identical policed flows, one submitting inside a forge window:
+	// its stamped deadline must be exactly the scaled increment, and a
+	// FrameLatency flow must be untouched (the forgery rule is only
+	// defined for ByBandwidth stamping).
+	r := newHostRig(t, arch.Simple2VC, 0)
+	r.host.AddFlow(policedFlow(1, 0.5)) // 1008 wire bytes -> +2016 cycles
+	frame := &Flow{ID: 2, Class: packet.Multimedia, Src: 0, Dst: 1, Route: []int{0},
+		Mode: FrameLatency, Target: 4000, Policed: true}
+	r.host.AddFlow(frame)
+
+	r.host.SetForge(0.5)
+	r.eng.At(0, func() {
+		r.host.SubmitMessage(1, 1000)
+		r.host.SubmitMessage(2, 1000)
+	})
+	r.eng.Run(units.Millisecond)
+
+	var byBW, byFrame *packet.Packet
+	for _, p := range r.gen {
+		switch p.Flow {
+		case 1:
+			byBW = p
+		case 2:
+			byFrame = p
+		}
+	}
+	if byBW == nil || byFrame == nil {
+		t.Fatalf("missing generated packets: %v", r.gen)
+	}
+	if byBW.Deadline != 1008 {
+		t.Fatalf("forged ByBandwidth deadline = %v, want 1008 (half of 2016)", byBW.Deadline)
+	}
+	if byFrame.Deadline != 4000 {
+		t.Fatalf("FrameLatency deadline = %v, want 4000 (forge must not apply)", byFrame.Deadline)
+	}
+}
+
+func TestPolicerDemotesExcessAndCatchesForgery(t *testing.T) {
+	// A policed flow over-submitting against a tight burst: conformant
+	// packets keep their regulated VC, the excess is demoted to best
+	// effort, and the Policed hook sees every demotion. With a forge
+	// window open the demotions are flagged as forgery — the stamped
+	// deadline is tighter than the reservation's envelope.
+	var demoted, forged int
+	r := newHostRig(t, arch.Simple2VC, 0)
+	r.host.cfg.Police = true
+	r.host.cfg.PoliceBurst = 2 * units.Kilobyte
+	r.host.cfg.Hooks.Policed = func(p *packet.Packet, now units.Time, f bool) {
+		demoted++
+		if f {
+			forged++
+		}
+	}
+	r.host.AddFlow(policedFlow(1, 0.01)) // far below the submission rate
+
+	r.eng.At(0, func() {
+		for i := 0; i < 8; i++ {
+			r.host.SubmitMessage(1, 1000)
+		}
+	})
+	r.eng.Run(units.Millisecond)
+
+	var reg, be int
+	for _, p := range r.gen {
+		if p.VC == packet.VCBestEffort {
+			be++
+		} else {
+			reg++
+		}
+	}
+	if reg == 0 || be == 0 {
+		t.Fatalf("want a conformant prefix and a demoted tail, got regulated=%d besteffort=%d", reg, be)
+	}
+	if be != demoted {
+		t.Fatalf("Policed hook fired %d times for %d demoted packets", demoted, be)
+	}
+	if forged != 0 {
+		t.Fatalf("%d rate-excess demotions flagged as forgery", forged)
+	}
+
+	// Same overload inside a forge window: the tightened stamps fail the
+	// envelope comparison and every demotion is a forgery verdict.
+	demoted, forged = 0, 0
+	r.gen = nil
+	r.host.SetForge(0.25)
+	r.eng.At(r.eng.Now()+1, func() {
+		for i := 0; i < 8; i++ {
+			r.host.SubmitMessage(1, 1000)
+		}
+	})
+	r.eng.Run(2 * units.Millisecond)
+	if demoted == 0 || forged != demoted {
+		t.Fatalf("forge window: %d demoted, %d forged; want all demotions flagged", demoted, forged)
+	}
+}

@@ -107,6 +107,38 @@ type Config struct {
 	// through the CAC.
 	RepairDelay units.Time
 
+	// Police arms the guarantee-protection plane's ingress policer on
+	// every host NIC: each admitted flow is replayed through a dual token
+	// bucket (sustained rate = its reserved BWavg, burst tolerance
+	// PoliceBurst) and non-conformant packets — rate excess or forged
+	// deadlines — are demoted to the best-effort VC before injection.
+	// Behavioural fault windows (RogueFlow, DeadlineForge) misbehave
+	// identically with or without Police; the flag only toggles
+	// enforcement, so policed/unpoliced runs offer the same traffic.
+	Police bool
+	// PoliceBurst is the per-flow burst tolerance in bytes. Zero defaults
+	// to 256 KB: enough headroom for the default MPEG GoP's largest
+	// I-frames (120 KB plus worst-case envelope residue), so policing an
+	// innocent run demotes nothing. Experiments with denser, smaller-frame
+	// workloads set a tighter burst for faster rogue detection.
+	PoliceBurst units.Size
+
+	// GuardBytes arms the regulated-VC occupancy guard in every switch
+	// output arbiter: a babbling input whose served regulated bytes lead
+	// the least-served contending input by more than GuardBytes is
+	// withheld from regulated arbitration until the others catch up, so
+	// one rogue NIC cannot monopolise an output's regulated VC. Zero
+	// disables the guard (the seed behaviour).
+	GuardBytes units.Size
+
+	// Gray, when non-nil, arms the gray-failure detector: persistent
+	// fault-plan derates below Gray.Threshold are flagged as slow-drain
+	// links after Gray.Persistence, and the plane reacts before the SLO
+	// trips — static regulated flows re-route around the gray link
+	// (RepairPath) and session reservations crossing it revalidate
+	// through the CAC. Zero fields take their defaults.
+	Gray *GrayConfig
+
 	// Policy selects the scheduling policy plugged into every host NIC
 	// and switch arbiter (see internal/policy). Nil selects
 	// policy.Default, the paper's EDF-with-take-over discipline — a run
@@ -350,7 +382,21 @@ func (cfg *Config) validate() error {
 		seen[key] = struct{}{}
 	}
 	if cfg.Faults != nil {
-		if err := cfg.Faults.Validate(cfg.Topology.Switches(), cfg.Topology.Radix); err != nil {
+		if err := cfg.Faults.Validate(cfg.Topology.Switches(), cfg.Topology.Hosts(), cfg.Topology.Radix); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
+	}
+	if cfg.PoliceBurst < 0 {
+		return fmt.Errorf("network: negative police burst %v", cfg.PoliceBurst)
+	}
+	if cfg.Police && cfg.PoliceBurst == 0 {
+		cfg.PoliceBurst = 256 * units.Kilobyte
+	}
+	if cfg.GuardBytes < 0 {
+		return fmt.Errorf("network: negative guard bytes %v", cfg.GuardBytes)
+	}
+	if cfg.Gray != nil {
+		if err := cfg.Gray.validate(); err != nil {
 			return fmt.Errorf("network: %w", err)
 		}
 	}

@@ -1,0 +1,97 @@
+package network
+
+import (
+	"testing"
+
+	"deadlineqos/internal/faults"
+	"deadlineqos/internal/session"
+	"deadlineqos/internal/units"
+)
+
+// grayConfig builds the gray-failure acceptance scenario: leaf 0's uplink
+// to spine 5 slow-drains to 20% for most of the run (a Derate that never
+// clears or hardens into a PortDown), on a fabric carrying static traffic
+// and dynamic sessions. SmallConfig's folded Clos leaves three alternate
+// spines, so the proactive reroute always has a detour.
+func grayConfig(detect bool) Config {
+	cfg := chaosBase()
+	cfg.Sessions = &session.Config{
+		InterArrival: 300 * units.Microsecond,
+		HoldMean:     1500 * units.Microsecond,
+	}
+	link := faults.LinkID{Switch: 0, Port: 5}
+	cfg.Faults = &faults.Plan{
+		Seed: 11,
+		Events: []faults.Event{
+			{At: 2 * units.Millisecond, Link: link, Kind: faults.Derate, Scale: 0.2},
+			{At: 8 * units.Millisecond, Link: link, Kind: faults.Derate, Scale: 1.0},
+		},
+	}
+	if detect {
+		cfg.Gray = &GrayConfig{}
+	}
+	return cfg
+}
+
+// TestGrayDetectorReroutesSlowDrain checks the detector end to end: the
+// persistent derate must be declared gray exactly once, every static flow
+// crossing the drain must move to a detour, and each CAC endpoint must run
+// a revalidation sweep — all while conservation stays balanced. The same
+// scenario without the detector must not produce a Gray report.
+func TestGrayDetectorReroutesSlowDrain(t *testing.T) {
+	res, err := Run(grayConfig(true))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Conservation.Check(); err != nil {
+		t.Fatalf("conservation: %v\n%v", err, res.Conservation)
+	}
+	g := res.Gray
+	if g == nil {
+		t.Fatal("armed detector produced no Gray report")
+	}
+	if g.Detections != 1 {
+		t.Fatalf("detections = %d, want 1 (one episode outlasting persistence): %v", g.Detections, g)
+	}
+	if g.FlowsRerouted == 0 {
+		t.Fatalf("no static flow proactively rerouted off the drain: %v", g)
+	}
+	if g.Revalidations == 0 {
+		t.Fatalf("no CAC revalidation sweep triggered: %v", g)
+	}
+
+	off, err := Run(grayConfig(false))
+	if err != nil {
+		t.Fatalf("Run (detector off): %v", err)
+	}
+	if off.Gray != nil {
+		t.Fatalf("unarmed run produced a Gray report: %v", off.Gray)
+	}
+}
+
+// TestGrayTransientBelowPersistence checks the dip filter: a derate that
+// heals before the persistence bound must not be declared gray, so the
+// detector takes no action at all.
+func TestGrayTransientBelowPersistence(t *testing.T) {
+	cfg := grayConfig(true)
+	link := faults.LinkID{Switch: 0, Port: 5}
+	cfg.Gray = &GrayConfig{Persistence: 2 * units.Millisecond}
+	cfg.Faults = &faults.Plan{
+		Seed: 11,
+		Events: []faults.Event{
+			{At: 2 * units.Millisecond, Link: link, Kind: faults.Derate, Scale: 0.2},
+			{At: 3 * units.Millisecond, Link: link, Kind: faults.Derate, Scale: 1.0},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g := res.Gray
+	if g == nil {
+		t.Fatal("armed detector produced no Gray report")
+	}
+	if g.Detections != 0 || g.FlowsRerouted != 0 || g.Revalidations != 0 {
+		t.Fatalf("transient dip triggered the detector: %v", g)
+	}
+}

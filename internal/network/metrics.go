@@ -79,6 +79,14 @@ type metricsSchema struct {
 	cofRejected     metrics.CounterID
 	cofCompleted    metrics.CounterID
 	cofMissed       metrics.CounterID
+
+	// Guarantee-protection plane: ingress-policer demotions (per class)
+	// with the forged subset, and the gray-failure detector's actions.
+	policeDemoted [packet.NumClasses]metrics.CounterID
+	policeForged  metrics.CounterID
+	grayDetected  metrics.CounterID
+	grayRerouted  metrics.CounterID
+	grayRevals    metrics.CounterID
 }
 
 // registerSchema registers (or re-resolves) the network schema on reg.
@@ -130,12 +138,18 @@ func registerSchema(reg *metrics.Registry) *metricsSchema {
 		cofRejected:     reg.Counter("qos_policy_coflow_rejected_total", "coflows rejected to best-effort by the sigma-order pass"),
 		cofCompleted:    reg.Counter("qos_policy_coflow_completed_total", "coflows completed at every member before the run stopped"),
 		cofMissed:       reg.Counter("qos_policy_coflow_missed_total", "coflows that missed their collective deadline"),
+
+		policeForged: reg.Counter("qos_police_forged_total", "policed packets caught by the deadline-forgery test"),
+		grayDetected: reg.Counter("qos_gray_detected_total", "slow-drain links flagged by the gray-failure detector"),
+		grayRerouted: reg.Counter("qos_gray_rerouted_flows_total", "static regulated flows proactively rerouted off gray links"),
+		grayRevals:   reg.Counter("qos_gray_revalidations_total", "session revalidation sweeps triggered by gray detections"),
 	}
 	for c := 0; c < packet.NumClasses; c++ {
 		label := metrics.WithLabel(`class="` + classLabels[c] + `"`)
 		s.hostMissed[c] = reg.Counter("qos_host_missed_total", "deliveries past deadline", label)
 		s.slack[c] = reg.Histogram("qos_delivery_slack_ns", "remaining time-to-deadline at delivery (negative = missed)", label)
 		s.polEvictions[c] = reg.Counter("qos_policy_evictions_total", "packets shed by bounded NIC queues", label)
+		s.policeDemoted[c] = reg.Counter("qos_police_demoted_total", "packets demoted to best effort by the ingress policer", label)
 	}
 	return s
 }
@@ -218,6 +232,29 @@ func (sm *shardMetrics) evictionCounters() (perClass [packet.NumClasses]*metrics
 		perClass[c] = sm.set.Counter(sm.sch.polEvictions[c])
 	}
 	return perClass, sm.set.Counter(sm.sch.polEvictedValue)
+}
+
+// policeCounters resolves the ingress-policer counters for a shard's
+// Policed hook (all nil with metrics disabled).
+func (sm *shardMetrics) policeCounters() (perClass [packet.NumClasses]*metrics.Counter, forged *metrics.Counter) {
+	if sm == nil {
+		return perClass, nil
+	}
+	for c := 0; c < packet.NumClasses; c++ {
+		perClass[c] = sm.set.Counter(sm.sch.policeDemoted[c])
+	}
+	return perClass, sm.set.Counter(sm.sch.policeForged)
+}
+
+// grayCounters resolves the gray-failure detector's counters for the shard
+// executing a detection event (all nil with metrics disabled).
+func (sm *shardMetrics) grayCounters() (detected, rerouted, revals *metrics.Counter) {
+	if sm == nil {
+		return nil, nil, nil
+	}
+	return sm.set.Counter(sm.sch.grayDetected),
+		sm.set.Counter(sm.sch.grayRerouted),
+		sm.set.Counter(sm.sch.grayRevals)
 }
 
 // bumpCoflowMetrics records the coflow workload's final verdicts into

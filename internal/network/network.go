@@ -94,6 +94,16 @@ type Results struct {
 	// time-to-repair distribution.
 	Availability *Availability
 
+	// Police summarises the ingress policer's run (nil unless
+	// Config.Police): demotions per class, the forged subset, and the
+	// innocent/rogue multimedia miss split behind the isolation metric.
+	Police *PoliceSummary
+
+	// Gray summarises the gray-failure detector (nil unless Config.Gray):
+	// slow-drain links flagged, proactive reroutes, and session
+	// revalidation sweeps.
+	Gray *GrayReport
+
 	// Telemetry holds the periodic per-port and engine probe series (nil
 	// unless Config.ProbeInterval was positive).
 	Telemetry *trace.Telemetry
@@ -117,6 +127,7 @@ type netShard struct {
 	telemetry     *trace.Telemetry
 	sess          *session.Counters // nil unless Config.Sessions is set
 	avail         *availShard       // nil unless the fault plan is topological
+	gray          *grayShard        // nil unless Config.Gray is armed
 	mtr           *shardMetrics     // nil unless Config.Metrics is set
 }
 
@@ -169,8 +180,10 @@ type Network struct {
 	flightTracer *trace.Tracer
 
 	// Route-repair coordinator state (see repair.go; zero unless the fault
-	// plan contains topological events).
+	// plan contains topological events). grayOn additionally fills the
+	// flow registry for the gray-failure detector (gray.go).
 	repairOn    bool
+	grayOn      bool
 	repairFlows []regFlow
 	avail       *Availability
 }
@@ -221,6 +234,7 @@ func New(cfg Config) (*Network, error) {
 		n.pol = policy.Default()
 	}
 	n.repairOn = cfg.Faults.HasTopological()
+	n.grayOn = cfg.Gray != nil && !cfg.Faults.Empty()
 	n.swShard, n.hostShard, n.nshards = Partition(n.topo, cfg.Shards)
 	n.lookahead = cfg.PropDelay
 	if cfg.Reliability.Enabled {
@@ -294,7 +308,21 @@ func New(cfg Config) (*Network, error) {
 		return units.Time(skewRng.UniformInt(-int64(cfg.ClockSkewMax), int64(cfg.ClockSkewMax)))
 	}
 
-	// Switches, each on its shard's engine.
+	// Switches, each on its shard's engine. The occupancy guard covers
+	// only host-facing inputs: per-input byte fairness is per-host
+	// fairness at the edge, while transit uplinks aggregate many hosts'
+	// flows and must not be equalised against a single babbler.
+	guardIn := func(sw int) []bool {
+		if cfg.GuardBytes <= 0 {
+			return nil
+		}
+		mask := make([]bool, n.topo.Radix(sw))
+		for p := range mask {
+			peer := n.topo.Peer(sw, p)
+			mask[p] = peer.ID >= 0 && peer.IsHost
+		}
+		return mask
+	}
 	for sw := 0; sw < n.topo.Switches(); sw++ {
 		sh := n.shards[n.swShard[sw]]
 		n.switches = append(n.switches, switchsim.New(switchsim.Config{
@@ -308,6 +336,8 @@ func New(cfg Config) (*Network, error) {
 			TrackOrderErrors: cfg.TrackOrderErrors,
 			VCTable:          cfg.VCArbitrationTable,
 			Policy:           n.pol,
+			GuardBytes:       cfg.GuardBytes,
+			GuardInputs:      guardIn(sw),
 			Tracer:           sh.tracer,
 			OnPktDrop:        n.onSwitchDropFor(sh),
 			Metrics:          sh.mtr.switchBundle(),
@@ -362,6 +392,8 @@ func New(cfg Config) (*Network, error) {
 			SendAck:     sendAck,
 			Tracer:      sh.tracer,
 			Metrics:     sh.mtr.hostBundle(),
+			Police:      cfg.Police,
+			PoliceBurst: cfg.PoliceBurst,
 		}))
 	}
 
@@ -391,6 +423,7 @@ func New(cfg Config) (*Network, error) {
 	// happened before it was installed.
 	n.adm.SetMetrics(n.shards[n.admShard()].mtr.admissionBundle())
 	n.installRepair()
+	n.installGray()
 	return n, nil
 }
 
@@ -471,6 +504,21 @@ func (n *Network) hooksFor(sh *netShard) hostif.Hooks {
 			sh.collect.PacketRetransmitted(p, now)
 		},
 		Demoted: sh.collect.PacketDemoted,
+	}
+	// Ingress-policer demotions: conservation (informational term),
+	// per-class statistics, and the qos_police_* counters.
+	if n.cfg.Police {
+		polCnt, polForged := sh.mtr.policeCounters()
+		hooks.Policed = func(p *packet.Packet, now units.Time, forged bool) {
+			sh.cons.PolicedDemotions++
+			sh.collect.PacketPoliced(p, now, forged)
+			if c := polCnt[p.Class]; c != nil {
+				c.Inc()
+				if forged {
+					polForged.Inc()
+				}
+			}
+		}
 	}
 	// NIC evictions by bounded (value-aware) host queues: conservation,
 	// per-class statistics, and the policy-plane counters.
@@ -784,6 +832,10 @@ func (n *Network) installFaults() {
 	// link event and a topological expansion touch the same link in the
 	// same cycle.
 	for i, ev := range evs {
+		if ev.Kind.Behavioural() {
+			n.installBehavioural(i, ev, record)
+			continue
+		}
 		if ev.Kind.Topological() {
 			n.installTopological(i, ev, record)
 			continue
@@ -791,6 +843,47 @@ func (n *Network) installFaults() {
 		sh := n.shards[n.swShard[ev.Link.Switch]]
 		sh.injector.InstallEvents([]faults.Event{ev}, []int{i}, sh.eng, resolve, record)
 	}
+	// Behavioural plans also arm the innocent/rogue delivery split: every
+	// shard's collector (deliveries land on the destination's shard) gets
+	// the read-only set of hosts that misbehave at any point of the run.
+	if plan.HasBehavioural() {
+		rogues := make(map[int]bool)
+		for _, ev := range evs {
+			if ev.Kind.Behavioural() {
+				rogues[ev.Host] = true
+			}
+		}
+		for _, sh := range n.shards {
+			sh.collect.RogueSrcs = rogues
+		}
+	}
+}
+
+// installBehavioural schedules one host-misbehaviour window (RogueFlow or
+// DeadlineForge) on the host's shard: the window opens at ev.At — writing
+// the event's global trace slot like every other plan kind — and closes at
+// ev.Until. Both transitions are host-local state flips, so behavioural
+// plans are byte-identical at any shard count.
+func (n *Network) installBehavioural(idx int, ev faults.Event, record func(int, faults.TraceEntry)) {
+	sh := n.shards[n.hostShard[ev.Host]]
+	host := n.hosts[ev.Host]
+	sh.eng.At(ev.At, func() {
+		switch ev.Kind {
+		case faults.RogueFlow:
+			host.SetRogue(ev.Scale)
+		case faults.DeadlineForge:
+			host.SetForge(ev.Scale)
+		}
+		record(idx, faults.TraceEntry{Event: ev, Applied: true})
+	})
+	sh.eng.At(ev.Until, func() {
+		switch ev.Kind {
+		case faults.RogueFlow:
+			host.SetRogue(0)
+		case faults.DeadlineForge:
+			host.SetForge(0)
+		}
+	})
 }
 
 // installTopological schedules one switch or port event: its expanded
@@ -965,10 +1058,13 @@ func (n *Network) provisionFlows(rng *xrand.Rand) error {
 				return fmt.Errorf("network: video stream %d of host %d: %w", v, h, err)
 			}
 			nextFlow++
+			// BW carries the admitted stream rate for the ingress policer
+			// (FrameLatency stamping never reads it); Policed opts the flow
+			// into rate enforcement and behavioural fault windows.
 			host.AddFlow(&hostif.Flow{
 				ID: nextFlow, Class: packet.Multimedia, Src: h, Dst: d,
 				Route: route, Mode: hostif.FrameLatency, Target: cfg.VideoTarget,
-				UseEligible: true,
+				UseEligible: true, BW: streamRate, Policed: true,
 			})
 			n.registerRepairFlow(h, nextFlow, h, d)
 			if len(cfg.VideoTraceFrames) > 0 {
@@ -1254,7 +1350,44 @@ func (n *Network) Run() *Results {
 	}
 	res.FaultTrace = n.FaultTrace()
 	n.buildAvailability(res)
+	if n.cfg.Police {
+		ps := &PoliceSummary{}
+		for cl := range res.PerClass {
+			ps.ByClass[cl] = res.PerClass[cl].PolicedPackets
+			ps.Demoted += res.PerClass[cl].PolicedPackets
+			ps.Forged += res.PerClass[cl].PolicedForged
+		}
+		ps.InnocentDelivered = res.InnocentDelivered
+		ps.InnocentMissed = res.InnocentMissed
+		ps.RogueDelivered = res.RogueDelivered
+		ps.RogueMissed = res.RogueMissed
+		res.Police = ps
+	}
+	n.buildGrayReport(res)
 	return res
+}
+
+// PoliceSummary is the run-level digest of the ingress policer.
+type PoliceSummary struct {
+	// Demoted counts packets the policer sent to the best-effort VC;
+	// Forged is the subset caught by the deadline-forgery test (the rest
+	// exceeded their sustained rate). ByClass splits Demoted by class.
+	Demoted uint64
+	Forged  uint64
+	ByClass [packet.NumClasses]uint64
+	// The innocent/rogue multimedia delivery split (zero unless the fault
+	// plan had behavioural events): the isolation metric compares
+	// InnocentMissed/InnocentDelivered to a no-rogue baseline.
+	InnocentDelivered uint64
+	InnocentMissed    uint64
+	RogueDelivered    uint64
+	RogueMissed       uint64
+}
+
+func (ps *PoliceSummary) String() string {
+	return fmt.Sprintf("demoted=%d (forged=%d) innocent frames missed=%d/%d rogue frames missed=%d/%d",
+		ps.Demoted, ps.Forged, ps.InnocentMissed, ps.InnocentDelivered,
+		ps.RogueMissed, ps.RogueDelivered)
 }
 
 // FaultTrace returns the fault events executed so far, in the sequential

@@ -93,10 +93,11 @@ type regFlow struct {
 	src, dst int
 }
 
-// registerRepairFlow records a provisioned flow for route repair. No-op
-// unless the fault plan contains topological events.
+// registerRepairFlow records a provisioned flow for route repair and the
+// gray-failure detector. No-op unless the fault plan contains topological
+// events or the detector is armed.
 func (n *Network) registerRepairFlow(host int, id packet.FlowID, src, dst int) {
-	if !n.repairOn {
+	if !n.repairOn && !n.grayOn {
 		return
 	}
 	n.repairFlows = append(n.repairFlows, regFlow{host: host, id: id, src: src, dst: dst})

@@ -1,0 +1,139 @@
+// Package police implements deterministic per-flow traffic policing at
+// NIC ingress: the guarantee-protection plane that makes the paper's
+// deadline promises robust against misbehaving endpoints.
+//
+// The paper's admission control (§3) hands every regulated flow a
+// reserved average bandwidth BWavg, and the NIC stamps deadlines with the
+// Virtual Clock recurrence D(Pi) = max(D(Pi-1), Tnow) + L(Pi)/BWavg. That
+// recurrence is exactly the theoretical arrival time (TAT) update of a
+// GCRA token bucket with sustained rate BWavg: a conforming flow's stamped
+// deadline never runs more than one burst ahead of real time. The policer
+// exploits the identity in both directions:
+//
+//   - Rate conformance: the flow's legal deadline envelope is replayed
+//     packet by packet (max(TAT, now) + L/BWavg). When the envelope runs
+//     more than the burst tolerance τ ahead of real time, the flow is
+//     injecting beyond its reservation and the packet is non-conformant —
+//     the dual token bucket's sustained test.
+//   - Deadline forgery: a packet stamped with a deadline earlier than the
+//     envelope's legal value claims more urgency than BWavg permits. A
+//     conforming NIC's stamp equals the envelope exactly (same integer
+//     recurrence, same rounding), so any earlier stamp is a forgery with
+//     zero false positives.
+//
+// Non-conformant packets are demoted to the best-effort VC rather than
+// dropped — they still inject, deliver and settle the conservation books;
+// they just lose the regulated VC's priority, so a rogue host can only
+// hurt itself. Crucially the TAT does not advance for demoted packets:
+// demoted traffic spends no regulated budget, so the flow's conforming
+// share is preserved through the misbehaviour window.
+//
+// Everything is integer arithmetic in units.Time on state local to one
+// NIC, so policing decisions are byte-identical at any shard count.
+package police
+
+import (
+	"fmt"
+
+	"deadlineqos/internal/units"
+)
+
+// DefaultBurst is the burst tolerance used when a Config leaves Burst
+// zero: generous enough to pass an entire video frame burst stamped at
+// the reservation rate, tight enough that a sustained 2x overload trips
+// within a few burst times.
+const DefaultBurst = 32 * units.Kilobyte
+
+// Verdict classifies one packet against its flow's envelope.
+type Verdict uint8
+
+const (
+	// Conform: the packet fits the flow's token-bucket envelope; it keeps
+	// its regulated VC and the envelope advances.
+	Conform Verdict = iota
+	// RateExceeded: the flow's envelope has run more than the burst
+	// tolerance ahead of real time — the host is injecting beyond its
+	// reserved BWavg. The packet is demoted and the envelope does not
+	// advance.
+	RateExceeded
+	// Forged: the packet's stamped deadline is earlier than the envelope
+	// permits — the host claims more urgency than its reservation buys.
+	// The packet is demoted and the envelope does not advance.
+	Forged
+)
+
+// String names the verdict for reports and tests.
+func (v Verdict) String() string {
+	switch v {
+	case Conform:
+		return "conform"
+	case RateExceeded:
+		return "rate-exceeded"
+	case Forged:
+		return "forged"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Policer is the per-flow dual token bucket. One Policer guards exactly
+// one admitted flow at its source NIC; it is not safe for concurrent use
+// (the owning NIC lives on one shard).
+type Policer struct {
+	rate units.Bandwidth // sustained rate = the flow's reserved BWavg
+	tau  units.Time      // burst tolerance: serialisation time of Burst bytes
+	tat  units.Time      // theoretical arrival time (the legal deadline envelope)
+}
+
+// New builds a policer for a flow reserved at rate, tolerating bursts of
+// burst bytes (DefaultBurst when <= 0). A non-positive rate yields a nil
+// policer: unreserved flows are not policed, and every method is nil-safe.
+func New(rate units.Bandwidth, burst units.Size) *Policer {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	return &Policer{rate: rate, tau: rate.TxTime(burst)}
+}
+
+// Check classifies a packet of the given size, stamped with deadline and
+// presented at now, against the flow's envelope, advancing the envelope
+// only for conforming packets. Nil-safe: a nil policer conforms always.
+func (p *Policer) Check(now units.Time, size units.Size, deadline units.Time) Verdict {
+	if p == nil {
+		return Conform
+	}
+	legal := p.tat
+	if now > legal {
+		legal = now
+	}
+	legal += p.rate.TxTime(size)
+	if deadline < legal {
+		return Forged
+	}
+	if legal-now > p.tau {
+		return RateExceeded
+	}
+	p.tat = legal
+	return Conform
+}
+
+// Envelope returns the current theoretical arrival time — the earliest
+// legal deadline the next conforming packet could carry. Zero for a nil
+// policer.
+func (p *Policer) Envelope() units.Time {
+	if p == nil {
+		return 0
+	}
+	return p.tat
+}
+
+// Tau returns the burst tolerance in cycles (zero for a nil policer).
+func (p *Policer) Tau() units.Time {
+	if p == nil {
+		return 0
+	}
+	return p.tau
+}

@@ -1,0 +1,200 @@
+package police
+
+import (
+	"testing"
+
+	"deadlineqos/internal/units"
+)
+
+// lcg is the tiny deterministic generator the property tests draw from
+// (same idiom as pqueue's drop-queue oracle tests).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 11
+}
+
+func (r *lcg) intn(n int64) int64 { return int64(r.next() % uint64(n)) }
+
+// TestPolicerEnvelopeProperty is the token-bucket envelope property: over
+// ANY window of the admitted (conforming) sub-stream, the admitted bytes
+// never exceed rate * (window + tau). The admitted stream is cross-checked
+// against a naive prefix-sum oracle over every (i, j) window pair.
+func TestPolicerEnvelopeProperty(t *testing.T) {
+	for _, seed := range []lcg{1, 7, 42, 1001} {
+		rng := seed
+		rate := units.Bandwidth(0.001 + float64(rng.intn(500))/1000) // up to ~0.5 B/cycle
+		burst := units.Size(1+rng.intn(64)) * units.Kilobyte
+		p := New(rate, burst)
+
+		type adm struct {
+			at    units.Time
+			bytes units.Size
+		}
+		var admitted []adm
+		now := units.Time(0)
+		demoted := 0
+		const packets = 2000
+		for i := 0; i < packets; i++ {
+			// Arrival process alternates idle gaps with dense bursts so the
+			// stream wanders across, into and out of conformance.
+			switch rng.intn(4) {
+			case 0:
+				now += units.Time(rng.intn(int64(rate.TxTime(16 * units.Kilobyte))))
+			default:
+				now += units.Time(rng.intn(200))
+			}
+			size := units.Size(64 + rng.intn(4096))
+			// A quarter of the stream stamps deadlines below the legal
+			// envelope (forgeries); the rest stamps far enough out that only
+			// the rate test decides.
+			deadline := now + rate.TxTime(size) + p.Envelope() + 1<<40
+			if rng.intn(4) == 0 {
+				deadline = now
+			}
+			switch p.Check(now, size, deadline) {
+			case Conform:
+				admitted = append(admitted, adm{at: now, bytes: size})
+			default:
+				demoted++
+			}
+		}
+		if len(admitted) == 0 || demoted == 0 {
+			t.Fatalf("seed %d: degenerate stream (admitted=%d demoted=%d)", seed, len(admitted), demoted)
+		}
+
+		// Naive prefix-sum oracle: admitted bytes over every closed window
+		// [a_i, a_j] must fit the sustained envelope plus one burst.
+		prefix := make([]int64, len(admitted)+1)
+		for i, a := range admitted {
+			prefix[i+1] = prefix[i] + int64(a.bytes)
+		}
+		tau := p.Tau()
+		for i := 0; i < len(admitted); i++ {
+			for j := i; j < len(admitted); j++ {
+				bytes := prefix[j+1] - prefix[i]
+				bound := float64(rate) * float64(admitted[j].at-admitted[i].at+tau)
+				if float64(bytes) > bound+1e-6 {
+					t.Fatalf("seed %d: window [%d,%d] admits %d bytes over %v, envelope allows %.1f",
+						seed, i, j, bytes, admitted[j].at-admitted[i].at, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicerConformingStreamNeverDemoted pins the zero-false-positive
+// guarantee: a stream stamped with the NIC's exact deadline recurrence at
+// the reserved rate — including idle gaps and frame-sized bursts inside
+// the burst tolerance — is never demoted.
+func TestPolicerConformingStreamNeverDemoted(t *testing.T) {
+	rate := units.MBpsToBandwidth(3) // the paper's MPEG-4 stream rate
+	burst := 32 * units.Kilobyte
+	p := New(rate, burst)
+	rng := lcg(9)
+	now := units.Time(0)
+	last := units.Time(0) // the NIC's D(Pi-1)
+	for i := 0; i < 5000; i++ {
+		if rng.intn(20) == 0 {
+			now += units.Time(rng.intn(int64(2 * units.Millisecond))) // idle gap
+		}
+		// A frame burst: several MTU packets stamped back to back, total
+		// size within the burst tolerance.
+		frame := units.Size(4+rng.intn(20)) * units.Kilobyte
+		for frame > 0 {
+			size := min(frame, 2*units.Kilobyte)
+			frame -= size
+			base := last
+			if now > base {
+				base = now
+			}
+			deadline := base + rate.TxTime(size)
+			last = deadline
+			if v := p.Check(now, size, deadline); v != Conform {
+				t.Fatalf("packet %d at %v (deadline %v): verdict %v on a conforming stream", i, now, deadline, v)
+			}
+		}
+		// The next frame arrives one frame period later, so the envelope
+		// drains back to real time.
+		now = last
+	}
+}
+
+// TestPolicerDetectsForgery pins the forgery test: a host that tightens
+// its deadline increments below L/BWavg is caught on every forged stamp,
+// and the envelope never advances for forged packets.
+func TestPolicerDetectsForgery(t *testing.T) {
+	rate := units.Bandwidth(0.1)
+	p := New(rate, 8*units.Kilobyte)
+	now := units.Time(0)
+	last := units.Time(0)
+	size := units.Size(1024)
+	forged := 0
+	for i := 0; i < 200; i++ {
+		base := last
+		if now > base {
+			base = now
+		}
+		// The forger halves the legal increment — strictly tighter stamps.
+		deadline := base + rate.TxTime(size)/2
+		last = deadline
+		env := p.Envelope()
+		if v := p.Check(now, size, deadline); v == Forged {
+			forged++
+			if p.Envelope() != env {
+				t.Fatal("envelope advanced for a forged packet")
+			}
+		}
+		now += rate.TxTime(size) // rate-conforming arrivals: only forgery trips
+	}
+	if forged == 0 {
+		t.Fatal("no forgeries detected on a tightened-deadline stream")
+	}
+}
+
+// TestPolicerRogueDemotionShare pins the sustained-rate test: a host
+// injecting at 4x its reservation keeps roughly its reserved share
+// conforming and has the excess demoted.
+func TestPolicerRogueDemotionShare(t *testing.T) {
+	rate := units.Bandwidth(0.25)
+	p := New(rate, 4*units.Kilobyte)
+	size := units.Size(1024)
+	step := rate.TxTime(size) / 4 // 4x the reserved rate
+	now := units.Time(0)
+	conform, demoted := 0, 0
+	for i := 0; i < 4000; i++ {
+		// The rogue still stamps legally (its NIC recurrence is honest, it
+		// just sends too often), so only the rate bucket decides.
+		deadline := p.Envelope()
+		if now > deadline {
+			deadline = now
+		}
+		deadline += rate.TxTime(size)
+		if p.Check(now, size, deadline) == Conform {
+			conform++
+		} else {
+			demoted++
+		}
+		now += step
+	}
+	share := float64(conform) / float64(conform+demoted)
+	if share < 0.2 || share > 0.35 {
+		t.Fatalf("conforming share %.3f, want ~0.25 (the reserved fraction of a 4x overload)", share)
+	}
+}
+
+// TestPolicerNilSafe pins the unreserved-flow contract: a nil policer
+// conforms everything.
+func TestPolicerNilSafe(t *testing.T) {
+	var p *Policer
+	if p != New(0, 0) {
+		t.Fatal("zero-rate policer must be nil")
+	}
+	if v := p.Check(10, 1024, 0); v != Conform {
+		t.Fatalf("nil policer verdict %v, want conform", v)
+	}
+	if p.Envelope() != 0 || p.Tau() != 0 {
+		t.Fatal("nil policer accessors must return zero")
+	}
+}

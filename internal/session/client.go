@@ -311,9 +311,13 @@ func (c *Client) handleMsg(m *Msg) {
 		lat := c.c.Eng.Now() - s.firstSetup
 		c.c.Cnt.SetupLatency.Add(lat)
 		c.c.Cnt.SetupLatHist.Add(lat)
+		// Granted sessions carry a CAC reservation of s.bw, so the ingress
+		// policer enforces exactly what was admitted. Downgraded sessions
+		// stay unpoliced: they never reserved anything.
 		c.c.Host.AddFlow(&hostif.Flow{
 			ID: s.flowID, Class: s.class, Src: c.id, Dst: s.dst,
 			Route: m.Route, Mode: hostif.ByBandwidth, BW: s.bw,
+			Policed: true,
 		})
 		s.granted = true
 		s.local = m.Local

@@ -57,6 +57,14 @@ type Options struct {
 	// rounds of 4 KB chunks starting at the end of warm-up) to every
 	// epoch, on top of the static mix, churn and faults.
 	Coflows bool
+	// Rogues and Forges schedule that many behavioural misbehaviour
+	// windows per epoch (RogueFlow / DeadlineForge on random hosts, with
+	// the faults package's default factor and scale). Police arms the
+	// per-flow NIC ingress policer so the soak exercises the
+	// guarantee-protection plane under the same random storms. All three
+	// are part of the replay contract: the failure recipe reprints them.
+	Rogues, Forges int
+	Police         bool
 	// Log, when non-nil, receives one progress line per epoch.
 	Log func(format string, args ...any)
 
@@ -171,6 +179,7 @@ func EpochConfig(opt Options, epoch int) network.Config {
 	if opt.Coflows {
 		cfg.Coflows = &coflow.Config{StartAt: cfg.WarmUp, Rounds: 4, Chunk: 4 * units.Kilobyte}
 	}
+	cfg.Police = opt.Police
 
 	horizon := cfg.WarmUp + cfg.Measure
 	plan := faults.RandomPlan(seed, soakLinkIDs(cfg.Topology), horizon, faults.RandomConfig{
@@ -184,6 +193,10 @@ func EpochConfig(opt Options, epoch int) network.Config {
 		SwitchFaults: opt.SwitchFaults,
 		SwitchMTTF:   horizon / 2,
 		SwitchMTTR:   horizon / 20,
+
+		Hosts:  cfg.Topology.Hosts(),
+		Rogues: opt.Rogues,
+		Forges: opt.Forges,
 	})
 	plan.DefaultBER = 1e-7
 	cfg.Faults = plan
@@ -314,6 +327,15 @@ func epochErr(opt Options, epoch int, seed uint64, err error) error {
 	}
 	if opt.Coflows {
 		extra += " -coflows"
+	}
+	if opt.Rogues > 0 {
+		extra += fmt.Sprintf(" -rogues %d", opt.Rogues)
+	}
+	if opt.Forges > 0 {
+		extra += fmt.Sprintf(" -forges %d", opt.Forges)
+	}
+	if opt.Police {
+		extra += " -police"
 	}
 	return fmt.Errorf("soak: epoch %d (seed %#016x): %w\nreplay: go run ./cmd/qossoak -seed %d -first-epoch %d -epochs 1 -shards %d%s",
 		epoch, seed, err, opt.Seed, epoch, opt.Shards, extra)

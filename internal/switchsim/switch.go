@@ -92,6 +92,20 @@ type Config struct {
 	// switch's crossbar and link grant decisions. Nil means
 	// policy.Default, the seed behaviour.
 	Policy policy.Policy
+	// GuardBytes enables the regulated-VC occupancy guard: per output
+	// port, an input whose served regulated bytes lead the
+	// least-served backlogged input by more than GuardBytes is held
+	// back from crossbar arbitration for that VC until the others
+	// catch up. This bounds how far a babbling NIC — legitimate
+	// deadlines or not — can starve other inputs' regulated traffic.
+	// Zero disables the guard (the seed behaviour).
+	GuardBytes units.Size
+	// GuardInputs marks which input ports the guard covers (nil = all).
+	// The network marks only host-facing ports: per-input byte fairness
+	// is per-host fairness at the edge, whereas a transit uplink
+	// legitimately aggregates many hosts' flows and must not be
+	// equalised against a single babbler.
+	GuardInputs []bool
 }
 
 // Stats are the instrumentation counters of one switch.
@@ -141,6 +155,11 @@ type outputPort struct {
 
 	arb    policy.Arbiter            // per-port grant decisions (crossbar + link)
 	sendOK func(*packet.Packet) bool // down.CanSend, bound once at connect
+
+	// served[vc][input] is the cumulative bytes input has pushed through
+	// this output on a guarded VC, the occupancy guard's fairness state.
+	// Allocated only when the guard is on.
+	served [packet.NumVCs][]units.Size
 }
 
 // New builds a switch. Ports must then be wired with ConnectUpstream /
@@ -179,6 +198,13 @@ func New(cfg Config) *Switch {
 			}
 		}
 		op.arb = pol.NewArbiter(policy.ArbiterConfig{Arch: cfg.Arch, Radix: cfg.Radix, VCTable: cfg.VCTable})
+		if cfg.GuardBytes > 0 {
+			for vc := 0; vc < packet.NumVCs; vc++ {
+				if s.guarded(packet.VC(vc)) {
+					op.served[vc] = make([]units.Size, cfg.Radix)
+				}
+			}
+		}
 		s.out = append(s.out, op)
 	}
 	return s
@@ -213,6 +239,24 @@ type portReceiver struct {
 // (§3.3) and the packet joins the VOQ for its route's next output port.
 func (r *portReceiver) Receive(p *packet.Packet) { r.sw.receive(r.port, p) }
 
+// guarded reports whether the occupancy guard applies to vc: the
+// regulated VC, plus the multimedia VC under Traditional 4 VCs (where
+// the regulated classes span two channels).
+func (s *Switch) guarded(vc packet.VC) bool {
+	if s.cfg.GuardBytes <= 0 {
+		return false
+	}
+	if s.cfg.Arch == arch.Traditional4VC {
+		return vc <= 1
+	}
+	return vc == packet.VCRegulated
+}
+
+// guardedInput reports whether the occupancy guard covers input port i.
+func (s *Switch) guardedInput(i int) bool {
+	return s.cfg.GuardInputs == nil || s.cfg.GuardInputs[i]
+}
+
 func (s *Switch) receive(in int, p *packet.Packet) {
 	if s.down {
 		// Reachable when a flap's LinkUp restores a link into a still-dead
@@ -240,6 +284,22 @@ func (s *Switch) receive(in int, p *packet.Packet) {
 	if s.cfg.Tracer != nil && p.Sampled {
 		s.traceEvt(trace.KindVOQEnqueue, p, in, o)
 	}
+	// An input (re)joining the contenders for a guarded VC is lifted to
+	// within GuardBytes of the most-served input, so a long-idle port
+	// neither freezes the others nor inherits an unbounded backlog of
+	// artificial credit.
+	if s.guarded(vc) && s.guardedInput(in) && ip.voq[vc][o].Len() == 0 {
+		served := s.out[o].served[vc]
+		max := served[0]
+		for _, v := range served[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		if floor := max - s.cfg.GuardBytes; served[in] < floor {
+			served[in] = floor
+		}
+	}
 	ip.voq[vc][o].Push(p)
 	s.tryXbar(o)
 }
@@ -251,12 +311,34 @@ func (s *Switch) tryXbar(o int) {
 		return
 	}
 	// Gather per-VC candidates: head packets of non-busy inputs that fit
-	// in the output buffer.
+	// in the output buffer. On a guarded VC an input whose served bytes
+	// lead the least-served backlogged input by more than GuardBytes is
+	// withheld, so a babbling NIC cannot monopolise the regulated VC
+	// while other inputs hold traffic for this output.
 	var cands [packet.NumVCs][]arbiter.Candidate
 	for vc := 0; vc < packet.NumVCs; vc++ {
 		free := op.buf[vc].Free()
+		ceiling := units.Size(-1)
+		if s.guarded(packet.VC(vc)) {
+			first := true
+			var min units.Size
+			for i, ip := range s.in {
+				if !s.guardedInput(i) || ip.voq[vc][o].Len() == 0 {
+					continue
+				}
+				if v := op.served[vc][i]; first || v < min {
+					min, first = v, false
+				}
+			}
+			if !first {
+				ceiling = min + s.cfg.GuardBytes
+			}
+		}
 		for i, ip := range s.in {
 			if ip.busy {
+				continue
+			}
+			if ceiling >= 0 && s.guardedInput(i) && op.served[vc][i] > ceiling {
 				continue
 			}
 			if h := ip.voq[vc][o].Head(); h != nil && h.Size <= free {
@@ -284,6 +366,9 @@ func (s *Switch) startTransfer(ip *inputPort, op *outputPort, vc packet.VC) {
 	ip.busy = true
 	ip.xferVC, ip.xferSize = vc, p.Size
 	op.busy = true
+	if s.guarded(vc) && s.guardedInput(ip.idx) {
+		op.served[vc][ip.idx] += p.Size
+	}
 	s.xbarTransfers++
 	s.cfg.Metrics.XbarTransfers.Inc()
 	s.inXbar++

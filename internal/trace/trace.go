@@ -87,6 +87,10 @@ const (
 	// KindNICEvict: a bounded injection queue discarded the packet before
 	// it entered the network (host event; value-drop policies only).
 	KindNICEvict
+	// KindPoliced: the ingress policer demoted the packet to the
+	// best-effort VC for violating its flow's reservation (host event;
+	// recorded right after KindGenerated, with the demoted VC).
+	KindPoliced
 	numKinds
 )
 
@@ -94,6 +98,7 @@ var kindLabels = [numKinds]string{
 	"gen", "elig-hold", "inject", "voq-enq", "voq-deq", "out-enq",
 	"link-tx", "takeover", "order-err", "crc-drop", "link-drop",
 	"switch-drop", "retx", "dup-drop", "demote", "deliver", "nic-evict",
+	"police",
 }
 
 // String returns the short label used in JSONL output.
